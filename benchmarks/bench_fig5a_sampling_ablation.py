@@ -1,0 +1,8 @@
+"""Fig 5(a) — semantic-aware sampling vs CNARW vs Node2Vec."""
+
+from repro.bench.experiments import fig5a_sampling_ablation
+
+
+def test_fig5a_sampling_ablation(run_experiment):
+    result = run_experiment(fig5a_sampling_ablation)
+    assert any(row[0] == "semantic-aware" for row in result.rows)

@@ -1,0 +1,11 @@
+"""Fig 5(b) — with vs without correctness validation."""
+
+from repro.bench.experiments import fig5b_validation_ablation
+
+
+def test_fig5b_validation_ablation(run_experiment):
+    result = run_experiment(fig5b_validation_ablation)
+    with_v = [row[2] for row in result.rows if row[0] == "with validation"]
+    without = [row[2] for row in result.rows if row[0] == "without validation"]
+    # Validation must improve the error substantially (paper: 6-14x).
+    assert sum(with_v) < sum(without)

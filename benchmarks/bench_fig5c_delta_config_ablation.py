@@ -1,0 +1,8 @@
+"""Fig 5(c) — error-based vs fixed sample-size configuration."""
+
+from repro.bench.experiments import fig5c_delta_ablation
+
+
+def test_fig5c_delta_ablation(run_experiment):
+    result = run_experiment(fig5c_delta_ablation)
+    assert any(row[0] == "error-based" for row in result.rows)

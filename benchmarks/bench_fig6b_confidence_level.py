@@ -1,0 +1,8 @@
+"""Fig 6(b) — effect of the confidence level."""
+
+from repro.bench.experiments import fig6b_confidence_level
+
+
+def test_fig6b_confidence_level(run_experiment):
+    result = run_experiment(fig6b_confidence_level)
+    assert len({row[0] for row in result.rows}) == 5

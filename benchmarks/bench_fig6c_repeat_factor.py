@@ -1,0 +1,8 @@
+"""Fig 6(c) — effect of the repeat factor r."""
+
+from repro.bench.experiments import fig6c_repeat_factor
+
+
+def test_fig6c_repeat_factor(run_experiment):
+    result = run_experiment(fig6c_repeat_factor)
+    assert len({row[0] for row in result.rows}) == 5

@@ -1,0 +1,8 @@
+"""Fig 6(d) — effect of the desired sample ratio lambda."""
+
+from repro.bench.experiments import fig6d_sample_ratio
+
+
+def test_fig6d_sample_ratio(run_experiment):
+    result = run_experiment(fig6d_sample_ratio)
+    assert len({row[0] for row in result.rows}) == 5

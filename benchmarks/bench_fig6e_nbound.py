@@ -1,0 +1,11 @@
+"""Fig 6(e) — effect of the n-bounded subgraph."""
+
+from repro.bench.experiments import fig6e_nbound
+
+
+def test_fig6e_nbound(run_experiment):
+    result = run_experiment(fig6e_nbound)
+    # n = 1 must be worse than n = 3 (missing multi-hop answers).
+    err_n1 = sum(row[2] for row in result.rows if row[0] == 1)
+    err_n3 = sum(row[2] for row in result.rows if row[0] == 3)
+    assert err_n3 <= err_n1

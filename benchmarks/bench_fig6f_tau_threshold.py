@@ -1,0 +1,8 @@
+"""Fig 6(f) — effect of the semantic similarity threshold tau."""
+
+from repro.bench.experiments import fig6f_tau_threshold
+
+
+def test_fig6f_tau_threshold(run_experiment):
+    result = run_experiment(fig6f_tau_threshold)
+    assert len({row[0] for row in result.rows}) == 5

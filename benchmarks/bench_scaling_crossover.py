@@ -1,0 +1,8 @@
+"""Extra: ours-vs-SSB scaling crossover (motivates sampling over enumeration)."""
+
+from repro.bench.experiments import scaling_crossover
+
+
+def test_scaling_crossover(run_experiment):
+    result = run_experiment(scaling_crossover)
+    assert len(result.rows) == 8

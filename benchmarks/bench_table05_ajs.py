@@ -1,0 +1,8 @@
+"""Table V — average Jaccard similarity between HA and tau-relevant answers."""
+
+from repro.bench.experiments import table5_ajs
+
+
+def test_table5_ajs(run_experiment):
+    result = run_experiment(table5_ajs)
+    assert len(result.rows) == 6  # AJS + Var per dataset

@@ -1,0 +1,12 @@
+"""Table VII — relative error (%) w.r.t. human-annotated ground truth."""
+
+from repro.bench.experiments import table7_ha_gt_error
+
+
+def test_table7_ha_gt_error(run_experiment):
+    result = run_experiment(table7_ha_gt_error)
+    rows = {row[0]: row[1:] for row in result.rows}
+    ours = [v for v in rows["Ours"] if isinstance(v, float)]
+    qga = [v for v in rows["QGA"] if isinstance(v, float)]
+    # Ours should beat the keyword-based comparator by a wide margin.
+    assert sum(ours) / len(ours) < sum(qga) / len(qga)

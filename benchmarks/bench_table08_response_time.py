@@ -1,0 +1,8 @@
+"""Table VIII — average response time (ms) per method/shape/dataset."""
+
+from repro.bench.experiments import table8_response_time
+
+
+def test_table8_response_time(run_experiment):
+    result = run_experiment(table8_response_time)
+    assert any(row[0] == "Ours" for row in result.rows)

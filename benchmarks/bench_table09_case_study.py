@@ -1,0 +1,13 @@
+"""Table IX — per-round refinement case study (Q1, Q2, Q6 analogs)."""
+
+from repro.bench.experiments import table9_case_study
+
+
+def test_table9_case_study(run_experiment):
+    result = run_experiment(table9_case_study)
+    # Final round of each query should satisfy the 1% error bound roughly.
+    by_query = {}
+    for row in result.rows:
+        by_query[row[0]] = row  # last row per query wins
+    for row in by_query.values():
+        assert row[4] < 5.0  # final error (%) small

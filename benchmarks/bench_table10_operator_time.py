@@ -1,0 +1,8 @@
+"""Table X — efficiency (seconds) for filter / GROUP-BY / MAX-MIN operators."""
+
+from repro.bench.experiments import table10_operator_time
+
+
+def test_table10_operator_time(run_experiment):
+    result = run_experiment(table10_operator_time)
+    assert any(row[0] == "Ours" for row in result.rows)

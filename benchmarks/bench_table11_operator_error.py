@@ -1,0 +1,10 @@
+"""Table XI — effectiveness for filter / GROUP-BY / MAX-MIN operators."""
+
+from repro.bench.experiments import table11_operator_error
+
+
+def test_table11_operator_error(run_experiment):
+    result = run_experiment(table11_operator_error)
+    rows = {row[0]: row[1:] for row in result.rows}
+    # Ours: filter error vs tau-GT within the approximate regime.
+    assert isinstance(rows["Ours"][0], float) and rows["Ours"][0] < 10.0

@@ -1,0 +1,10 @@
+"""Table XII — per-step time (ms): S1 sampling / S2 estimation / S3 guarantee."""
+
+from repro.bench.experiments import table12_step_timing
+
+
+def test_table12_step_timing(run_experiment):
+    result = run_experiment(table12_step_timing)
+    for row in result.rows:
+        # S3 (the CI) is the fastest step, as in the paper.
+        assert row[3] <= row[1] + row[2]

@@ -1,0 +1,14 @@
+"""Table XIII — effect of the KG embedding model on accuracy and cost."""
+
+from repro.bench.experiments import table13_embeddings
+
+
+def test_table13_embeddings(run_experiment):
+    result = run_experiment(table13_embeddings)
+    memory = {row[0]: row[2] for row in result.rows}
+    # The translation family is far lighter than RESCAL/SE.
+    assert memory["TransE"] < memory["RESCAL"]
+    assert memory["TransE"] < memory["SE"]
+    # ...and cheaper to train (Table XIII's embed-time column).
+    embed_time = {row[0]: row[1] for row in result.rows}
+    assert embed_time["TransE"] < embed_time["SE"]

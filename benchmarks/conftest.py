@@ -1,0 +1,32 @@
+"""Shared helpers for the paper-reproduction benches.
+
+Each bench regenerates one table or figure from the paper's §VII via the
+drivers in :mod:`repro.bench.experiments`, prints the rendered rows, and
+persists them under ``benchmarks/results/``.  ``pytest-benchmark`` times
+the driver once (pedantic, single round) — the experiments are full
+parameter sweeps, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import save_result
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run one experiment driver under the benchmark timer and report it."""
+
+    def _run(driver, *args, **kwargs):
+        result = benchmark.pedantic(
+            driver, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        path = save_result(result.name, result.text)
+        with capsys.disabled():
+            print()
+            print(result.text)
+            print(f"[saved to {path}]")
+        return result
+
+    return _run

@@ -1,0 +1,34 @@
+"""Comparator systems from the paper's evaluation (§VII-A).
+
+* :mod:`repro.baselines.ssb` — Algorithm 1, the exact semantic-similarity
+  baseline; doubles as the tau-GT oracle.
+* :mod:`repro.baselines.sparql` — exact-schema BGP engine standing in for
+  JENA and Virtuoso/Neo4j.
+* :mod:`repro.baselines.sgq` — incremental top-k semantic search.
+* :mod:`repro.baselines.grab` — structural-similarity matching.
+* :mod:`repro.baselines.qga` — keyword-driven query-graph assembly.
+* :mod:`repro.baselines.eaq` — link-prediction-based aggregate answering.
+
+Every baseline exposes ``answer(aggregate_query) -> BaselineAnswer`` so the
+benchmark harness can treat them uniformly.
+"""
+
+from repro.baselines.base import BaselineAnswer, BaselineMethod
+from repro.baselines.eaq import EaqBaseline
+from repro.baselines.grab import GrabBaseline
+from repro.baselines.qga import QgaBaseline
+from repro.baselines.sgq import SgqBaseline
+from repro.baselines.sparql import SparqlStyleEngine
+from repro.baselines.ssb import SemanticSimilarityBaseline, tau_ground_truth
+
+__all__ = [
+    "BaselineAnswer",
+    "BaselineMethod",
+    "SemanticSimilarityBaseline",
+    "tau_ground_truth",
+    "SparqlStyleEngine",
+    "SgqBaseline",
+    "GrabBaseline",
+    "QgaBaseline",
+    "EaqBaseline",
+]

@@ -1,0 +1,93 @@
+"""Shared surface for the comparator systems."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.kg.graph import KnowledgeGraph
+from repro.query.aggregate import AggregateQuery
+from repro.query.evaluate import aggregate_over, is_usable_answer
+
+
+@dataclass(frozen=True)
+class BaselineAnswer:
+    """What a comparator returns: a value, its answer set, and timing."""
+
+    method: str
+    value: float
+    answers: frozenset[int]
+    elapsed_seconds: float
+    #: per-group values for GROUP-BY queries (empty otherwise)
+    groups: dict[float, float] = field(default_factory=dict)
+
+    def relative_error(self, ground_truth: float) -> float:
+        """|value - truth| / |truth| against any ground truth."""
+        if ground_truth == 0.0:
+            return 0.0 if self.value == 0.0 else float("inf")
+        return abs(self.value - ground_truth) / abs(ground_truth)
+
+
+class BaselineMethod(abc.ABC):
+    """A comparator system: finds an answer set, aggregates it exactly.
+
+    Subclasses implement :meth:`collect_answers`; the base class applies
+    filters, evaluates the aggregate (and GROUP-BY partitions) and wraps
+    timing — mirroring how the paper extends factoid-query systems "by
+    adding an additional aggregate operation after achieving the factoid
+    query answers".
+    """
+
+    method_name: str = "baseline"
+
+    def __init__(self, kg: KnowledgeGraph) -> None:
+        self._kg = kg
+
+    @property
+    def kg(self) -> KnowledgeGraph:
+        """The knowledge graph this method answers over."""
+        return self._kg
+
+    @abc.abstractmethod
+    def collect_answers(self, aggregate_query: AggregateQuery) -> set[int]:
+        """The factoid answer set for the aggregate query's query graph."""
+
+    def answer(self, aggregate_query: AggregateQuery) -> BaselineAnswer:
+        """Run the factoid stage, filter, aggregate, and time the whole."""
+        started = time.perf_counter()
+        answers = self.collect_answers(aggregate_query)
+        answers = {
+            node_id
+            for node_id in answers
+            if self._usable(aggregate_query, node_id)
+        }
+        value, groups = self._aggregate(aggregate_query, answers)
+        elapsed = time.perf_counter() - started
+        return BaselineAnswer(
+            method=self.method_name,
+            value=value,
+            answers=frozenset(answers),
+            elapsed_seconds=elapsed,
+            groups=groups,
+        )
+
+    # ------------------------------------------------------------------
+    def _usable(self, aggregate_query: AggregateQuery, node_id: int) -> bool:
+        return is_usable_answer(self._kg, aggregate_query, node_id)
+
+    def _aggregate(
+        self, aggregate_query: AggregateQuery, answers: set[int]
+    ) -> tuple[float, dict[float, float]]:
+        return aggregate_over(self._kg, aggregate_query, answers)
+
+
+def require_simple(aggregate_query: AggregateQuery, method: str) -> None:
+    """Raise for comparators that only support simple queries (e.g. EAQ)."""
+    query = aggregate_query.query
+    if query.is_composite or not query.components[0].is_simple:
+        raise QueryError(
+            f"{method} supports simple (single-edge) queries only; "
+            f"got shape {query.shape.value}"
+        )

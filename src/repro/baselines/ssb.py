@@ -1,0 +1,200 @@
+"""SSB — the Semantic Similarity-based Baseline (paper Algorithm 1).
+
+Enumerates every candidate answer in the n-bounded subgraph of the mapping
+node, computes each candidate's exact Eq. 3 similarity by exhaustive path
+enumeration, keeps those with similarity >= tau, and aggregates exactly.
+Slow by design — its output *is* the tau-relevant ground truth (tau-GT)
+used throughout the paper's effectiveness evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.base import BaselineMethod
+from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.errors import QueryError
+from repro.kg.graph import KnowledgeGraph
+from repro.query.aggregate import AggregateQuery, exact_aggregate
+from repro.query.graph import PathQuery, QueryGraph
+from repro.sampling.scope import build_scope, resolve_mapping_node
+from repro.semantics.matching import best_matches_from
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """tau-GT: the exact value plus the correct answers behind it."""
+
+    value: float
+    answers: frozenset[int]
+    similarities: dict[float, float] | dict[int, float]
+    groups: dict[float, float]
+
+
+class SemanticSimilarityBaseline(BaselineMethod):
+    """Algorithm 1, extended to every query shape for ground-truthing."""
+
+    method_name = "SSB"
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateVectorSpace,
+        *,
+        tau: float = 0.85,
+        n_bound: int = 3,
+        max_expansions: int | None = None,
+    ) -> None:
+        super().__init__(kg)
+        self._space = space
+        self.tau = tau
+        self.n_bound = n_bound
+        self.max_expansions = max_expansions
+        self._match_cache: dict[tuple[int, str], dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Similarity enumeration
+    # ------------------------------------------------------------------
+    def _matches_from(self, source: int, predicate: str) -> dict[int, tuple[float, int]]:
+        """Best Eq. 3 similarity (and its path length) per reachable node."""
+        key = (source, predicate)
+        cached = self._match_cache.get(key)
+        if cached is None:
+            matches = best_matches_from(
+                self._kg,
+                self._space,
+                predicate,
+                source,
+                self.n_bound,
+                max_expansions=self.max_expansions,
+            )
+            cached = {
+                node: (match.similarity, match.length)
+                for node, match in matches.items()
+            }
+            self._match_cache[key] = cached
+        return cached
+
+    def component_similarities(self, component: PathQuery) -> dict[int, float]:
+        """Exact answer similarities for one query component.
+
+        Simple components follow Eq. 2-3 directly.  Chain components take,
+        per answer, the best route through typed intermediates: similarity
+        is the geometric mean over all legs' best paths (each leg compared
+        to its own query predicate, §V-B).
+        """
+        source = resolve_mapping_node(
+            self._kg, component.specific_name, component.specific_types
+        )
+        if component.is_simple:
+            predicate, target_types = component.hops[0]
+            matches = self._matches_from(source, predicate)
+            return {
+                node: similarity
+                for node, (similarity, _length) in matches.items()
+                if node != source
+                and self._kg.node(node).shares_type_with(target_types)
+            }
+        return self._chain_similarities(source, component)
+
+    def _chain_similarities(
+        self, source: int, component: PathQuery
+    ) -> dict[int, float]:
+        # route state: node -> best (log_similarity_sum, edge_count); the
+        # geometric mean is only taken at the very end so that each leg
+        # weighs in proportionally to its edge count — Eq. 2 applied to the
+        # concatenated path, matching the engine's chain validation.
+        frontier: dict[int, tuple[float, int]] = {source: (0.0, 0)}
+        for predicate, node_types in component.hops:
+            next_frontier: dict[int, tuple[float, int]] = {}
+            for start, (log_sum, edges) in frontier.items():
+                scope = build_scope(self._kg, start, self.n_bound, node_types)
+                leg = self._matches_from(start, predicate)
+                for node in scope.candidate_answers:
+                    match = leg.get(node)
+                    if match is None:
+                        continue
+                    similarity, length = match
+                    if similarity <= 0.0 or length == 0:
+                        continue
+                    candidate = (
+                        log_sum + length * math.log(similarity),
+                        edges + length,
+                    )
+                    best = next_frontier.get(node)
+                    if best is None or candidate[0] / candidate[1] > best[0] / best[1]:
+                        next_frontier[node] = candidate
+            if not next_frontier:
+                return {}
+            frontier = next_frontier
+        return {
+            node: math.exp(log_sum / edges)
+            for node, (log_sum, edges) in frontier.items()
+            if edges > 0
+        }
+
+    def answer_similarities(self, query: QueryGraph) -> dict[int, float]:
+        """Per-answer similarity; composite shapes take the component min."""
+        combined: dict[int, float] | None = None
+        for component in query.components:
+            similarities = self.component_similarities(component)
+            if combined is None:
+                combined = similarities
+                continue
+            combined = {
+                node: min(similarity, similarities[node])
+                for node, similarity in combined.items()
+                if node in similarities
+            }
+        return combined or {}
+
+    # ------------------------------------------------------------------
+    # BaselineMethod surface
+    # ------------------------------------------------------------------
+    def collect_answers(self, aggregate_query: AggregateQuery) -> set[int]:
+        """The factoid answer set for the query graph (BaselineMethod hook)."""
+        similarities = self.answer_similarities(aggregate_query.query)
+        return {
+            node
+            for node, similarity in similarities.items()
+            if similarity >= self.tau
+        }
+
+    # ------------------------------------------------------------------
+    # Ground-truth helper
+    # ------------------------------------------------------------------
+    def ground_truth(self, aggregate_query: AggregateQuery) -> GroundTruth:
+        """tau-GT = f_a over the tau-relevant correct answers (Table I)."""
+        answers = {
+            node
+            for node in self.collect_answers(aggregate_query)
+            if self._usable(aggregate_query, node)
+        }
+        value, groups = self._aggregate(aggregate_query, answers)
+        similarities = self.answer_similarities(aggregate_query.query)
+        return GroundTruth(
+            value=value,
+            answers=frozenset(answers),
+            similarities={node: similarities[node] for node in answers},
+            groups=groups,
+        )
+
+
+def tau_ground_truth(
+    kg: KnowledgeGraph,
+    space: PredicateVectorSpace,
+    aggregate_query: AggregateQuery,
+    *,
+    tau: float = 0.85,
+    n_bound: int = 3,
+) -> GroundTruth:
+    """Convenience wrapper building a fresh SSB for one query."""
+    baseline = SemanticSimilarityBaseline(kg, space, tau=tau, n_bound=n_bound)
+    truth = baseline.ground_truth(aggregate_query)
+    if not truth.answers and aggregate_query.function.needs_attribute:
+        raise QueryError(
+            "tau-GT is undefined: no correct answer carries the attribute "
+            f"{aggregate_query.attribute!r}"
+        )
+    return truth

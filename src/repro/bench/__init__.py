@@ -1,0 +1,33 @@
+"""Benchmark harness: experiment drivers for every paper table and figure.
+
+Each function in :mod:`repro.bench.experiments` regenerates one table or
+figure of the paper's §VII; :mod:`repro.bench.harness` wires methods,
+datasets and ground truths together; :mod:`repro.bench.reporting` renders
+the monospace tables the benches print and save.
+"""
+
+from repro.bench.harness import (
+    BenchContext,
+    MethodResult,
+    bench_context,
+    method_names,
+    run_method,
+)
+from repro.bench.metrics import jaccard, relative_error
+from repro.bench.plots import Series, bar_chart, line_chart
+from repro.bench.reporting import render_table, save_result
+
+__all__ = [
+    "BenchContext",
+    "MethodResult",
+    "bench_context",
+    "method_names",
+    "run_method",
+    "relative_error",
+    "jaccard",
+    "render_table",
+    "save_result",
+    "Series",
+    "bar_chart",
+    "line_chart",
+]

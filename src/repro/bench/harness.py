@@ -1,0 +1,198 @@
+"""Method and ground-truth wiring shared by all experiments.
+
+A :class:`BenchContext` memoises, per (preset, seed, scale): the dataset
+bundle, its predicate space, a trained TransE model for the EAQ comparator,
+SSB/HA ground truths per query, and the standard workload.  ``run_method``
+executes any of the paper's eight methods on one query with *cold* per-call
+state so timings are comparable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.baselines import (
+    EaqBaseline,
+    GrabBaseline,
+    QgaBaseline,
+    SemanticSimilarityBaseline,
+    SgqBaseline,
+    SparqlStyleEngine,
+)
+from repro.baselines.ssb import GroundTruth
+from repro.bench.metrics import grouped_relative_error, relative_error
+from repro.core.config import EngineConfig
+from repro.core.engine import ApproximateAggregateEngine
+from repro.core.result import ApproximateResult, GroupedResult
+from repro.datasets import (
+    ALL_PRESETS,
+    AnnotationOracle,
+    DatasetBundle,
+    HumanGroundTruth,
+    WorkloadQuery,
+    standard_workload,
+)
+from repro.embedding import EmbeddingTrainer, TrainingConfig, TransEModel
+from repro.errors import ReproError
+from repro.query.aggregate import AggregateQuery
+
+#: the paper's method roster (Tables VI-VIII)
+METHODS = ("Ours", "EAQ", "GraB", "QGA", "SGQ", "JENA", "Virtuoso", "SSB")
+
+
+def method_names() -> tuple[str, ...]:
+    """All comparator names, in the paper's table order."""
+    return METHODS
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """One method's outcome on one query."""
+
+    method: str
+    value: float | None
+    elapsed_seconds: float
+    answers: frozenset[int] = frozenset()
+    groups: dict[float, float] = field(default_factory=dict)
+    supported: bool = True
+
+    def error_against(self, truth_value: float, truth_groups: dict[float, float]) -> float:
+        """Relative error vs a scalar or grouped ground truth."""
+        if not self.supported or self.value is None:
+            return float("nan")
+        if truth_groups:
+            return grouped_relative_error(self.groups, truth_groups)
+        return relative_error(self.value, truth_value)
+
+
+class BenchContext:
+    """Everything an experiment needs about one dataset configuration."""
+
+    def __init__(self, preset: str, seed: int = 0, scale: float = 1.0) -> None:
+        if preset not in ALL_PRESETS:
+            raise ReproError(f"unknown preset {preset!r}")
+        self.preset = preset
+        self.seed = seed
+        self.scale = scale
+        self.bundle: DatasetBundle = ALL_PRESETS[preset](seed=seed, scale=scale)
+        self.space = self.bundle.space()
+        self._ssb = SemanticSimilarityBaseline(self.bundle.kg, self.space)
+        self._oracle = AnnotationOracle(self.bundle)
+        self._tau_cache: dict[AggregateQuery, GroundTruth] = {}
+        self._ha_cache: dict[AggregateQuery, HumanGroundTruth] = {}
+        self._trained_transe: TransEModel | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def workload(self) -> list[WorkloadQuery]:
+        """The standard workload of this context's bundle (memoised)."""
+        return standard_workload(self.bundle)
+
+    def tau_ground_truth(self, aggregate_query: AggregateQuery) -> GroundTruth:
+        """Memoised tau-GT via SSB for one query."""
+        cached = self._tau_cache.get(aggregate_query)
+        if cached is None:
+            cached = self._ssb.ground_truth(aggregate_query)
+            self._tau_cache[aggregate_query] = cached
+        return cached
+
+    def ha_ground_truth(self, aggregate_query: AggregateQuery) -> HumanGroundTruth:
+        """Memoised HA-GT via the annotation oracle for one query."""
+        cached = self._ha_cache.get(aggregate_query)
+        if cached is None:
+            cached = self._oracle.ground_truth(aggregate_query)
+            self._ha_cache[aggregate_query] = cached
+        return cached
+
+    @property
+    def oracle(self) -> AnnotationOracle:
+        """The simulated-annotator oracle for this bundle."""
+        return self._oracle
+
+    def trained_transe(self) -> TransEModel:
+        """A TransE model trained on this bundle (for the EAQ comparator)."""
+        if self._trained_transe is None:
+            kg = self.bundle.kg
+            model = TransEModel(
+                kg.num_nodes,
+                kg.num_predicates,
+                dim=32,
+                predicate_names=list(kg.predicates),
+                seed=self.seed,
+            )
+            EmbeddingTrainer(TrainingConfig(epochs=25, seed=self.seed)).train(model, kg)
+            self._trained_transe = model
+        return self._trained_transe
+
+    # ------------------------------------------------------------------
+    def engine(self, config: EngineConfig | None = None) -> ApproximateAggregateEngine:
+        """A fresh (cold) engine; timings include all per-query stages."""
+        return ApproximateAggregateEngine(
+            self.bundle.kg, self.space, config or EngineConfig()
+        )
+
+
+@lru_cache(maxsize=12)
+def bench_context(preset: str, seed: int = 0, scale: float = 1.0) -> BenchContext:
+    """Memoised BenchContext for (preset, seed, scale)."""
+    return BenchContext(preset, seed=seed, scale=scale)
+
+
+def run_method(
+    context: BenchContext,
+    method: str,
+    query: WorkloadQuery,
+    *,
+    engine_config: EngineConfig | None = None,
+    query_seed: int | None = None,
+) -> MethodResult:
+    """Execute ``method`` cold on one workload query."""
+    aggregate_query = query.aggregate_query
+    kg = context.bundle.kg
+    space = context.space
+
+    if method == "Ours":
+        engine = context.engine(engine_config)
+        started = time.perf_counter()
+        result = engine.execute(aggregate_query, seed=query_seed)
+        elapsed = time.perf_counter() - started
+        if isinstance(result, GroupedResult):
+            return MethodResult(
+                method=method,
+                value=float(result.num_groups),
+                elapsed_seconds=elapsed,
+                groups={key: r.value for key, r in result.groups.items()},
+            )
+        assert isinstance(result, ApproximateResult)
+        return MethodResult(method=method, value=result.value, elapsed_seconds=elapsed)
+
+    if method == "SSB":
+        baseline = SemanticSimilarityBaseline(kg, space)
+    elif method == "SGQ":
+        baseline = SgqBaseline(kg, space)
+    elif method == "GraB":
+        baseline = GrabBaseline(kg)
+    elif method == "QGA":
+        baseline = QgaBaseline(kg)
+    elif method in ("JENA", "Virtuoso"):
+        baseline = SparqlStyleEngine(kg, label=method)
+    elif method == "EAQ":
+        baseline = EaqBaseline(kg, context.trained_transe())
+    else:
+        raise ReproError(f"unknown method {method!r}")
+
+    try:
+        answer = baseline.answer(aggregate_query)
+    except ReproError:
+        return MethodResult(
+            method=method, value=None, elapsed_seconds=0.0, supported=False
+        )
+    return MethodResult(
+        method=method,
+        value=answer.value,
+        elapsed_seconds=answer.elapsed_seconds,
+        answers=answer.answers,
+        groups=answer.groups,
+    )

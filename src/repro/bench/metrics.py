@@ -1,0 +1,53 @@
+"""Shared metric helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / |truth| (0 when both are zero, inf otherwise)."""
+    if truth == 0.0:
+        return 0.0 if estimate == 0.0 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+def jaccard(left: set[int], right: set[int]) -> float:
+    """Jaccard similarity of two answer sets (1.0 when both are empty)."""
+    if not left and not right:
+        return 1.0
+    union = left | right
+    if not union:
+        return 1.0
+    return len(left & right) / len(union)
+
+
+def mean_or_nan(values: list[float]) -> float:
+    """Mean of the finite values; NaN when none are finite."""
+    finite = [value for value in values if np.isfinite(value)]
+    if not finite:
+        return float("nan")
+    return float(np.mean(finite))
+
+
+def variance_or_nan(values: list[float]) -> float:
+    """Sample variance (ddof=1) of finite values; NaN below two."""
+    finite = [value for value in values if np.isfinite(value)]
+    if len(finite) < 2:
+        return float("nan")
+    return float(np.var(finite, ddof=1))
+
+
+def grouped_relative_error(
+    estimated: dict[float, float], truth: dict[float, float]
+) -> float:
+    """Mean per-group relative error; missing groups count as 100% error."""
+    if not truth:
+        return 0.0 if not estimated else float("inf")
+    errors = []
+    for key, value in truth.items():
+        if key in estimated:
+            errors.append(relative_error(estimated[key], value))
+        else:
+            errors.append(1.0)
+    return float(np.mean(errors))

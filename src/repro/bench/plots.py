@@ -1,0 +1,176 @@
+"""ASCII charts for rendering the paper's figures in a terminal.
+
+The figure experiments (Fig. 5–6) produce (x, y) series; these helpers
+draw them as monospace line and bar charts so `python -m repro experiment
+fig6b --plot` can show the figure's shape, not just its rows.  No plotting
+dependency is available offline, and for shape-checking a reproduction a
+character grid is entirely sufficient.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = ["PlotError", "Series", "line_chart", "bar_chart"]
+
+#: cycling per-series markers
+_MARKERS = "*o+x@#%&"
+
+
+class PlotError(ReproError):
+    """A chart was asked of data it cannot draw."""
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line: points as (x, y) pairs."""
+
+    name: str
+    points: tuple[tuple[float, float], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlotError("a series needs a name")
+        for point in self.points:
+            if len(point) != 2:
+                raise PlotError(f"points must be (x, y) pairs; got {point!r}")
+            if any(math.isnan(v) or math.isinf(v) for v in point):
+                raise PlotError(f"points must be finite; got {point!r}")
+
+    @staticmethod
+    def from_rows(
+        name: str, rows: list[tuple[float, float]] | list[list[float]]
+    ) -> "Series":
+        """Build a Series from (x, y) row pairs, coercing to float."""
+        return Series(name=name, points=tuple((float(x), float(y)) for x, y in rows))
+
+
+def _bounds(values: list[float]) -> tuple[float, float]:
+    low, high = min(values), max(values)
+    if low == high:
+        pad = abs(low) * 0.1 or 1.0
+        return low - pad, high + pad
+    return low, high
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 10_000 or magnitude < 0.01:
+        return f"{value:.1e}"
+    if magnitude >= 100:
+        return f"{value:,.0f}"
+    return f"{value:g}"
+
+
+def line_chart(
+    series: list[Series],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render line series on a character grid with axes and a legend.
+
+    Points are plotted with per-series markers; overlapping cells show
+    the marker of the later series.  Both axes are linear.
+    """
+    if not series:
+        raise PlotError("line_chart needs at least one series")
+    if width < 16 or height < 4:
+        raise PlotError("chart must be at least 16x4 characters")
+    points = [point for one in series for point in one.points]
+    if not points:
+        raise PlotError("line_chart needs at least one point")
+
+    x_low, x_high = _bounds([x for x, _ in points])
+    y_low, y_high = _bounds([y for _, y in points])
+    grid = [[" "] * width for _ in range(height)]
+
+    def _cell(x: float, y: float) -> tuple[int, int]:
+        column = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        return height - 1 - row, column
+
+    for index, one in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        ordered = sorted(one.points)
+        # connect consecutive points with linearly interpolated dots
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            steps = max(
+                abs(_cell(x1, y1)[1] - _cell(x0, y0)[1]),
+                abs(_cell(x1, y1)[0] - _cell(x0, y0)[0]),
+                1,
+            )
+            for step in range(steps + 1):
+                t = step / steps
+                row, column = _cell(x0 + t * (x1 - x0), y0 + t * (y1 - y0))
+                if grid[row][column] == " ":
+                    grid[row][column] = "."
+        for x, y in ordered:
+            row, column = _cell(x, y)
+            grid[row][column] = marker
+
+    y_high_tick, y_low_tick = _format_tick(y_high), _format_tick(y_low)
+    gutter = max(len(y_high_tick), len(y_low_tick)) + 1
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(gutter + 1 + width))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_high_tick
+        elif row_index == height - 1:
+            label = y_low_tick
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_low_tick, x_high_tick = _format_tick(x_low), _format_tick(x_high)
+    axis = (
+        " " * (gutter + 1)
+        + x_low_tick
+        + x_high_tick.rjust(width - len(x_low_tick))
+    )
+    lines.append(axis)
+    if x_label:
+        lines.append(" " * (gutter + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {one.name}" for i, one in enumerate(series)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    *,
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart; bars scale to the largest value."""
+    if not labels or len(labels) != len(values):
+        raise PlotError("bar_chart needs matching, non-empty labels and values")
+    if any(value < 0 for value in values):
+        raise PlotError("bar_chart draws non-negative values only")
+    if width < 10:
+        raise PlotError("bar chart must be at least 10 characters wide")
+    largest = max(values) or 1.0
+    gutter = max(len(label) for label in labels) + 1
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(value / largest * width))
+        rendered = _format_tick(value) + (f" {unit}" if unit else "")
+        lines.append(f"{label:>{gutter}} |{bar} {rendered}")
+    return "\n".join(lines)

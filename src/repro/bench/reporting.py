@@ -1,0 +1,58 @@
+"""Monospace table rendering and result persistence for the benches."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+#: where benches drop their rendered tables (repo-relative by default)
+RESULTS_DIR = Path(
+    os.environ.get("REPRO_BENCH_RESULTS", Path(__file__).resolve().parents[3] / "benchmarks" / "results")
+)
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    notes: str | None = None,
+) -> str:
+    """Render a paper-style monospace table."""
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[index]) for row in formatted))
+        if formatted
+        else len(str(header))
+        for index, header in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    return "\n".join(lines)
+
+
+def save_result(name: str, text: str) -> Path:
+    """Persist a rendered table under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

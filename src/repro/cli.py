@@ -1,0 +1,364 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``query``      — parse an AQL string and run it on a synthetic dataset,
+  printing the approximate result (and optionally the exact tau-GT).
+* ``datasets``   — list the bundled synthetic datasets with their sizes.
+* ``experiment`` — regenerate one paper table/figure by name (``--list``
+  shows all names; ``--plot`` adds an ASCII chart for figures).
+* ``workload``   — run (a slice of) the standard benchmark workload.
+
+The CLI is a thin layer over the public API; everything it does can be
+done in a few lines of Python (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Sequence
+
+from repro.bench import experiments as _experiments
+from repro.bench.plots import Series, line_chart
+from repro.core.config import EngineConfig
+from repro.core.engine import ApproximateAggregateEngine
+from repro.core.result import ApproximateResult, GroupedResult
+from repro.errors import ReproError
+from repro.query.parser import parse_query
+
+#: experiment name -> driver; names match the benches under benchmarks/
+EXPERIMENTS: dict[str, Callable[..., "_experiments.ExperimentResult"]] = {
+    "table5": _experiments.table5_ajs,
+    "table6": _experiments.table6_tau_gt_error,
+    "table7": _experiments.table7_ha_gt_error,
+    "table8": _experiments.table8_response_time,
+    "table9": _experiments.table9_case_study,
+    "table10": _experiments.table10_operator_time,
+    "table11": _experiments.table11_operator_error,
+    "table12": _experiments.table12_step_timing,
+    "table13": _experiments.table13_embeddings,
+    "fig5a": _experiments.fig5a_sampling_ablation,
+    "fig5b": _experiments.fig5b_validation_ablation,
+    "fig5c": _experiments.fig5c_delta_ablation,
+    "fig6a": _experiments.fig6a_interactive,
+    "fig6b": _experiments.fig6b_confidence_level,
+    "fig6c": _experiments.fig6c_repeat_factor,
+    "fig6d": _experiments.fig6d_sample_ratio,
+    "fig6e": _experiments.fig6e_nbound,
+    "fig6f": _experiments.fig6f_tau_threshold,
+    "scaling": _experiments.scaling_crossover,
+    "ext_evt": _experiments.ext_evt_extremes,
+    "ext_normalization": _experiments.ext_normalization,
+}
+
+
+def _dataset_registry() -> dict[str, Callable]:
+    from repro.datasets import ALL_PRESETS
+
+    return dict(ALL_PRESETS)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Approximate aggregate queries on knowledge graphs "
+        "(ICDE 2022 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="run an AQL aggregate query")
+    query.add_argument("aql", help='e.g. "AVG(price) MATCH (Germany:Country)'
+                       '-[product]->(x:Automobile)"')
+    query.add_argument("--dataset", default="dbpedia-like")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--scale", type=float, default=1.0)
+    query.add_argument("--error-bound", type=float, default=0.01)
+    query.add_argument("--confidence", type=float, default=0.95)
+    query.add_argument("--tau", type=float, default=0.85)
+    query.add_argument(
+        "--ground-truth",
+        action="store_true",
+        help="also compute the exact tau-GT via SSB (slow) and the error",
+    )
+    query.add_argument(
+        "--trace", action="store_true", help="print the per-round refinement trace"
+    )
+
+    commands.add_parser("datasets", help="list the synthetic datasets")
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table or figure"
+    )
+    experiment.add_argument("name", nargs="?", help="e.g. table6, fig6b, scaling")
+    experiment.add_argument("--list", action="store_true", help="list experiments")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--plot",
+        action="store_true",
+        help="for figures: also draw an ASCII chart of the first series group",
+    )
+
+    workload = commands.add_parser(
+        "workload", help="run part of the standard benchmark workload"
+    )
+    workload.add_argument("--dataset", default="dbpedia-like")
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--limit", type=int, default=5)
+    workload.add_argument(
+        "--shape", choices=["simple", "chain", "star", "cycle", "flower"]
+    )
+
+    export = commands.add_parser(
+        "export", help="write a synthetic dataset's KG to disk"
+    )
+    export.add_argument("path", help="output file; format chosen by --format")
+    export.add_argument("--dataset", default="dbpedia-like")
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--scale", type=float, default=1.0)
+    export.add_argument(
+        "--format",
+        choices=["json", "triples", "graphml"],
+        default="json",
+        help="json = full fidelity; triples = TSV (names/predicates only); "
+        "graphml = via NetworkX for external tooling",
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+def _cmd_query(args: argparse.Namespace) -> int:
+    presets = _dataset_registry()
+    if args.dataset not in presets:
+        print(
+            f"unknown dataset {args.dataset!r}; choose from "
+            f"{', '.join(sorted(presets))}",
+            file=sys.stderr,
+        )
+        return 2
+    aggregate_query = parse_query(args.aql)
+    bundle = presets[args.dataset](seed=args.seed, scale=args.scale)
+    config = EngineConfig(
+        error_bound=args.error_bound,
+        confidence_level=args.confidence,
+        tau=args.tau,
+        seed=args.seed,
+    )
+    engine = ApproximateAggregateEngine(bundle.kg, bundle.embedding, config=config)
+    print(f"dataset: {bundle.name} ({bundle.kg.num_nodes:,} nodes, "
+          f"{bundle.kg.num_edges:,} edges)")
+    print(f"query:   {aggregate_query.describe()}")
+    started = time.perf_counter()
+    result = engine.execute(aggregate_query)
+    elapsed_ms = (time.perf_counter() - started) * 1e3
+    if isinstance(result, GroupedResult):
+        print(result.describe())
+    else:
+        print(f"result:  {result.describe()}")
+        if args.trace:
+            print("\nround  estimate        MoE        satisfied")
+            for trace in result.rounds:
+                print(
+                    f"{trace.round_index:>5}  {trace.estimate:>12,.2f}"
+                    f"  {trace.moe:>9,.2f}  {trace.satisfied}"
+                )
+    print(f"time:    {elapsed_ms:,.1f} ms")
+    if args.ground_truth and isinstance(result, ApproximateResult):
+        from repro.baselines.ssb import tau_ground_truth
+
+        truth = tau_ground_truth(bundle.kg, bundle.space(), aggregate_query,
+                                 tau=args.tau)
+        print(f"tau-GT:  {truth.value:,.2f}   "
+              f"error: {result.relative_error(truth.value):.2%}")
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    for name, preset in sorted(_dataset_registry().items()):
+        bundle = preset(seed=0)
+        hubs = ", ".join(hub.key for hub in bundle.spec.hubs)
+        print(f"{name}: {bundle.kg.num_nodes:,} nodes, "
+              f"{bundle.kg.num_edges:,} edges, "
+              f"{bundle.kg.num_predicates} predicates")
+        print(f"  hubs: {hubs}")
+    return 0
+
+
+def _as_float(value: object) -> float | None:
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
+def _figure_series(
+    result: "_experiments.ExperimentResult",
+) -> tuple[list[Series], int, int]:
+    """Best-effort series extraction from a figure's rows.
+
+    Figure rows come in two layouts: ``(label, x, y, ...)`` (Fig. 5) and
+    ``(x, label, y, ...)`` (Fig. 6 sweeps).  Whichever of the first two
+    columns is numeric is the x axis; the other is the series label; the
+    first numeric column after them is y.  Returns the series plus the
+    (x, y) column indexes for axis labelling.
+    """
+    if not result.rows or len(result.headers) < 3:
+        return [], 0, 0
+    first_numeric = all(_as_float(row[0]) is not None for row in result.rows)
+    x_column, label_column = (0, 1) if first_numeric else (1, 0)
+    grouped: dict[str, list[tuple[float, float]]] = {}
+    y_column = 2
+    for row in result.rows:
+        if len(row) <= y_column:
+            continue
+        x = _as_float(row[x_column])
+        y = _as_float(row[y_column])
+        if x is None or y is None:
+            continue
+        grouped.setdefault(str(row[label_column]), []).append((x, y))
+    series = [
+        Series.from_rows(name, points)
+        for name, points in grouped.items()
+        if len(points) >= 2
+    ]
+    return series, x_column, y_column
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.list or not args.name:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    driver = EXPERIMENTS.get(args.name)
+    if driver is None:
+        print(
+            f"unknown experiment {args.name!r}; run "
+            "'python -m repro experiment --list'",
+            file=sys.stderr,
+        )
+        return 2
+    result = driver(seed=args.seed)
+    print(result.text)
+    if args.plot:
+        series, x_column, y_column = _figure_series(result)
+        if series:
+            print()
+            print(
+                line_chart(
+                    series,
+                    title=args.name,
+                    x_label=str(result.headers[x_column]),
+                    y_label=str(result.headers[y_column]),
+                )
+            )
+        else:
+            print("(no plottable series in this experiment's rows)")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.baselines.ssb import tau_ground_truth
+    from repro.datasets import standard_workload
+
+    presets = _dataset_registry()
+    if args.dataset not in presets:
+        print(
+            f"unknown dataset {args.dataset!r}; choose from "
+            f"{', '.join(sorted(presets))}",
+            file=sys.stderr,
+        )
+        return 2
+    bundle = presets[args.dataset](seed=args.seed)
+    engine = ApproximateAggregateEngine(
+        bundle.kg, bundle.embedding, config=EngineConfig(seed=args.seed)
+    )
+    queries = standard_workload(bundle)
+    if args.shape:
+        queries = [query for query in queries if query.shape.value == args.shape]
+    queries = queries[: args.limit]
+    if not queries:
+        print("no workload queries match the given filters", file=sys.stderr)
+        return 2
+    print(f"{'qid':<14} {'shape':<7} {'fn':<6} {'estimate':>14} "
+          f"{'tau-GT':>14} {'error':>7}  time")
+    for query in queries:
+        started = time.perf_counter()
+        result = engine.execute(query.aggregate_query)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        if isinstance(result, GroupedResult):
+            print(f"{query.qid:<14} {query.shape.value:<7} "
+                  f"{query.function.value:<6} {result.num_groups:>10} groups"
+                  f" {'-':>14} {'-':>7}  {elapsed_ms:,.0f} ms")
+            continue
+        truth = tau_ground_truth(bundle.kg, bundle.space(), query.aggregate_query)
+        error = result.relative_error(truth.value)
+        print(f"{query.qid:<14} {query.shape.value:<7} "
+              f"{query.function.value:<6} {result.value:>14,.2f} "
+              f"{truth.value:>14,.2f} {error:>7.2%}  {elapsed_ms:,.0f} ms")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    presets = _dataset_registry()
+    if args.dataset not in presets:
+        print(
+            f"unknown dataset {args.dataset!r}; choose from "
+            f"{', '.join(sorted(presets))}",
+            file=sys.stderr,
+        )
+        return 2
+    bundle = presets[args.dataset](seed=args.seed, scale=args.scale)
+    if args.format == "json":
+        from repro.kg import save_json
+
+        save_json(bundle.kg, args.path)
+    elif args.format == "triples":
+        from repro.kg import save_triples
+
+        save_triples(bundle.kg, args.path)
+    else:
+        import networkx as nx
+
+        from repro.kg import to_networkx
+
+        graph = to_networkx(bundle.kg)
+        # GraphML cannot serialise lists/dicts; flatten the payloads.
+        for _node, data in graph.nodes(data=True):
+            data["types"] = "|".join(data.pop("types"))
+            for key, value in data.pop("attributes").items():
+                data[f"attr_{key}"] = value
+        nx.write_graphml(graph, args.path)
+    print(
+        f"wrote {bundle.kg.num_nodes:,} nodes / {bundle.kg.num_edges:,} edges "
+        f"({args.format}) to {args.path}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "query": _cmd_query,
+    "datasets": _cmd_datasets,
+    "experiment": _cmd_experiment,
+    "workload": _cmd_workload,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

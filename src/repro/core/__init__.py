@@ -1,0 +1,26 @@
+"""The approximate aggregate query engine (Algorithm 2) and extensions.
+
+:class:`ApproximateAggregateEngine` wires the substrates together: scope
+construction, the semantic-aware walk, continuous sampling, correctness
+validation, Eq. 7-9 estimation, BLB confidence intervals, Theorem-2
+termination and Eq. 12 refinement.  §V extensions — filters, GROUP-BY,
+chain queries and decomposition-assembly for star/cycle/flower shapes —
+are part of the same execute path.  :class:`InteractiveSession` supports
+the paper's interactive error-bound refinement (Fig. 6(a)).
+"""
+
+from repro.core.config import DeltaStrategy, EngineConfig, SamplerKind
+from repro.core.engine import ApproximateAggregateEngine
+from repro.core.result import ApproximateResult, GroupedResult, RoundTrace
+from repro.core.session import InteractiveSession
+
+__all__ = [
+    "ApproximateAggregateEngine",
+    "EngineConfig",
+    "DeltaStrategy",
+    "SamplerKind",
+    "ApproximateResult",
+    "GroupedResult",
+    "RoundTrace",
+    "InteractiveSession",
+]

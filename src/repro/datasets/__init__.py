@@ -1,0 +1,91 @@
+"""Synthetic dataset substrates for the three paper KGs.
+
+The presets return a :class:`~repro.datasets.builder.DatasetBundle` whose
+knowledge graph, predicate embedding, provenance and annotation oracle are
+fully seed-deterministic.  Bundles are memoised per (preset, seed, scale),
+so benchmarks and tests share one construction.
+"""
+
+from functools import lru_cache
+
+from repro.datasets.annotations import AnnotationOracle, HumanGroundTruth
+from repro.datasets.builder import AnswerProvenance, DatasetBundle, build_dataset
+from repro.datasets.latent import PredicateRegistry
+from repro.datasets.presets import (
+    dbpedia_like_spec,
+    freebase_like_spec,
+    yago_like_spec,
+)
+from repro.datasets.spec import (
+    AttributeSpec,
+    ChainSpec,
+    DatasetSpec,
+    EdgeStep,
+    HubSpec,
+    NoiseSpec,
+    OverlapSpec,
+    PathSchema,
+)
+from repro.datasets.workload import (
+    WorkloadQuery,
+    chain_query_graph,
+    guaranteed_queries,
+    queries_of_shape,
+    simple_query_graph,
+    standard_workload,
+)
+
+
+@lru_cache(maxsize=8)
+def dbpedia_like(seed: int = 0, scale: float = 1.0) -> DatasetBundle:
+    """The DBpedia-flavoured bundle (automotive workload)."""
+    return build_dataset(dbpedia_like_spec(seed=seed, scale=scale))
+
+
+@lru_cache(maxsize=8)
+def freebase_like(seed: int = 0, scale: float = 1.0) -> DatasetBundle:
+    """The Freebase-flavoured bundle (languages and movies)."""
+    return build_dataset(freebase_like_spec(seed=seed, scale=scale))
+
+
+@lru_cache(maxsize=8)
+def yago_like(seed: int = 0, scale: float = 1.0) -> DatasetBundle:
+    """The YAGO2-flavoured bundle (museums, cities, soccer)."""
+    return build_dataset(yago_like_spec(seed=seed, scale=scale))
+
+
+ALL_PRESETS = {
+    "dbpedia-like": dbpedia_like,
+    "freebase-like": freebase_like,
+    "yago2-like": yago_like,
+}
+
+__all__ = [
+    "AnnotationOracle",
+    "HumanGroundTruth",
+    "AnswerProvenance",
+    "DatasetBundle",
+    "build_dataset",
+    "PredicateRegistry",
+    "DatasetSpec",
+    "HubSpec",
+    "ChainSpec",
+    "OverlapSpec",
+    "NoiseSpec",
+    "PathSchema",
+    "EdgeStep",
+    "AttributeSpec",
+    "dbpedia_like_spec",
+    "freebase_like_spec",
+    "yago_like_spec",
+    "dbpedia_like",
+    "freebase_like",
+    "yago_like",
+    "ALL_PRESETS",
+    "WorkloadQuery",
+    "standard_workload",
+    "simple_query_graph",
+    "chain_query_graph",
+    "queries_of_shape",
+    "guaranteed_queries",
+]

@@ -1,0 +1,448 @@
+"""Materialises a :class:`~repro.datasets.spec.DatasetSpec` into a KG.
+
+The builder produces a :class:`DatasetBundle`: the knowledge graph, the
+latent predicate registry (as the pre-trained embedding), and the full
+provenance book-keeping — which entity answers which hub through which
+schema — that the annotation oracle and the workload generator rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.latent import PredicateRegistry
+from repro.datasets.spec import (
+    AttributeSpec,
+    ChainSpec,
+    DatasetSpec,
+    HubSpec,
+    PathSchema,
+)
+from repro.embedding.lookup import LookupEmbedding
+from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.errors import DatasetError
+from repro.kg.graph import KnowledgeGraph
+from repro.utils.rng import derive_seed, ensure_rng
+
+
+@dataclass(frozen=True)
+class AnswerProvenance:
+    """How one entity answers one hub."""
+
+    hub_key: str
+    kind: str  # "simple" | "chain" | "near_miss"
+    schema_label: str
+    schema_geomean: float
+
+
+@dataclass
+class DatasetBundle:
+    """Everything the experiments need about one synthetic dataset."""
+
+    spec: DatasetSpec
+    kg: KnowledgeGraph
+    registry: PredicateRegistry
+    embedding: LookupEmbedding
+    #: node id -> all the hub relations this entity participates in
+    provenance: dict[int, list[AnswerProvenance]]
+    hub_nodes: dict[str, int]
+    #: (hub key, kind) -> answer node ids;  kind in {simple, chain, near_miss}
+    hub_answers: dict[tuple[str, str], set[int]] = field(default_factory=dict)
+    #: hub key -> chain intermediate node ids
+    chain_intermediates: dict[str, list[int]] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """The dataset preset name."""
+        return self.spec.name
+
+    def space(self) -> PredicateVectorSpace:
+        """A PredicateVectorSpace over the bundle's reference embedding."""
+        return PredicateVectorSpace(self.embedding)
+
+    def answers_of(self, hub_key: str, kind: str = "simple") -> set[int]:
+        """Answer node ids of ``hub_key`` for the given wiring kind."""
+        return set(self.hub_answers.get((hub_key, kind), set()))
+
+    def schema_of(
+        self, node_id: int, hub_key: str, kind: str | None = None
+    ) -> AnswerProvenance | None:
+        """The provenance of ``node_id`` for ``hub_key`` (optionally by kind).
+
+        Overlap entities participate in several hubs and kinds at once, so
+        callers interested in e.g. the simple-schema wiring must pass
+        ``kind`` to avoid picking up a chain provenance.
+        """
+        for provenance in self.provenance.get(node_id, ()):
+            if provenance.hub_key != hub_key:
+                continue
+            if kind is None or provenance.kind == kind:
+                return provenance
+        return None
+
+
+class DatasetBuilder:
+    """Single-use builder; call :meth:`build` once."""
+
+    def __init__(self, spec: DatasetSpec) -> None:
+        self.spec = spec
+        self._rng = ensure_rng(derive_seed(spec.seed, "dataset", spec.name))
+        self._registry = PredicateRegistry(
+            spec.embedding_dim, seed=derive_seed(spec.seed, "latent", spec.name)
+        )
+        self._kg = KnowledgeGraph(name=spec.name)
+        self._provenance: dict[int, list[AnswerProvenance]] = {}
+        self._hub_nodes: dict[str, int] = {}
+        self._hub_answers: dict[tuple[str, str], set[int]] = {}
+        self._chain_intermediates: dict[str, list[int]] = {}
+        #: (hub key, schema label) -> attachment points for answers
+        self._schema_entry_points: dict[tuple[str, str], list[int]] = {}
+        self._built = False
+
+    # ------------------------------------------------------------------
+    def build(self) -> DatasetBundle:
+        """Generate the bundle for this spec (seed-deterministic)."""
+        if self._built:
+            raise DatasetError("builder instances are single-use")
+        self._built = True
+        for hub in self.spec.hubs:
+            self._register_hub_predicates(hub)
+        for hub in self.spec.hubs:
+            self._build_hub(hub)
+        self._build_overlaps()
+        self._build_noise()
+        return DatasetBundle(
+            spec=self.spec,
+            kg=self._kg,
+            registry=self._registry,
+            embedding=self._registry.as_lookup_embedding(),
+            provenance=self._provenance,
+            hub_nodes=self._hub_nodes,
+            hub_answers=self._hub_answers,
+            chain_intermediates=self._chain_intermediates,
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def _register_hub_predicates(self, hub: HubSpec) -> None:
+        self._registry.register_base(hub.canonical_predicate)
+        for schema in hub.all_schemas:
+            for step in schema.steps:
+                self._registry.register_with_cosine(
+                    step.predicate, hub.canonical_predicate, step.cosine
+                )
+        if hub.chain is not None:
+            for predicate in hub.chain.predicates:
+                self._registry.register_base(predicate)
+            for position, (_hop, synonyms) in enumerate(
+                zip(hub.chain.predicates, self._chain_synonym_groups(hub.chain))
+            ):
+                for name, cosine in synonyms:
+                    self._registry.register_with_cosine(
+                        name, hub.chain.predicates[position], cosine
+                    )
+
+    @staticmethod
+    def _chain_synonym_groups(
+        chain: ChainSpec,
+    ) -> tuple[tuple[tuple[str, float], ...], tuple[tuple[str, float], ...]]:
+        """Split the flat synonym list across the two hops (alternating)."""
+        first = tuple(synonym for index, synonym in enumerate(chain.synonyms) if index % 2 == 0)
+        second = tuple(synonym for index, synonym in enumerate(chain.synonyms) if index % 2 == 1)
+        return first, second
+
+    # ------------------------------------------------------------------
+    # Hubs
+    # ------------------------------------------------------------------
+    def _hub_node(self, hub: HubSpec) -> int:
+        if self._kg.has_node_named(hub.hub_name):
+            node_id = self._kg.node_by_name(hub.hub_name)
+            if not self._kg.node(node_id).shares_type_with(hub.hub_types):
+                raise DatasetError(
+                    f"hub entity {hub.hub_name!r} exists with incompatible types"
+                )
+            return node_id
+        return self._kg.add_node(hub.hub_name, types=hub.hub_types)
+
+    def _build_hub(self, hub: HubSpec) -> None:
+        hub_node = self._hub_node(hub)
+        self._hub_nodes[hub.key] = hub_node
+
+        for schema in hub.all_schemas:
+            self._schema_entry_points[(hub.key, schema.label)] = (
+                self._materialize_schema_pools(hub, hub_node, schema)
+            )
+
+        self._populate(hub, "simple", hub.num_correct, hub.correct_schemas)
+        if hub.num_near_miss:
+            self._populate(hub, "near_miss", hub.num_near_miss, hub.near_miss_schemas)
+        if hub.chain is not None:
+            self._build_chain(hub, hub_node, hub.chain)
+
+    def _materialize_schema_pools(
+        self, hub: HubSpec, hub_node: int, schema: PathSchema
+    ) -> list[int]:
+        """Create the schema's intermediate pools, wired toward the hub.
+
+        Returns the entry points — the nodes an answer's first edge leads
+        to ([hub] for single-step schemas).
+        """
+        next_nodes = [hub_node]
+        # Walk from the hub outward: the pool of step i is wired through
+        # the predicate of step i+1 toward the already-built layer.
+        for index in range(len(schema.steps) - 2, -1, -1):
+            step = schema.steps[index]
+            wire = schema.steps[index + 1]
+            pool_nodes = []
+            for position in range(step.pool):
+                name = f"{hub.key}:{schema.label}:l{index}:{position}"
+                pool_nodes.append(
+                    self._kg.add_node(name, types=[step.next_type or "Thing"])
+                )
+            for node in pool_nodes:
+                target = next_nodes[int(self._rng.integers(0, len(next_nodes)))]
+                self._kg.add_edge(node, wire.predicate, target)
+            next_nodes = pool_nodes
+        return next_nodes
+
+    def _populate(
+        self,
+        hub: HubSpec,
+        kind: str,
+        count: int,
+        schemas: tuple[PathSchema, ...],
+    ) -> None:
+        """Create ``count`` answers distributed across ``schemas`` by weight."""
+        weights = np.asarray([schema.weight for schema in schemas], dtype=np.float64)
+        shares = weights / weights.sum()
+        allocations = self._allocate(count, shares)
+        answer_set = self._hub_answers.setdefault((hub.key, kind), set())
+
+        sequence = 0
+        for schema, allocation in zip(schemas, allocations):
+            entry_points = self._schema_entry_points[(hub.key, schema.label)]
+            schema_index = hub.all_schemas.index(schema)
+            for _ in range(allocation):
+                name = f"{hub.target_type}:{hub.key}:{kind}:{sequence}"
+                sequence += 1
+                node_id = self._kg.add_node(
+                    name,
+                    types=[hub.target_type],
+                    attributes=self._draw_attributes(hub.attributes, schema_index),
+                )
+                entry = entry_points[int(self._rng.integers(0, len(entry_points)))]
+                self._kg.add_edge(node_id, schema.steps[0].predicate, entry)
+                answer_set.add(node_id)
+                self._provenance.setdefault(node_id, []).append(
+                    AnswerProvenance(
+                        hub_key=hub.key,
+                        kind=kind,
+                        schema_label=schema.label,
+                        schema_geomean=schema.geometric_mean_cosine,
+                    )
+                )
+
+    @staticmethod
+    def _allocate(count: int, shares: np.ndarray) -> list[int]:
+        """Largest-remainder allocation of ``count`` across ``shares``."""
+        raw = shares * count
+        floors = np.floor(raw).astype(int)
+        remainder = count - int(floors.sum())
+        order = np.argsort(-(raw - floors))
+        for index in order[:remainder]:
+            floors[index] += 1
+        return floors.tolist()
+
+    def _draw_attributes(
+        self, specs: tuple[AttributeSpec, ...], schema_index: int
+    ) -> dict[str, float]:
+        attributes: dict[str, float] = {}
+        for spec in specs:
+            scale = 1.0 + spec.scale_by_schema * schema_index
+            low, high = spec.params
+            if spec.distribution == "lognormal":
+                value = math.exp(self._rng.normal(math.log(low), high)) * scale
+            elif spec.distribution == "normal":
+                value = self._rng.normal(low * scale, high)
+            elif spec.distribution == "uniform":
+                value = self._rng.uniform(low * scale, high * scale)
+            else:  # integers
+                value = float(self._rng.integers(int(low), int(high) + 1))
+            attributes[spec.name] = float(value)
+        return attributes
+
+    # ------------------------------------------------------------------
+    # Chains
+    # ------------------------------------------------------------------
+    def _build_chain(self, hub: HubSpec, hub_node: int, chain: ChainSpec) -> None:
+        first_synonyms, second_synonyms = self._chain_synonym_groups(chain)
+        intermediates = []
+        for position in range(chain.num_intermediates):
+            name = f"{hub.key}:chain:i{position}"
+            node_id = self._kg.add_node(name, types=[chain.intermediate_type])
+            predicate = self._pick_chain_predicate(
+                chain.predicates[0], first_synonyms, chain.synonym_share
+            )
+            self._kg.add_edge(node_id, predicate, hub_node)
+            intermediates.append(node_id)
+        self._chain_intermediates[hub.key] = intermediates
+
+        answer_set = self._hub_answers.setdefault((hub.key, "chain"), set())
+        sequence = 0
+        for intermediate in intermediates:
+            for _ in range(chain.fanout):
+                name = f"{hub.target_type}:{hub.key}:chain:{sequence}"
+                sequence += 1
+                node_id = self._kg.add_node(
+                    name,
+                    types=[hub.target_type],
+                    attributes=self._draw_attributes(hub.attributes, 0),
+                )
+                predicate = self._pick_chain_predicate(
+                    chain.predicates[1], second_synonyms, chain.synonym_share
+                )
+                self._kg.add_edge(node_id, predicate, intermediate)
+                answer_set.add(node_id)
+                self._provenance.setdefault(node_id, []).append(
+                    AnswerProvenance(
+                        hub_key=hub.key,
+                        kind="chain",
+                        schema_label="chain",
+                        schema_geomean=1.0,
+                    )
+                )
+
+    def _pick_chain_predicate(
+        self,
+        canonical: str,
+        synonyms: tuple[tuple[str, float], ...],
+        share: float,
+    ) -> str:
+        if synonyms and self._rng.random() < share:
+            name, _cosine = synonyms[int(self._rng.integers(0, len(synonyms)))]
+            return name
+        return canonical
+
+    # ------------------------------------------------------------------
+    # Overlaps
+    # ------------------------------------------------------------------
+    def _build_overlaps(self) -> None:
+        for group_index, overlap in enumerate(self.spec.overlaps):
+            hubs = [self.spec.hub(key) for key in overlap.hub_keys]
+            target_type = hubs[0].target_type
+            for position in range(overlap.count):
+                name = f"{target_type}:overlap{group_index}:{position}"
+                node_id = self._kg.add_node(
+                    name,
+                    types=[target_type],
+                    attributes=self._draw_attributes(hubs[0].attributes, 0),
+                )
+                for hub_position, hub in enumerate(hubs):
+                    kind = overlap.kind_for(hub_position)
+                    if kind == "simple":
+                        self._wire_overlap_simple(hub, node_id)
+                    else:
+                        self._wire_overlap_chain(hub, node_id)
+
+    def _wire_overlap_simple(self, hub: HubSpec, node_id: int) -> None:
+        schema = hub.correct_schemas[0]
+        entry_points = self._schema_entry_points[(hub.key, schema.label)]
+        entry = entry_points[int(self._rng.integers(0, len(entry_points)))]
+        self._kg.add_edge(node_id, schema.steps[0].predicate, entry)
+        self._hub_answers.setdefault((hub.key, "simple"), set()).add(node_id)
+        self._provenance.setdefault(node_id, []).append(
+            AnswerProvenance(
+                hub_key=hub.key,
+                kind="simple",
+                schema_label=schema.label,
+                schema_geomean=schema.geometric_mean_cosine,
+            )
+        )
+
+    def _wire_overlap_chain(self, hub: HubSpec, node_id: int) -> None:
+        chain = hub.chain
+        assert chain is not None
+        intermediates = self._chain_intermediates[hub.key]
+        intermediate = intermediates[int(self._rng.integers(0, len(intermediates)))]
+        self._kg.add_edge(node_id, chain.predicates[1], intermediate)
+        self._hub_answers.setdefault((hub.key, "chain"), set()).add(node_id)
+        self._provenance.setdefault(node_id, []).append(
+            AnswerProvenance(
+                hub_key=hub.key,
+                kind="chain",
+                schema_label="chain",
+                schema_geomean=1.0,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Noise
+    # ------------------------------------------------------------------
+    def _build_noise(self) -> None:
+        noise = self.spec.noise
+        for name, _cosine_cap in noise.predicates:
+            self._registry.register_base(name)
+        noise_predicates = [name for name, _cap in noise.predicates]
+        if not noise_predicates:
+            return
+
+        # Same-type distractor entities parked near each hub's pools: they
+        # are candidate answers (right type, inside the scope) whose best
+        # paths run over low-similarity predicates.
+        for hub in self.spec.hubs:
+            hub_node = self._hub_nodes[hub.key]
+            for position in range(noise.distractors_per_hub):
+                name = f"{hub.target_type}:{hub.key}:distractor:{position}"
+                node_id = self._kg.add_node(
+                    name,
+                    types=[hub.target_type],
+                    attributes=self._draw_attributes(hub.attributes, 1),
+                )
+                predicate = noise_predicates[
+                    int(self._rng.integers(0, len(noise_predicates)))
+                ]
+                self._kg.add_edge(node_id, predicate, hub_node)
+
+        # Generic background nodes with random low-similarity edges.
+        background: list[int] = []
+        for position in range(noise.num_nodes):
+            type_name = noise.node_types[position % len(noise.node_types)]
+            node_id = self._kg.add_node(
+                f"noise:{self.spec.name}:{position}", types=[type_name]
+            )
+            background.append(node_id)
+        all_nodes = list(self._kg.nodes())
+        num_edges = int(noise.num_nodes * noise.edges_per_node)
+        for _ in range(num_edges):
+            source = background[int(self._rng.integers(0, len(background)))]
+            target = all_nodes[int(self._rng.integers(0, len(all_nodes)))]
+            if source == target:
+                continue
+            predicate = noise_predicates[
+                int(self._rng.integers(0, len(noise_predicates)))
+            ]
+            self._kg.add_edge(source, predicate, target)
+
+        # Sprinkle extra edges on answers so their degrees are not uniform
+        # (and so SSB's per-answer path enumeration has realistic branching).
+        for (hub_key, kind), answers in self._hub_answers.items():
+            if kind != "simple":
+                continue
+            for node_id in answers:
+                if self._rng.random() >= noise.attach_to_answers:
+                    continue
+                for _ in range(int(self._rng.integers(1, 3))):
+                    target = background[int(self._rng.integers(0, len(background)))]
+                    predicate = noise_predicates[
+                        int(self._rng.integers(0, len(noise_predicates)))
+                    ]
+                    self._kg.add_edge(node_id, predicate, target)
+
+
+def build_dataset(spec: DatasetSpec) -> DatasetBundle:
+    """Materialise ``spec`` deterministically (same spec -> same bundle)."""
+    return DatasetBuilder(spec).build()

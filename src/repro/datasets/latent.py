@@ -1,0 +1,94 @@
+"""Latent predicate vector registry.
+
+Every generated predicate receives a d-dimensional latent vector; the
+cosine between a schema predicate and its hub's canonical predicate is
+controlled exactly (up to float error) by construction:
+
+    v = c * base + sqrt(1 - c^2) * n        (n ⟂ base, ||n|| = 1)
+
+The registry doubles as the dataset's "offline pre-trained embedding":
+wrapped in a :class:`~repro.embedding.lookup.LookupEmbedding` it plays the
+role of Algorithm 2's line-1 KG embedding model, while the real trainable
+models (TransE & co.) can be fit against the generated triples for the
+Table XIII experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.lookup import LookupEmbedding
+from repro.errors import DatasetError
+from repro.utils.rng import ensure_rng
+
+
+class PredicateRegistry:
+    """Creates and stores latent predicate vectors with controlled cosines."""
+
+    def __init__(self, dim: int, seed: int | np.random.Generator = 0) -> None:
+        if dim < 4:
+            raise DatasetError("latent dimension must be at least 4")
+        self.dim = dim
+        self._rng = ensure_rng(seed)
+        self._vectors: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._vectors
+
+    def vector(self, name: str) -> np.ndarray:
+        """The latent semantic vector of ``predicate``."""
+        vector = self._vectors.get(name)
+        if vector is None:
+            raise DatasetError(f"unregistered predicate {name!r}")
+        return vector
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All registered predicate names."""
+        return tuple(self._vectors)
+
+    # ------------------------------------------------------------------
+    def register_base(self, name: str) -> np.ndarray:
+        """A fresh unit direction (canonical predicates, noise predicates)."""
+        if name in self._vectors:
+            return self._vectors[name]
+        vector = self._rng.normal(size=self.dim)
+        vector /= np.linalg.norm(vector)
+        self._vectors[name] = vector
+        return vector
+
+    def register_with_cosine(
+        self, name: str, reference: str, cosine: float
+    ) -> np.ndarray:
+        """A vector with exact ``cosine`` to the ``reference`` predicate.
+
+        Registering the same name twice returns the existing vector —
+        callers must keep (name, reference, cosine) consistent, which the
+        dataset builder enforces by namespacing predicates per hub.
+        """
+        if name in self._vectors:
+            return self._vectors[name]
+        if not -1.0 <= cosine <= 1.0:
+            raise DatasetError(f"cosine out of range: {cosine}")
+        base = self.vector(reference)
+        noise = self._rng.normal(size=self.dim)
+        noise -= np.dot(noise, base) * base
+        norm = np.linalg.norm(noise)
+        if norm < 1e-12:  # pragma: no cover - astronomically unlikely
+            raise DatasetError("degenerate orthogonal noise; retry with new seed")
+        noise /= norm
+        vector = cosine * base + np.sqrt(max(0.0, 1.0 - cosine * cosine)) * noise
+        self._vectors[name] = vector
+        return vector
+
+    # ------------------------------------------------------------------
+    def as_lookup_embedding(self) -> LookupEmbedding:
+        """The registry as the dataset's pre-trained predicate embedding."""
+        return LookupEmbedding(self._vectors)
+
+    def cosine(self, left: str, right: str) -> float:
+        """Realised cosine between two registered predicates."""
+        a = self.vector(left)
+        b = self.vector(right)
+        return float(np.dot(a, b) / (np.linalg.norm(a) * np.linalg.norm(b)))

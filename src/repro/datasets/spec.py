@@ -1,0 +1,247 @@
+"""Declarative specifications for the synthetic dataset generators.
+
+A dataset is a set of *hubs* (one specific entity each — "Germany",
+"Steven_Spielberg", ...), each surrounded by target entities wired to the
+hub through *path schemas*: alternative substructures expressing the same
+logical relation with controlled semantic similarity.  This is the
+generator-side encoding of the paper's "schema-flexible nature of KGs".
+
+Schema cosines are *targets*: the latent predicate registry materialises
+vectors whose cosine to the hub's canonical predicate equals the target, so
+the Eq. 2 geometric mean of a schema's path is known at generation time —
+which is what lets the simulated annotators and the tau-GT oracle agree on
+a calibrated tau (Table V).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """How a numeric attribute of a hub's target entities is drawn.
+
+    ``scale_by_schema`` shifts the location per schema index so that
+    exact-schema answer subsets have different attribute statistics — this
+    is what makes AVG/SUM (not just COUNT) sensitive to missed
+    schema-flexible answers, as in the paper's Tables VI-VIII.
+    """
+
+    name: str
+    distribution: str  # "lognormal" | "normal" | "uniform" | "integers"
+    params: tuple[float, float]
+    scale_by_schema: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.distribution not in ("lognormal", "normal", "uniform", "integers"):
+            raise DatasetError(f"unknown distribution {self.distribution!r}")
+
+
+@dataclass(frozen=True)
+class EdgeStep:
+    """One edge of a path schema, walking from the answer toward the hub.
+
+    ``cosine`` is the target cosine between this edge's predicate and the
+    reference predicate of its position (the hub's canonical predicate for
+    simple schemas; the chain predicate of the corresponding hop for chain
+    schemas).  ``next_type``/``pool`` describe the node this edge leads to:
+    ``None`` means the hub itself; otherwise an intermediate drawn from a
+    shared pool of ``pool`` entities of that type (shared pools create the
+    realistic fan-in of companies, studios, persons...).
+    """
+
+    predicate: str
+    cosine: float
+    next_type: str | None = None
+    pool: int = 1
+
+    def __post_init__(self) -> None:
+        if not -1.0 <= self.cosine <= 1.0:
+            raise DatasetError(f"cosine out of range: {self.cosine}")
+        if self.next_type is not None and self.pool < 1:
+            raise DatasetError("intermediate pools need at least one entity")
+
+
+@dataclass(frozen=True)
+class PathSchema:
+    """A way of expressing the hub relation, with a generation weight."""
+
+    label: str
+    steps: tuple[EdgeStep, ...]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise DatasetError(f"schema {self.label!r} needs at least one step")
+        if self.steps[-1].next_type is not None:
+            raise DatasetError(
+                f"schema {self.label!r} must end at the hub (next_type=None)"
+            )
+        for step in self.steps[:-1]:
+            if step.next_type is None:
+                raise DatasetError(
+                    f"schema {self.label!r}: only the last step may reach the hub"
+                )
+        if self.weight <= 0.0:
+            raise DatasetError("schema weight must be positive")
+
+    @property
+    def geometric_mean_cosine(self) -> float:
+        """The schema's expected Eq. 2 similarity (clamped at 1e-3)."""
+        logs = sum(math.log(max(step.cosine, 1e-3)) for step in self.steps)
+        return math.exp(logs / len(self.steps))
+
+    @property
+    def length(self) -> int:
+        """Number of edges in this schema's path."""
+        return len(self.steps)
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """Chain-query wiring: hub -pred1- intermediate -pred2- answer (§V-B)."""
+
+    predicates: tuple[str, str]
+    intermediate_type: str
+    num_intermediates: int
+    fanout: int
+    #: per-hop synonym steps (label, cosine) used by a fraction of answers
+    synonyms: tuple[tuple[str, float], ...] = ()
+    synonym_share: float = 0.2
+
+    def __post_init__(self) -> None:
+        if len(self.predicates) != 2:
+            raise DatasetError("chain specs currently describe 2-hop chains")
+        if self.num_intermediates < 1 or self.fanout < 1:
+            raise DatasetError("chain needs at least one intermediate and answer")
+        if not 0.0 <= self.synonym_share < 1.0:
+            raise DatasetError("synonym_share must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class HubSpec:
+    """One specific entity with its answer population."""
+
+    key: str
+    hub_name: str
+    hub_types: tuple[str, ...]
+    target_type: str
+    canonical_predicate: str
+    num_correct: int
+    correct_schemas: tuple[PathSchema, ...]
+    num_near_miss: int = 0
+    near_miss_schemas: tuple[PathSchema, ...] = ()
+    attributes: tuple[AttributeSpec, ...] = ()
+    chain: ChainSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_correct < 1:
+            raise DatasetError(f"hub {self.key!r} needs at least one correct answer")
+        if not self.correct_schemas:
+            raise DatasetError(f"hub {self.key!r} needs at least one correct schema")
+        if self.num_near_miss and not self.near_miss_schemas:
+            raise DatasetError(
+                f"hub {self.key!r} has near-misses but no near-miss schemas"
+            )
+
+    @property
+    def all_schemas(self) -> tuple[PathSchema, ...]:
+        """Correct and near-miss schemas, in declaration order."""
+        return self.correct_schemas + self.near_miss_schemas
+
+
+@dataclass(frozen=True)
+class OverlapSpec:
+    """Entities that answer several hubs at once (composite-query support).
+
+    ``kinds[i]`` selects how the overlap entities wire into ``hub_keys[i]``:
+    ``"simple"`` uses the hub's first correct schema, ``"chain"`` threads
+    them through the hub's chain spec.
+    """
+
+    hub_keys: tuple[str, ...]
+    count: int
+    kinds: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.hub_keys) < 2:
+            raise DatasetError("an overlap needs at least two hubs")
+        if self.count < 1:
+            raise DatasetError("overlap count must be positive")
+        if self.kinds and len(self.kinds) != len(self.hub_keys):
+            raise DatasetError("kinds must align with hub_keys")
+        for kind in self.kinds:
+            if kind not in ("simple", "chain"):
+                raise DatasetError(f"unknown overlap kind {kind!r}")
+
+    def kind_for(self, position: int) -> str:
+        """'simple' for one-hop correct schemas, 'near_miss'/'chain' otherwise."""
+        return self.kinds[position] if self.kinds else "simple"
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Background mass: extra entities and low-similarity edges."""
+
+    num_nodes: int = 700
+    node_types: tuple[str, ...] = ("Thing", "Place", "Event", "Work")
+    predicates: tuple[tuple[str, float], ...] = (
+        ("relatedTo", 0.15),
+        ("linksTo", 0.10),
+        ("seeAlso", 0.05),
+    )
+    edges_per_node: float = 3.5
+    #: probability that a hub answer receives extra noise edges; density
+    #: here is what separates SSB's exponential path enumeration from the
+    #: engine's bounded sampling in the timing experiments
+    attach_to_answers: float = 0.8
+    #: extra same-type distractor entities attached near each hub
+    distractors_per_hub: int = 20
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A full synthetic dataset: hubs + overlaps + noise."""
+
+    name: str
+    hubs: tuple[HubSpec, ...]
+    overlaps: tuple[OverlapSpec, ...] = ()
+    noise: NoiseSpec = field(default_factory=NoiseSpec)
+    embedding_dim: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.hubs:
+            raise DatasetError("a dataset needs at least one hub")
+        keys = [hub.key for hub in self.hubs]
+        if len(set(keys)) != len(keys):
+            raise DatasetError("hub keys must be unique")
+        hub_by_key = {hub.key: hub for hub in self.hubs}
+        for overlap in self.overlaps:
+            target_types = set()
+            for position, key in enumerate(overlap.hub_keys):
+                hub = hub_by_key.get(key)
+                if hub is None:
+                    raise DatasetError(f"overlap references unknown hub {key!r}")
+                if overlap.kind_for(position) == "chain" and hub.chain is None:
+                    raise DatasetError(
+                        f"overlap wants a chain through hub {key!r}, "
+                        "which has no chain spec"
+                    )
+                target_types.add(hub.target_type)
+            if len(target_types) != 1:
+                raise DatasetError(
+                    "overlapping hubs must share a target type, got "
+                    f"{sorted(target_types)}"
+                )
+
+    def hub(self, key: str) -> HubSpec:
+        """Look up a hub spec by key; raises for unknown keys."""
+        for hub in self.hubs:
+            if hub.key == key:
+                return hub
+        raise DatasetError(f"no hub named {key!r}")

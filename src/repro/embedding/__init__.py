@@ -1,0 +1,37 @@
+"""KG embedding subsystem.
+
+The paper's offline phase (§III, Algorithm 2 line 1) learns a d-dimensional
+vector per predicate so that Eq. 4 can measure predicate similarity by
+cosine.  We implement the five models the paper evaluates in Table XIII —
+TransE, TransH, TransD (translation family), RESCAL (tensor factorisation)
+and SE (relation-specific projections) — each trained from scratch with
+margin-based ranking loss and negative sampling, plus a
+:class:`LookupEmbedding` that wraps externally supplied predicate vectors
+(used as the pre-trained fast path by the synthetic datasets).
+"""
+
+from repro.embedding.base import EmbeddingModel, PredicateEmbedding
+from repro.embedding.lookup import LookupEmbedding
+from repro.embedding.predicate_space import PredicateVectorSpace, cosine_similarity
+from repro.embedding.rescal import RescalModel
+from repro.embedding.se import StructuredEmbeddingModel
+from repro.embedding.trainer import EmbeddingTrainer, TrainingConfig, TrainingReport
+from repro.embedding.transd import TransDModel
+from repro.embedding.transe import TransEModel
+from repro.embedding.transh import TransHModel
+
+__all__ = [
+    "EmbeddingModel",
+    "PredicateEmbedding",
+    "LookupEmbedding",
+    "PredicateVectorSpace",
+    "cosine_similarity",
+    "TransEModel",
+    "TransHModel",
+    "TransDModel",
+    "RescalModel",
+    "StructuredEmbeddingModel",
+    "EmbeddingTrainer",
+    "TrainingConfig",
+    "TrainingReport",
+]

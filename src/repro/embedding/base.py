@@ -1,0 +1,145 @@
+"""Interfaces shared by every embedding model.
+
+Two roles are separated:
+
+* :class:`PredicateEmbedding` — the minimal surface the query pipeline
+  needs: a vector per predicate *name*, so Eq. 4 can compute cosines.
+* :class:`EmbeddingModel` — a trainable triple-scoring model over interned
+  entity/predicate ids (used by the trainer and by the EAQ link-prediction
+  baseline).  Every trained model also *is* a predicate embedding.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+
+
+class PredicateEmbedding(abc.ABC):
+    """Anything that maps predicate names to fixed-size vectors."""
+
+    @abc.abstractmethod
+    def predicate_vector(self, predicate: str) -> np.ndarray:
+        """The vector for ``predicate``; raises ``EmbeddingError`` if unknown."""
+
+    @property
+    @abc.abstractmethod
+    def predicate_names(self) -> Sequence[str]:
+        """All predicates this embedding covers."""
+
+    def knows_predicate(self, predicate: str) -> bool:
+        """True when the embedding has a vector for ``predicate``."""
+        try:
+            self.predicate_vector(predicate)
+        except EmbeddingError:
+            return False
+        return True
+
+
+class EmbeddingModel(PredicateEmbedding):
+    """A trainable triple-scoring embedding over dense ids.
+
+    Subclasses hold their parameters as numpy arrays, score batches of
+    triples (*lower* score = more plausible, the translation-family
+    convention; RESCAL/SE adapt internally), and apply their own SGD update
+    for a batch of (positive, corrupted) triple pairs.
+    """
+
+    #: short identifier used in reports (e.g. "TransE")
+    model_name: str = "base"
+
+    def __init__(self, num_entities: int, num_predicates: int, dim: int,
+                 predicate_names: Sequence[str]) -> None:
+        if num_entities <= 0 or num_predicates <= 0:
+            raise EmbeddingError("model needs at least one entity and one predicate")
+        if dim <= 0:
+            raise EmbeddingError("embedding dimension must be positive")
+        if len(predicate_names) != num_predicates:
+            raise EmbeddingError(
+                f"predicate_names has {len(predicate_names)} entries, "
+                f"expected {num_predicates}"
+            )
+        self.num_entities = num_entities
+        self.num_predicates = num_predicates
+        self.dim = dim
+        self._predicate_names = list(predicate_names)
+        self._predicate_index: Mapping[str, int] = {
+            name: index for index, name in enumerate(predicate_names)
+        }
+
+    # -- PredicateEmbedding ------------------------------------------------
+    @property
+    def predicate_names(self) -> Sequence[str]:
+        """Names of all embedded predicates."""
+        return tuple(self._predicate_names)
+
+    def predicate_vector(self, predicate: str) -> np.ndarray:
+        """The d-dimensional vector of ``predicate``."""
+        index = self._predicate_index.get(predicate)
+        if index is None:
+            raise EmbeddingError(f"unknown predicate {predicate!r}")
+        return self.relation_vectors()[index]
+
+    # -- trainable surface ---------------------------------------------------
+    @abc.abstractmethod
+    def score(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        """Batch dissimilarity scores; lower means more plausible."""
+
+    @abc.abstractmethod
+    def sgd_step(
+        self,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        learning_rate: float,
+        margin: float,
+    ) -> float:
+        """One margin-ranking SGD step on aligned positive/corrupted batches.
+
+        ``positives`` and ``negatives`` are ``(batch, 3)`` int arrays of
+        ``(head, relation, tail)`` ids.  Returns the mean hinge loss of the
+        batch *before* the update.
+        """
+
+    @abc.abstractmethod
+    def relation_vectors(self) -> np.ndarray:
+        """``(num_predicates, k)`` matrix whose rows feed Eq. 4 cosines."""
+
+    @abc.abstractmethod
+    def parameter_count(self) -> int:
+        """Total number of learned scalars (memory column of Table XIII)."""
+
+    def memory_bytes(self) -> int:
+        """Approximate parameter memory assuming float64 storage."""
+        return self.parameter_count() * 8
+
+    def normalize_entities(self) -> None:
+        """Hook for models that renormalise entity vectors between epochs."""
+
+    # -- shared helpers -------------------------------------------------------
+    @staticmethod
+    def _uniform_init(rng: np.random.Generator, *shape: int) -> np.ndarray:
+        """Xavier-style uniform init used across all models."""
+        bound = 6.0 / np.sqrt(shape[-1])
+        return rng.uniform(-bound, bound, size=shape)
+
+    @staticmethod
+    def _rows_normalized(matrix: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+        norms = np.maximum(norms, 1e-12)
+        return matrix / norms
+
+    @staticmethod
+    def _rows_clipped(matrix: np.ndarray, max_norm: float = 1.0) -> np.ndarray:
+        """Scale rows whose norm exceeds ``max_norm`` back onto the ball.
+
+        This is the soft ``||x||_2 <= 1`` constraint of the Trans* papers;
+        without it projection vectors can grow without bound and the SGD
+        scores overflow.
+        """
+        norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+        scale = np.minimum(1.0, max_norm / np.maximum(norms, 1e-12))
+        return matrix * scale

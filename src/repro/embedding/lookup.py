@@ -1,0 +1,62 @@
+"""A predicate embedding backed by a plain name -> vector table.
+
+The synthetic dataset generators know the latent semantic vector they used
+to create each predicate; wrapping that table in :class:`LookupEmbedding`
+plays the role of the paper's *offline pre-trained* embedding (Algorithm 2,
+line 1) without re-training a model for every benchmark run.  Trained models
+(TransE & co.) plug into the very same :class:`PredicateEmbedding` interface,
+so the two are interchangeable everywhere downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.embedding.base import PredicateEmbedding
+from repro.errors import EmbeddingError
+
+
+class LookupEmbedding(PredicateEmbedding):
+    """Immutable mapping from predicate names to vectors."""
+
+    def __init__(self, vectors: Mapping[str, np.ndarray]) -> None:
+        if not vectors:
+            raise EmbeddingError("lookup embedding needs at least one predicate")
+        dims = {np.asarray(vector).shape for vector in vectors.values()}
+        if len(dims) != 1:
+            raise EmbeddingError(f"inconsistent vector shapes: {sorted(dims)}")
+        (shape,) = dims
+        if len(shape) != 1 or shape[0] == 0:
+            raise EmbeddingError(f"predicate vectors must be non-empty 1-D, got {shape}")
+        self._vectors = {
+            name: np.asarray(vector, dtype=np.float64).copy()
+            for name, vector in vectors.items()
+        }
+        self.dim = shape[0]
+
+    @property
+    def predicate_names(self) -> Sequence[str]:
+        """Names of all embedded predicates."""
+        return tuple(self._vectors)
+
+    def predicate_vector(self, predicate: str) -> np.ndarray:
+        """The stored vector of ``predicate``; raises for unknown names."""
+        vector = self._vectors.get(predicate)
+        if vector is None:
+            raise EmbeddingError(f"unknown predicate {predicate!r}")
+        return vector
+
+    def with_noise(
+        self, scale: float, seed: int | np.random.Generator | None = 0
+    ) -> "LookupEmbedding":
+        """A noisy copy — used to emulate imperfectly trained embeddings."""
+        from repro.utils.rng import ensure_rng
+
+        rng = ensure_rng(seed)
+        noisy = {
+            name: vector + rng.normal(0.0, scale, size=vector.shape)
+            for name, vector in self._vectors.items()
+        }
+        return LookupEmbedding(noisy)

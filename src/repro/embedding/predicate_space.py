@@ -1,0 +1,89 @@
+"""Predicate similarity space (Eq. 4 of the paper).
+
+Wraps any :class:`PredicateEmbedding` and serves cached cosine similarities
+between predicate names.  The sampler asks for millions of pairwise
+similarities (one per edge per transition-row), so the cache and the
+vector-norm precomputation matter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.embedding.base import PredicateEmbedding
+from repro.errors import EmbeddingError
+
+
+def cosine_similarity(left: np.ndarray, right: np.ndarray) -> float:
+    """Plain cosine similarity between two vectors (Eq. 4)."""
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    denominator = float(np.linalg.norm(left) * np.linalg.norm(right))
+    if denominator == 0.0:
+        return 0.0
+    return float(np.dot(left, right) / denominator)
+
+
+class PredicateVectorSpace:
+    """Cached pairwise predicate similarities over an embedding."""
+
+    def __init__(self, embedding: PredicateEmbedding) -> None:
+        self._embedding = embedding
+        self._vectors: dict[str, np.ndarray] = {}
+        self._norms: dict[str, float] = {}
+        self._pair_cache: dict[tuple[str, str], float] = {}
+
+    @property
+    def embedding(self) -> PredicateEmbedding:
+        """The wrapped predicate embedding."""
+        return self._embedding
+
+    def vector(self, predicate: str) -> np.ndarray:
+        """The (cached) unit-normalised vector of ``predicate``."""
+        cached = self._vectors.get(predicate)
+        if cached is None:
+            cached = np.asarray(self._embedding.predicate_vector(predicate), dtype=np.float64)
+            self._vectors[predicate] = cached
+            self._norms[predicate] = float(np.linalg.norm(cached))
+        return cached
+
+    def similarity(self, predicate_a: str, predicate_b: str) -> float:
+        """Cosine similarity, symmetric-cached; identical names give 1.0."""
+        if predicate_a == predicate_b:
+            return 1.0
+        key = (predicate_a, predicate_b) if predicate_a <= predicate_b else (
+            predicate_b,
+            predicate_a,
+        )
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        vector_a = self.vector(predicate_a)
+        vector_b = self.vector(predicate_b)
+        denominator = self._norms[predicate_a] * self._norms[predicate_b]
+        value = float(np.dot(vector_a, vector_b) / denominator) if denominator else 0.0
+        # Guard against floating-point drift outside the cosine range.
+        value = max(-1.0, min(1.0, value))
+        self._pair_cache[key] = value
+        return value
+
+    def similarities_to(self, query_predicate: str, predicates: Iterable[str]) -> np.ndarray:
+        """Vector of similarities from each of ``predicates`` to the query."""
+        return np.array(
+            [self.similarity(predicate, query_predicate) for predicate in predicates],
+            dtype=np.float64,
+        )
+
+    def most_similar(self, query_predicate: str, top_k: int = 5) -> list[tuple[str, float]]:
+        """The ``top_k`` known predicates most similar to ``query_predicate``."""
+        if top_k <= 0:
+            raise EmbeddingError("top_k must be positive")
+        scored = [
+            (name, self.similarity(name, query_predicate))
+            for name in self._embedding.predicate_names
+            if name != query_predicate
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:top_k]

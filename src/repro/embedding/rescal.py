@@ -1,0 +1,89 @@
+"""RESCAL (Nickel et al., ICML 2011).
+
+Bilinear tensor factorisation: plausibility(h, r, t) = h^T W_r t with a full
+d x d matrix per relation.  We expose the negated plausibility so the shared
+"lower score = more plausible" convention holds, and flatten W_r as the
+predicate vector for Eq. 4.  The full matrices are what make RESCAL's Table
+XIII memory footprint so much larger than the translation family's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.utils.rng import ensure_rng
+
+
+class RescalModel(EmbeddingModel):
+    """Bilinear model with one dense matrix per relation."""
+
+    model_name = "RESCAL"
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_predicates: int,
+        dim: int,
+        predicate_names: list[str],
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(num_entities, num_predicates, dim, predicate_names)
+        rng = ensure_rng(seed)
+        self.entity = self._rows_normalized(self._uniform_init(rng, num_entities, dim))
+        self.relation_matrix = self._uniform_init(rng, num_predicates, dim, dim) / np.sqrt(dim)
+
+    def _plausibility(
+        self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray
+    ) -> np.ndarray:
+        head_vec = self.entity[heads]
+        tail_vec = self.entity[tails]
+        transformed = np.einsum("bij,bj->bi", self.relation_matrix[relations], tail_vec)
+        return np.sum(head_vec * transformed, axis=-1)
+
+    def score(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        """Score each (head, relation, tail) batch row; lower = more plausible."""
+        return -self._plausibility(heads, relations, tails)
+
+    def sgd_step(
+        self,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        learning_rate: float,
+        margin: float,
+    ) -> float:
+        """One margin-ranking SGD step over a positive/negative batch; returns the mean hinge loss."""
+        pos_scores = self.score(positives[:, 0], positives[:, 1], positives[:, 2])
+        neg_scores = self.score(negatives[:, 0], negatives[:, 1], negatives[:, 2])
+        violation = margin + pos_scores - neg_scores
+        active = violation > 0
+        loss = float(np.mean(np.maximum(violation, 0.0)))
+        if not np.any(active):
+            return loss
+
+        step = learning_rate
+        for triple, sign in ((positives[active], 1.0), (negatives[active], -1.0)):
+            heads, relations, tails = triple[:, 0], triple[:, 1], triple[:, 2]
+            head_vec = self.entity[heads]
+            tail_vec = self.entity[tails]
+            matrices = self.relation_matrix[relations]
+            # score = -h^T W t, so d(score)/dh = -W t, etc.
+            grad_head = -np.einsum("bij,bj->bi", matrices, tail_vec)
+            grad_tail = -np.einsum("bij,bi->bj", matrices, head_vec)
+            grad_matrix = -np.einsum("bi,bj->bij", head_vec, tail_vec)
+            np.add.at(self.entity, heads, -sign * step * grad_head)
+            np.add.at(self.entity, tails, -sign * step * grad_tail)
+            np.add.at(self.relation_matrix, relations, -sign * step * grad_matrix)
+        return loss
+
+    def normalize_entities(self) -> None:
+        """Apply the model's norm constraints (called after every batch)."""
+        self.entity = self._rows_normalized(self.entity)
+
+    def relation_vectors(self) -> np.ndarray:
+        """The (num_predicates, k) matrix whose rows feed Eq. 4 cosines."""
+        return self.relation_matrix.reshape(self.num_predicates, -1)
+
+    def parameter_count(self) -> int:
+        """Total number of learned scalars."""
+        return self.entity.size + self.relation_matrix.size

@@ -1,0 +1,99 @@
+"""Structured Embeddings / SE (Bordes et al., AAAI 2011).
+
+Each relation owns two projection matrices: score = ||M1 h - M2 t|| (we use
+the L2 norm for smooth gradients).  The predicate vector for Eq. 4 is the
+concatenation of both flattened matrices — like RESCAL, this inflates the
+Table XIII memory column relative to the translation family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.utils.rng import ensure_rng
+
+_EPS = 1e-12
+
+
+class StructuredEmbeddingModel(EmbeddingModel):
+    """Relation-specific head/tail projections."""
+
+    model_name = "SE"
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_predicates: int,
+        dim: int,
+        predicate_names: list[str],
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(num_entities, num_predicates, dim, predicate_names)
+        rng = ensure_rng(seed)
+        self.entity = self._rows_normalized(self._uniform_init(rng, num_entities, dim))
+        identity = np.eye(dim)
+        noise_scale = 0.1 / np.sqrt(dim)
+        self.head_matrix = identity + rng.normal(0.0, noise_scale, (num_predicates, dim, dim))
+        self.tail_matrix = identity + rng.normal(0.0, noise_scale, (num_predicates, dim, dim))
+
+    def score(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        """Score each (head, relation, tail) batch row; lower = more plausible."""
+        head_proj = np.einsum("bij,bj->bi", self.head_matrix[relations], self.entity[heads])
+        tail_proj = np.einsum("bij,bj->bi", self.tail_matrix[relations], self.entity[tails])
+        return np.linalg.norm(head_proj - tail_proj, axis=-1)
+
+    def sgd_step(
+        self,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        learning_rate: float,
+        margin: float,
+    ) -> float:
+        """One margin-ranking SGD step over a positive/negative batch; returns the mean hinge loss."""
+        pos_scores = self.score(positives[:, 0], positives[:, 1], positives[:, 2])
+        neg_scores = self.score(negatives[:, 0], negatives[:, 1], negatives[:, 2])
+        violation = margin + pos_scores - neg_scores
+        active = violation > 0
+        loss = float(np.mean(np.maximum(violation, 0.0)))
+        if not np.any(active):
+            return loss
+
+        step = learning_rate
+        for triple, sign in ((positives[active], 1.0), (negatives[active], -1.0)):
+            heads, relations, tails = triple[:, 0], triple[:, 1], triple[:, 2]
+            head_vec = self.entity[heads]
+            tail_vec = self.entity[tails]
+            head_mats = self.head_matrix[relations]
+            tail_mats = self.tail_matrix[relations]
+            delta = (
+                np.einsum("bij,bj->bi", head_mats, head_vec)
+                - np.einsum("bij,bj->bi", tail_mats, tail_vec)
+            )
+            dist = np.linalg.norm(delta, axis=-1, keepdims=True)
+            unit = delta / (dist + _EPS)
+
+            grad_head = np.einsum("bij,bi->bj", head_mats, unit)
+            grad_tail = -np.einsum("bij,bi->bj", tail_mats, unit)
+            grad_head_mat = np.einsum("bi,bj->bij", unit, head_vec)
+            grad_tail_mat = -np.einsum("bi,bj->bij", unit, tail_vec)
+
+            np.add.at(self.entity, heads, -sign * step * grad_head)
+            np.add.at(self.entity, tails, -sign * step * grad_tail)
+            np.add.at(self.head_matrix, relations, -sign * step * grad_head_mat)
+            np.add.at(self.tail_matrix, relations, -sign * step * grad_tail_mat)
+        return loss
+
+    def normalize_entities(self) -> None:
+        """Apply the model's norm constraints (called after every batch)."""
+        self.entity = self._rows_normalized(self.entity)
+
+    def relation_vectors(self) -> np.ndarray:
+        """The (num_predicates, k) matrix whose rows feed Eq. 4 cosines."""
+        flat_head = self.head_matrix.reshape(self.num_predicates, -1)
+        flat_tail = self.tail_matrix.reshape(self.num_predicates, -1)
+        return np.concatenate([flat_head, flat_tail], axis=1)
+
+    def parameter_count(self) -> int:
+        """Total number of learned scalars."""
+        return self.entity.size + self.head_matrix.size + self.tail_matrix.size

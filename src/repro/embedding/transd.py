@@ -1,0 +1,122 @@
+"""TransD (Ji et al., ACL 2015).
+
+Each entity and relation carries a second "projection" vector; the dynamic
+mapping matrix ``M_rh = r_p h_p^T + I`` projects entities into the relation
+space.  We use the standard identity ``M_rh h = h + (h_p . h) r_p`` to avoid
+materialising the matrices.  The relation vector ``r`` feeds Eq. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.utils.rng import ensure_rng
+
+_EPS = 1e-12
+
+
+class TransDModel(EmbeddingModel):
+    """Translation with dynamic per-(entity, relation) mapping matrices."""
+
+    model_name = "TransD"
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_predicates: int,
+        dim: int,
+        predicate_names: list[str],
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(num_entities, num_predicates, dim, predicate_names)
+        rng = ensure_rng(seed)
+        self.entity = self._rows_normalized(self._uniform_init(rng, num_entities, dim))
+        self.entity_proj = self._uniform_init(rng, num_entities, dim) * 0.1
+        self.relation = self._rows_normalized(self._uniform_init(rng, num_predicates, dim))
+        self.relation_proj = self._uniform_init(rng, num_predicates, dim) * 0.1
+
+    def _project(
+        self, vectors: np.ndarray, vector_proj: np.ndarray, relation_proj: np.ndarray
+    ) -> np.ndarray:
+        dots = np.sum(vector_proj * vectors, axis=-1, keepdims=True)
+        return vectors + dots * relation_proj
+
+    def score(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        """Score each (head, relation, tail) batch row; lower = more plausible."""
+        rel_proj = self.relation_proj[relations]
+        head_proj = self._project(self.entity[heads], self.entity_proj[heads], rel_proj)
+        tail_proj = self._project(self.entity[tails], self.entity_proj[tails], rel_proj)
+        delta = head_proj + self.relation[relations] - tail_proj
+        return np.linalg.norm(delta, axis=-1)
+
+    def sgd_step(
+        self,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        learning_rate: float,
+        margin: float,
+    ) -> float:
+        """One margin-ranking SGD step over a positive/negative batch; returns the mean hinge loss."""
+        pos_scores = self.score(positives[:, 0], positives[:, 1], positives[:, 2])
+        neg_scores = self.score(negatives[:, 0], negatives[:, 1], negatives[:, 2])
+        violation = margin + pos_scores - neg_scores
+        active = violation > 0
+        loss = float(np.mean(np.maximum(violation, 0.0)))
+        if not np.any(active):
+            return loss
+
+        step = learning_rate
+        for triple, sign in ((positives[active], 1.0), (negatives[active], -1.0)):
+            heads, relations, tails = triple[:, 0], triple[:, 1], triple[:, 2]
+            rel_proj = self.relation_proj[relations]
+            head_vec, tail_vec = self.entity[heads], self.entity[tails]
+            head_pvec, tail_pvec = self.entity_proj[heads], self.entity_proj[tails]
+
+            head_projected = self._project(head_vec, head_pvec, rel_proj)
+            tail_projected = self._project(tail_vec, tail_pvec, rel_proj)
+            delta = head_projected + self.relation[relations] - tail_projected
+            dist = np.linalg.norm(delta, axis=-1, keepdims=True)
+            unit = delta / (dist + _EPS)
+
+            unit_rp = np.sum(unit * rel_proj, axis=-1, keepdims=True)
+            head_dot = np.sum(head_pvec * head_vec, axis=-1, keepdims=True)
+            tail_dot = np.sum(tail_pvec * tail_vec, axis=-1, keepdims=True)
+            unit_head = np.sum(unit * head_vec, axis=-1, keepdims=True)
+            unit_tail = np.sum(unit * tail_vec, axis=-1, keepdims=True)
+
+            grad_head = unit + unit_rp * head_pvec
+            grad_tail = -(unit + unit_rp * tail_pvec)
+            grad_head_proj = unit_rp * head_vec
+            grad_tail_proj = -unit_rp * tail_vec
+            grad_rel_proj = head_dot * unit - tail_dot * unit
+            # relation translation gradient is just the unit vector
+            np.add.at(self.entity, heads, -sign * step * grad_head)
+            np.add.at(self.entity, tails, -sign * step * grad_tail)
+            np.add.at(self.entity_proj, heads, -sign * step * grad_head_proj)
+            np.add.at(self.entity_proj, tails, -sign * step * grad_tail_proj)
+            np.add.at(self.relation, relations, -sign * step * unit)
+            np.add.at(self.relation_proj, relations, -sign * step * grad_rel_proj)
+        return loss
+
+    def normalize_entities(self) -> None:
+        """Apply the model's norm constraints (called after every batch)."""
+        self.entity = self._rows_normalized(self.entity)
+        # TransD's ||.||_2 <= 1 constraints: unconstrained projection vectors
+        # make the dynamic mapping matrices explode mid-training.
+        self.entity_proj = self._rows_clipped(self.entity_proj)
+        self.relation = self._rows_clipped(self.relation)
+        self.relation_proj = self._rows_clipped(self.relation_proj)
+
+    def relation_vectors(self) -> np.ndarray:
+        """The (num_predicates, k) matrix whose rows feed Eq. 4 cosines."""
+        return self.relation
+
+    def parameter_count(self) -> int:
+        """Total number of learned scalars."""
+        return (
+            self.entity.size
+            + self.entity_proj.size
+            + self.relation.size
+            + self.relation_proj.size
+        )

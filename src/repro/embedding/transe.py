@@ -1,0 +1,86 @@
+"""TransE (Bordes et al., NeurIPS 2013).
+
+Plausibility of a triple (h, r, t) is the L2 distance ||h + r - t||; training
+minimises the margin ranking loss against corrupted triples.  The relation
+vector ``r`` itself is the predicate vector used by Eq. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.utils.rng import ensure_rng
+
+_EPS = 1e-12
+
+
+class TransEModel(EmbeddingModel):
+    """Translation embedding: ``h + r ~ t``."""
+
+    model_name = "TransE"
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_predicates: int,
+        dim: int,
+        predicate_names: list[str],
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(num_entities, num_predicates, dim, predicate_names)
+        rng = ensure_rng(seed)
+        self.entity = self._rows_normalized(self._uniform_init(rng, num_entities, dim))
+        self.relation = self._rows_normalized(self._uniform_init(rng, num_predicates, dim))
+
+    def score(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        """Score each (head, relation, tail) batch row; lower = more plausible."""
+        delta = self.entity[heads] + self.relation[relations] - self.entity[tails]
+        return np.linalg.norm(delta, axis=-1)
+
+    def sgd_step(
+        self,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        learning_rate: float,
+        margin: float,
+    ) -> float:
+        """One margin-ranking SGD step over a positive/negative batch; returns the mean hinge loss."""
+        pos_h, pos_r, pos_t = positives[:, 0], positives[:, 1], positives[:, 2]
+        neg_h, neg_r, neg_t = negatives[:, 0], negatives[:, 1], negatives[:, 2]
+
+        pos_delta = self.entity[pos_h] + self.relation[pos_r] - self.entity[pos_t]
+        neg_delta = self.entity[neg_h] + self.relation[neg_r] - self.entity[neg_t]
+        pos_dist = np.linalg.norm(pos_delta, axis=-1)
+        neg_dist = np.linalg.norm(neg_delta, axis=-1)
+
+        violation = margin + pos_dist - neg_dist
+        active = violation > 0
+        loss = float(np.mean(np.maximum(violation, 0.0)))
+        if not np.any(active):
+            return loss
+
+        # d||x||/dx = x / ||x||; only violating pairs produce gradients.
+        pos_grad = pos_delta[active] / (pos_dist[active, None] + _EPS)
+        neg_grad = neg_delta[active] / (neg_dist[active, None] + _EPS)
+        step = learning_rate
+
+        np.add.at(self.entity, pos_h[active], -step * pos_grad)
+        np.add.at(self.entity, pos_t[active], step * pos_grad)
+        np.add.at(self.relation, pos_r[active], -step * pos_grad)
+        np.add.at(self.entity, neg_h[active], step * neg_grad)
+        np.add.at(self.entity, neg_t[active], -step * neg_grad)
+        np.add.at(self.relation, neg_r[active], step * neg_grad)
+        return loss
+
+    def normalize_entities(self) -> None:
+        """Apply the model's norm constraints (called after every batch)."""
+        self.entity = self._rows_normalized(self.entity)
+
+    def relation_vectors(self) -> np.ndarray:
+        """The (num_predicates, k) matrix whose rows feed Eq. 4 cosines."""
+        return self.relation
+
+    def parameter_count(self) -> int:
+        """Total number of learned scalars."""
+        return self.entity.size + self.relation.size

@@ -1,0 +1,110 @@
+"""TransH (Wang et al., AAAI 2014).
+
+Each relation owns a hyperplane (unit normal ``w_r``) and a translation
+``d_r`` living on it.  Entities are projected onto the hyperplane before
+translation: ``score = ||(h - w.h w) + d - (t - w.t w)||``.  The predicate
+vector for Eq. 4 is the in-plane translation ``d_r``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.utils.rng import ensure_rng
+
+_EPS = 1e-12
+
+
+class TransHModel(EmbeddingModel):
+    """Translation on relation-specific hyperplanes."""
+
+    model_name = "TransH"
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_predicates: int,
+        dim: int,
+        predicate_names: list[str],
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(num_entities, num_predicates, dim, predicate_names)
+        rng = ensure_rng(seed)
+        self.entity = self._rows_normalized(self._uniform_init(rng, num_entities, dim))
+        self.translation = self._rows_normalized(self._uniform_init(rng, num_predicates, dim))
+        self.normal = self._rows_normalized(self._uniform_init(rng, num_predicates, dim))
+
+    def _project(self, vectors: np.ndarray, normals: np.ndarray) -> np.ndarray:
+        """Project ``vectors`` onto the hyperplanes with unit ``normals``."""
+        dots = np.sum(vectors * normals, axis=-1, keepdims=True)
+        return vectors - dots * normals
+
+    def score(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        """Score each (head, relation, tail) batch row; lower = more plausible."""
+        normals = self.normal[relations]
+        head_proj = self._project(self.entity[heads], normals)
+        tail_proj = self._project(self.entity[tails], normals)
+        delta = head_proj + self.translation[relations] - tail_proj
+        return np.linalg.norm(delta, axis=-1)
+
+    def sgd_step(
+        self,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        learning_rate: float,
+        margin: float,
+    ) -> float:
+        """One margin-ranking SGD step over a positive/negative batch; returns the mean hinge loss."""
+        pos_scores = self.score(positives[:, 0], positives[:, 1], positives[:, 2])
+        neg_scores = self.score(negatives[:, 0], negatives[:, 1], negatives[:, 2])
+        violation = margin + pos_scores - neg_scores
+        active = violation > 0
+        loss = float(np.mean(np.maximum(violation, 0.0)))
+        if not np.any(active):
+            return loss
+
+        step = learning_rate
+        for triple, sign in ((positives[active], 1.0), (negatives[active], -1.0)):
+            heads, relations, tails = triple[:, 0], triple[:, 1], triple[:, 2]
+            normals = self.normal[relations]
+            head_vec = self.entity[heads]
+            tail_vec = self.entity[tails]
+            head_proj = self._project(head_vec, normals)
+            tail_proj = self._project(tail_vec, normals)
+            delta = head_proj + self.translation[relations] - tail_proj
+            dist = np.linalg.norm(delta, axis=-1, keepdims=True)
+            unit = delta / (dist + _EPS)
+
+            # Chain rule through the projection: d(proj)/dh = I - w w^T.
+            grad_entity = unit - np.sum(unit * normals, axis=-1, keepdims=True) * normals
+            # d(score)/dw = -(w.h) u - (u.h*) w ... expanded for both endpoints:
+            head_dot = np.sum(head_vec * normals, axis=-1, keepdims=True)
+            tail_dot = np.sum(tail_vec * normals, axis=-1, keepdims=True)
+            unit_head = np.sum(unit * head_vec, axis=-1, keepdims=True)
+            unit_tail = np.sum(unit * tail_vec, axis=-1, keepdims=True)
+            grad_normal = (
+                -(unit_head * normals + head_dot * unit)
+                + (unit_tail * normals + tail_dot * unit)
+            )
+
+            np.add.at(self.entity, heads, -sign * step * grad_entity)
+            np.add.at(self.entity, tails, sign * step * grad_entity)
+            np.add.at(self.translation, relations, -sign * step * unit)
+            np.add.at(self.normal, relations, -sign * step * grad_normal)
+
+        self.normal = self._rows_normalized(self.normal)
+        return loss
+
+    def normalize_entities(self) -> None:
+        """Apply the model's norm constraints (called after every batch)."""
+        self.entity = self._rows_normalized(self.entity)
+        self.normal = self._rows_normalized(self.normal)
+
+    def relation_vectors(self) -> np.ndarray:
+        """The (num_predicates, k) matrix whose rows feed Eq. 4 cosines."""
+        return self.translation
+
+    def parameter_count(self) -> int:
+        """Total number of learned scalars."""
+        return self.entity.size + self.translation.size + self.normal.size

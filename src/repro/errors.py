@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a knowledge graph (bad node/edge reference)."""
+
+
+class NodeNotFoundError(GraphError):
+    """A node id or name was not present in the graph."""
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge reference was not present in the graph."""
+
+
+class QueryError(ReproError):
+    """A query graph or aggregate query specification is invalid."""
+
+
+class MappingNodeNotFoundError(QueryError):
+    """The specific node of a query graph has no mapping node in the KG.
+
+    Raised when ``LG(us).name == LQ(qs).name`` with a compatible type cannot
+    be satisfied by any graph node (Definition 5, condition 1).
+    """
+
+
+class EmbeddingError(ReproError):
+    """An embedding model was misconfigured or used before training."""
+
+
+class SamplingError(ReproError):
+    """The sampler could not produce a sample (empty scope, no answers...)."""
+
+
+class EstimationError(ReproError):
+    """An estimator was applied to an unusable sample (e.g. empty S_A+)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative procedure failed to converge within its budget."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator was given inconsistent parameters."""

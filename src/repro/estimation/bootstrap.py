@@ -1,0 +1,267 @@
+"""Bootstrap and Bag of Little Bootstraps (paper §IV-C, Eq. 11).
+
+The paper estimates sigma_hat of the point estimator with BLB (Kleiner et
+al., 2014): the sample S_A is the union of ``t`` little samples; each
+little sample is bootstrapped ``B`` times (resample size |S_A|, per the
+paper's text), giving a per-little-sample MoE; the final MoE is their mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.estimation.confidence import ConfidenceInterval, normal_critical_value
+from repro.estimation.estimators import EstimationSample, Normalization
+from repro.utils.rng import ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.query.aggregate import AggregateFunction
+
+#: an estimator working on an :class:`EstimationSample`
+EstimatorFn = Callable[[EstimationSample], float]
+
+
+@dataclass(frozen=True)
+class BlbConfig:
+    """BLB hyper-parameters; defaults follow the paper (§IV-C remarks)."""
+
+    num_little_samples: int = 3  # t >= 3
+    scale_exponent: float = 0.6  # m = 0.6
+    num_resamples: int = 50  # B >= 50
+
+    def __post_init__(self) -> None:
+        if self.num_little_samples < 1:
+            raise EstimationError("BLB needs at least one little sample")
+        if not 0.5 <= self.scale_exponent <= 1.0:
+            raise EstimationError("the BLB scale exponent m must be in [0.5, 1]")
+        if self.num_resamples < 2:
+            raise EstimationError("the bootstrap needs at least two resamples")
+
+    def little_sample_size(self, desired_sample_size: int) -> int:
+        """|S_i| = N^m, at least 1."""
+        if desired_sample_size < 1:
+            raise EstimationError("desired sample size must be positive")
+        return max(1, int(round(desired_sample_size**self.scale_exponent)))
+
+
+def bootstrap_sigma(
+    estimator: EstimatorFn,
+    sample: EstimationSample,
+    *,
+    num_resamples: int,
+    resample_size: int,
+    rng: np.random.Generator,
+) -> float:
+    """Eq. 11: empirical sigma of the estimator across bootstrap resamples.
+
+    Resamples are drawn over *all* draws (correct and incorrect alike), so
+    the variance of the correct/incorrect mixture — which dominates COUNT's
+    error — is reflected in sigma.  Resamples that break the estimator
+    (e.g. an AVG resample with zero correct draws) are skipped; at least
+    two usable resamples are required.
+    """
+    if sample.total_draws == 0:
+        raise EstimationError("cannot bootstrap an empty sample")
+    estimates: list[float] = []
+    for _ in range(num_resamples):
+        indexes = rng.integers(0, sample.total_draws, size=resample_size)
+        try:
+            estimates.append(estimator(sample.subset(indexes)))
+        except EstimationError:
+            continue
+    if len(estimates) < 2:
+        raise EstimationError(
+            "too few usable bootstrap resamples to estimate sigma"
+        )
+    values = np.asarray(estimates, dtype=np.float64)
+    mean = float(values.mean())
+    variance = float(np.sum((values - mean) ** 2) / (len(values) - 1))
+    return float(np.sqrt(variance))
+
+
+def fast_bootstrap_sigma(
+    sample: EstimationSample,
+    function: "AggregateFunction",
+    normalization: "Normalization",
+    *,
+    num_resamples: int,
+    resample_size: int,
+    rng: np.random.Generator,
+) -> float:
+    """Vectorised bootstrap sigma for the three standard estimators.
+
+    Statistically identical to :func:`bootstrap_sigma` with the matching
+    estimator closure, but draws all resamples as one index matrix and
+    reduces with numpy — the difference between milliseconds and seconds
+    once |S_A| reaches the thousands.
+    """
+    from repro.query.aggregate import AggregateFunction
+
+    if sample.total_draws == 0:
+        raise EstimationError("cannot bootstrap an empty sample")
+    indexes = rng.integers(
+        0, sample.total_draws, size=(num_resamples, resample_size)
+    )
+    if function is AggregateFunction.AVG:
+        numerator = sample.sum_contributions()[indexes].sum(axis=1)
+        denominator = sample.count_contributions()[indexes].sum(axis=1)
+        usable = denominator > 0
+        if int(usable.sum()) < 2:
+            raise EstimationError(
+                "too few usable bootstrap resamples to estimate sigma"
+            )
+        estimates = numerator[usable] / denominator[usable]
+    else:
+        if function is AggregateFunction.COUNT:
+            contributions = sample.count_contributions()
+        else:
+            contributions = sample.sum_contributions()
+        picked = contributions[indexes]
+        if normalization is Normalization.SAMPLE:
+            estimates = picked.mean(axis=1)
+        else:
+            correct_counts = sample.correct[indexes].sum(axis=1)
+            usable = correct_counts > 0
+            if int(usable.sum()) < 2:
+                raise EstimationError(
+                    "too few usable bootstrap resamples to estimate sigma"
+                )
+            estimates = picked.sum(axis=1)[usable] / correct_counts[usable]
+    return float(np.std(estimates, ddof=1))
+
+
+def mean_estimator_sigma(
+    sample: EstimationSample,
+    function: "AggregateFunction",
+    *,
+    resample_size: int,
+) -> float:
+    """Closed-form sigma for the mean-shaped COUNT/SUM estimators.
+
+    Under SAMPLE normalisation the estimator is the mean of i.i.d. per-draw
+    contributions; bootstrapping a mean converges to ``std / sqrt(n)``, so
+    the resampling loop can be skipped outright.  (Tests confirm agreement
+    with :func:`fast_bootstrap_sigma`.)
+    """
+    from repro.query.aggregate import AggregateFunction
+
+    if sample.total_draws < 2:
+        raise EstimationError("need at least two draws for a sigma estimate")
+    if function is AggregateFunction.COUNT:
+        contributions = sample.count_contributions()
+    elif function is AggregateFunction.SUM:
+        contributions = sample.sum_contributions()
+    else:
+        raise EstimationError(f"{function.value} is not mean-shaped")
+    return float(np.std(contributions, ddof=1) / np.sqrt(resample_size))
+
+
+def blb_confidence_interval(
+    little_samples: list[EstimationSample],
+    function: "AggregateFunction",
+    normalization: "Normalization",
+    *,
+    estimate: float,
+    confidence_level: float,
+    config: BlbConfig | None = None,
+    resample_size: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> ConfidenceInterval:
+    """BLB over little samples (Eq. 10-11).
+
+    Mean-shaped estimators (COUNT/SUM under SAMPLE normalisation) use the
+    closed-form sigma; everything else uses the vectorised bootstrap.
+    """
+    from repro.query.aggregate import AggregateFunction
+
+    config = config or BlbConfig()
+    rng = ensure_rng(seed)
+    usable = [sample for sample in little_samples if sample.total_draws > 0]
+    if not usable:
+        raise EstimationError("every little sample is empty; cannot build a CI")
+    if resample_size is None:
+        resample_size = sum(sample.total_draws for sample in usable)
+    critical = normal_critical_value(confidence_level)
+    mean_shaped = (
+        normalization is Normalization.SAMPLE
+        and function in (AggregateFunction.COUNT, AggregateFunction.SUM)
+    )
+
+    moes = []
+    for sample in usable:
+        try:
+            if mean_shaped:
+                sigma = mean_estimator_sigma(
+                    sample, function, resample_size=resample_size
+                )
+            else:
+                sigma = fast_bootstrap_sigma(
+                    sample,
+                    function,
+                    normalization,
+                    num_resamples=config.num_resamples,
+                    resample_size=resample_size,
+                    rng=rng,
+                )
+        except EstimationError:
+            continue
+        moes.append(critical * sigma)
+    if not moes:
+        raise EstimationError("no little sample produced a usable bootstrap sigma")
+    return ConfidenceInterval(
+        estimate=estimate,
+        moe=float(np.mean(moes)),
+        confidence_level=confidence_level,
+    )
+
+
+def bag_of_little_bootstraps(
+    estimator: EstimatorFn,
+    little_samples: list[EstimationSample],
+    *,
+    estimate: float,
+    confidence_level: float,
+    config: BlbConfig | None = None,
+    resample_size: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> ConfidenceInterval:
+    """Aggregate per-little-sample bootstrap MoEs into the final CI.
+
+    ``resample_size`` defaults to the combined size of all little samples
+    (= |S_A|, the paper's choice).  Little samples whose correct subset is
+    empty are skipped; if all are empty an :class:`EstimationError` rises.
+    """
+    config = config or BlbConfig()
+    rng = ensure_rng(seed)
+    usable = [sample for sample in little_samples if sample.total_draws > 0]
+    if not usable:
+        raise EstimationError("every little sample is empty; cannot build a CI")
+    if resample_size is None:
+        # The paper: "each resample contains |S_A| answers".
+        resample_size = sum(sample.total_draws for sample in usable)
+    critical = normal_critical_value(confidence_level)
+
+    moes = []
+    for sample in usable:
+        try:
+            sigma = bootstrap_sigma(
+                estimator,
+                sample,
+                num_resamples=config.num_resamples,
+                resample_size=resample_size,
+                rng=rng,
+            )
+        except EstimationError:
+            continue  # this little sample cannot support the estimator yet
+        moes.append(critical * sigma)
+    if not moes:
+        raise EstimationError("no little sample produced a usable bootstrap sigma")
+    return ConfidenceInterval(
+        estimate=estimate,
+        moe=float(np.mean(moes)),
+        confidence_level=confidence_level,
+    )

@@ -1,0 +1,274 @@
+"""EVT-based estimation for extreme aggregates (MAX / MIN).
+
+The paper supports MAX/MIN only as the sample extremum, without any
+accuracy machinery, and names Extreme Value Theory estimation as an open
+problem (§IV-B1 remarks: "extreme estimation based on Extreme Value
+Theory (EVT) could be an alternative direction").  This module implements
+that direction.
+
+Method — peaks over threshold (POT):
+
+1. take the validated-correct draws of the sample and, for MAX, their
+   values (MIN is estimated by negating values, estimating a MAX, and
+   negating back);
+2. choose the threshold ``u`` as an upper quantile of the values; the
+   excesses ``y_i = v_i - u`` of the draws above ``u`` are approximately
+   Generalised Pareto (GPD) distributed by the Pickands–Balkema–de Haan
+   theorem;
+3. fit GPD shape ``xi`` and scale ``sigma`` by probability-weighted
+   moments (Hosking & Wallis 1987) — robust at the small exceedance
+   counts a sampling round produces;
+4. convert the fit into a population-maximum estimate:
+
+   * ``xi < 0``  — the GPD has the finite endpoint ``u + sigma / -xi``,
+     which *is* the population maximum estimate;
+   * ``xi >= 0`` — no finite endpoint; we report the ``m``-observation
+     return level ``u + sigma/xi * ((m * p_u)^xi - 1)``, the value
+     exceeded once in ``m`` draws from the population, where ``m`` is
+     the Horvitz–Thompson estimate of the correct-answer count and
+     ``p_u`` the (inverse-probability-weighted) exceedance fraction;
+
+5. wrap the point estimate in a percentile-bootstrap confidence
+   interval over resampled draws.
+
+Unlike COUNT/SUM/AVG there is no Theorem-2-style relative-error
+guarantee: the CI is an asymptotic EVT construction, not a CLT one.  The
+engine therefore reports EVT results with ``converged=False`` as well.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.estimation.estimators import EstimationSample, Normalization, estimate_count
+from repro.query.aggregate import AggregateFunction
+from repro.utils.rng import ensure_rng
+
+__all__ = ["GpdFit", "EvtEstimate", "fit_gpd_pwm", "estimate_extreme_evt"]
+
+#: below this many exceedances the GPD fit is meaningless and we fall back
+MIN_EXCEEDANCES = 10
+
+
+@dataclass(frozen=True)
+class GpdFit:
+    """A fitted Generalised Pareto tail above ``threshold``."""
+
+    shape: float  # xi
+    scale: float  # sigma
+    threshold: float  # u
+    num_exceedances: int
+    #: HT-weighted fraction of the population above the threshold
+    exceedance_fraction: float
+
+    @property
+    def has_finite_endpoint(self) -> bool:
+        """True when the fitted tail is bounded (shape < 0)."""
+        return self.shape < 0.0
+
+    @property
+    def endpoint(self) -> float:
+        """The distribution's upper endpoint (finite iff ``shape < 0``)."""
+        if not self.has_finite_endpoint:
+            return math.inf
+        return self.threshold + self.scale / -self.shape
+
+    def return_level(self, num_observations: float) -> float:
+        """The level exceeded once in ``num_observations`` draws."""
+        if num_observations <= 0:
+            raise EstimationError("return level needs a positive observation count")
+        scaled = num_observations * self.exceedance_fraction
+        if scaled <= 1.0:
+            # Fewer than one expected exceedance: the threshold itself is
+            # already beyond the m-observation level.
+            return self.threshold
+        if abs(self.shape) < 1e-9:
+            return self.threshold + self.scale * math.log(scaled)
+        return self.threshold + self.scale / self.shape * (scaled**self.shape - 1.0)
+
+
+@dataclass(frozen=True)
+class EvtEstimate:
+    """An EVT extreme estimate: point value, bootstrap CI, and the fit."""
+
+    function: AggregateFunction
+    value: float
+    ci_lower: float
+    ci_upper: float
+    confidence_level: float
+    fit: GpdFit | None
+    sample_extreme: float
+    #: "evt" when a GPD fit produced the value, "sample" on fallback
+    method: str
+
+    @property
+    def moe(self) -> float:
+        """Half-width of the (possibly asymmetric) bootstrap interval."""
+        return (self.ci_upper - self.ci_lower) / 2.0
+
+
+def fit_gpd_pwm(excesses: np.ndarray) -> tuple[float, float]:
+    """Fit GPD (shape, scale) by probability-weighted moments.
+
+    Hosking & Wallis (1987), using the moments ``a_s = E[Y (1-F(Y))^s]``:
+    for the GPD ``a_s = sigma / ((s+1)(s+1-xi))``, so ``xi = 2 - a0 /
+    (a0 - 2 a1)`` and ``sigma = 2 a0 a1 / (a0 - 2 a1)``.  With ascending
+    order statistics ``y_(1) <= ... <= y_(n)``, ``a1`` is estimated by
+    ``sum_i ((n-i)/(n-1)) y_(i) / n``.
+    """
+    if len(excesses) < 2:
+        raise EstimationError("PWM fit needs at least two exceedances")
+    if np.any(excesses < 0.0):
+        raise EstimationError("excesses must be non-negative")
+    ordered = np.sort(excesses)
+    n = len(ordered)
+    a0 = float(np.mean(ordered))
+    descending_weight = (n - 1.0 - np.arange(n, dtype=float)) / (n - 1.0)
+    a1 = float(np.sum(descending_weight * ordered) / n)
+    denominator = a0 - 2.0 * a1
+    if denominator <= 0.0 or a0 <= 0.0:
+        # Degenerate (e.g. all excesses equal): treat as an exponential
+        # tail, the xi -> 0 limit of the GPD.
+        return 0.0, max(a0, 1e-12)
+    shape = 2.0 - a0 / denominator
+    scale = 2.0 * a0 * a1 / denominator
+    # PWM estimators are consistent only for xi < 0.5 (Hosking & Wallis);
+    # a heavier fitted tail is small-sample noise, and letting it through
+    # produces wild return-level extrapolations.
+    shape = min(shape, 0.499)
+    return shape, max(scale, 1e-12)
+
+
+def _correct_values(
+    sample: EstimationSample, function: AggregateFunction
+) -> tuple[np.ndarray, np.ndarray]:
+    """Values and inverse-probability weights of the correct draws."""
+    if function not in (AggregateFunction.MAX, AggregateFunction.MIN):
+        raise EstimationError(f"{function.value} is not an extreme function")
+    mask = np.asarray(sample.correct, dtype=bool)
+    if not np.any(mask):
+        raise EstimationError("cannot take an extreme with no correct draws")
+    values = np.asarray(sample.values, dtype=float)[mask]
+    weights = 1.0 / np.asarray(sample.probabilities, dtype=float)[mask]
+    if function is AggregateFunction.MIN:
+        values = -values
+    return values, weights
+
+
+def _fit_tail(
+    values: np.ndarray,
+    weights: np.ndarray,
+    exceedance_quantile: float,
+) -> GpdFit | None:
+    """POT fit over ``values``; ``None`` when the tail is too thin."""
+    threshold = float(np.quantile(values, exceedance_quantile))
+    exceeding = values > threshold
+    if int(np.count_nonzero(exceeding)) < MIN_EXCEEDANCES:
+        return None
+    excesses = values[exceeding] - threshold
+    shape, scale = fit_gpd_pwm(excesses)
+    total_weight = float(np.sum(weights))
+    exceed_weight = float(np.sum(weights[exceeding]))
+    return GpdFit(
+        shape=shape,
+        scale=scale,
+        threshold=threshold,
+        num_exceedances=int(np.count_nonzero(exceeding)),
+        exceedance_fraction=exceed_weight / total_weight,
+    )
+
+
+def _point_estimate(fit: GpdFit, population_size: float, floor: float) -> float:
+    """Population-max estimate from one fit, never below the sample max."""
+    if fit.has_finite_endpoint:
+        value = fit.endpoint
+    else:
+        value = fit.return_level(population_size)
+    # The population maximum cannot be below an observed correct value.
+    return max(value, floor)
+
+
+def estimate_extreme_evt(
+    sample: EstimationSample,
+    function: AggregateFunction,
+    *,
+    exceedance_quantile: float = 0.75,
+    confidence_level: float = 0.95,
+    bootstrap_rounds: int = 200,
+    population_size: float | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> EvtEstimate:
+    """Estimate MAX/MIN of the correct-answer population via POT/GPD.
+
+    ``population_size`` defaults to the Horvitz–Thompson COUNT estimate
+    from the same sample.  Falls back to the plain sample extremum (with
+    a degenerate CI) when fewer than :data:`MIN_EXCEEDANCES` draws land
+    above the threshold.
+    """
+    if not 0.0 < exceedance_quantile < 1.0:
+        raise EstimationError("exceedance_quantile must be in (0, 1)")
+    if not 0.0 < confidence_level < 1.0:
+        raise EstimationError("confidence_level must be in (0, 1)")
+    if bootstrap_rounds < 1:
+        raise EstimationError("bootstrap_rounds must be >= 1")
+
+    values, weights = _correct_values(sample, function)
+    sign = -1.0 if function is AggregateFunction.MIN else 1.0
+    sample_extreme = float(np.max(values))
+
+    if population_size is None:
+        population_size = estimate_count(sample, Normalization.SAMPLE)
+    if population_size <= 0:
+        raise EstimationError("population_size must be positive")
+
+    fit = _fit_tail(values, weights, exceedance_quantile)
+    if fit is None:
+        return EvtEstimate(
+            function=function,
+            value=sign * sample_extreme,
+            ci_lower=sign * sample_extreme,
+            ci_upper=sign * sample_extreme,
+            confidence_level=confidence_level,
+            fit=None,
+            sample_extreme=sign * sample_extreme,
+            method="sample",
+        )
+
+    point = _point_estimate(fit, population_size, sample_extreme)
+
+    # Percentile bootstrap over the correct draws.
+    rng = ensure_rng(seed)
+    replicates: list[float] = []
+    n = len(values)
+    for _ in range(bootstrap_rounds):
+        indexes = rng.integers(0, n, size=n)
+        resample_values = values[indexes]
+        resample_weights = weights[indexes]
+        refit = _fit_tail(resample_values, resample_weights, exceedance_quantile)
+        if refit is None:
+            replicates.append(float(np.max(resample_values)))
+        else:
+            replicates.append(
+                _point_estimate(refit, population_size, float(np.max(resample_values)))
+            )
+    alpha = 1.0 - confidence_level
+    lower = float(np.quantile(replicates, alpha / 2.0))
+    upper = float(np.quantile(replicates, 1.0 - alpha / 2.0))
+
+    if sign < 0:
+        point, lower, upper = -point, -upper, -lower
+        sample_extreme = -sample_extreme
+    return EvtEstimate(
+        function=function,
+        value=point,
+        ci_lower=lower,
+        ci_upper=upper,
+        confidence_level=confidence_level,
+        fit=fit,
+        sample_extreme=sample_extreme,
+        method="evt",
+    )

@@ -1,0 +1,37 @@
+"""Knowledge-graph substrate: storage, indexes, traversal, IO, statistics.
+
+The store follows Definition 1 of the paper: nodes are entities carrying a
+unique name, one or more types, and a set of numeric attributes; edges carry
+a predicate.  Traversal treats edges as bidirectional (the paper's random
+walk and subgraph matches move along paths regardless of triple direction)
+while the triple orientation is preserved for the SPARQL-style baseline.
+"""
+
+from repro.kg.graph import Edge, KnowledgeGraph, Node
+from repro.kg.interop import from_networkx, to_networkx
+from repro.kg.io import load_json, load_triples, save_json, save_triples
+from repro.kg.statistics import GraphStatistics, compute_statistics
+from repro.kg.traversal import (
+    bounded_node_set,
+    bounded_subgraph,
+    enumerate_paths,
+    hop_distances,
+)
+
+__all__ = [
+    "Edge",
+    "KnowledgeGraph",
+    "Node",
+    "GraphStatistics",
+    "compute_statistics",
+    "bounded_node_set",
+    "bounded_subgraph",
+    "enumerate_paths",
+    "hop_distances",
+    "from_networkx",
+    "to_networkx",
+    "load_json",
+    "load_triples",
+    "save_json",
+    "save_triples",
+]

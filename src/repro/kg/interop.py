@@ -1,0 +1,107 @@
+"""NetworkX interoperability for the knowledge-graph store.
+
+Real deployments rarely start from our own JSON format: graphs arrive as
+NetworkX objects, edge lists, or another library's export.  These
+converters round-trip a :class:`~repro.kg.graph.KnowledgeGraph` through
+``networkx.MultiDiGraph`` so users can
+
+* bring an existing NetworkX graph to the engine
+  (:func:`from_networkx`), and
+* hand a KG to the NetworkX ecosystem — layouts, centrality, components
+  — without re-implementing graph algorithms (:func:`to_networkx`).
+
+Conventions: node keys are entity names (unique per Definition 1); node
+data carries ``types`` (list of str) and ``attributes`` (dict of str ->
+float); edge data carries ``predicate``.  Parallel edges with different
+predicates are preserved by the multigraph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.kg.graph import KnowledgeGraph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(kg: KnowledgeGraph) -> "nx.MultiDiGraph":
+    """Export ``kg`` as a ``networkx.MultiDiGraph``.
+
+    Nodes are keyed by entity name and annotated with ``node_id``,
+    ``types`` (sorted list) and ``attributes``; each triple becomes one
+    directed edge with a ``predicate`` attribute.
+    """
+    graph = nx.MultiDiGraph(name=kg.name)
+    for node_id in kg.nodes():
+        node = kg.node(node_id)
+        graph.add_node(
+            node.name,
+            node_id=node.node_id,
+            types=sorted(node.types),
+            attributes=dict(node.attributes),
+        )
+    for subject, predicate_id, obj in kg.triples():
+        graph.add_edge(
+            kg.node(subject).name,
+            kg.node(obj).name,
+            predicate=kg.predicate_name(predicate_id),
+        )
+    return graph
+
+
+def _node_types(data: dict, key: object) -> Iterable[str]:
+    types = data.get("types")
+    if types is None:
+        raise GraphError(
+            f"networkx node {key!r} lacks the 'types' attribute "
+            "(a list of type names) required by Definition 1"
+        )
+    if isinstance(types, str):
+        return [types]
+    return list(types)
+
+
+def from_networkx(graph: "nx.Graph", *, name: str | None = None) -> KnowledgeGraph:
+    """Build a :class:`KnowledgeGraph` from any NetworkX graph.
+
+    Requirements, matching Definition 1:
+
+    * every node carries ``types`` (a list of type names, or a single
+      string) — missing types raise :class:`GraphError`;
+    * node keys become entity names (stringified), so they must be
+      unique after ``str()``;
+    * every edge carries ``predicate`` (missing predicates raise);
+    * an optional node attribute ``attributes`` (dict of str -> float)
+      populates the numeric attributes.
+
+    Undirected graphs are accepted: each undirected edge becomes one
+    stored triple, which the engine already traverses in both
+    directions.
+    """
+    kg = KnowledgeGraph(name=name or (graph.name or "kg"))
+    ids: dict[object, int] = {}
+    for key, data in graph.nodes(data=True):
+        attributes = data.get("attributes") or {}
+        if not isinstance(attributes, dict):
+            raise GraphError(
+                f"networkx node {key!r}: 'attributes' must be a dict, "
+                f"got {type(attributes).__name__}"
+            )
+        ids[key] = kg.add_node(
+            str(key),
+            types=_node_types(data, key),
+            attributes={str(k): float(v) for k, v in attributes.items()},
+        )
+    for subject, obj, data in graph.edges(data=True):
+        predicate = data.get("predicate")
+        if not predicate:
+            raise GraphError(
+                f"networkx edge ({subject!r}, {obj!r}) lacks the "
+                "'predicate' attribute"
+            )
+        kg.add_edge(ids[subject], str(predicate), ids[obj])
+    return kg

@@ -1,0 +1,70 @@
+"""Exact evaluation helpers shared by baselines and ground-truth oracles."""
+
+from __future__ import annotations
+
+import math
+
+from repro.kg.graph import KnowledgeGraph
+from repro.query.aggregate import AggregateQuery, exact_aggregate
+
+
+def is_usable_answer(
+    kg: KnowledgeGraph, aggregate_query: AggregateQuery, node_id: int
+) -> bool:
+    """Filters (§V-A) + attribute availability for attribute aggregates.
+
+    A NaN attribute counts as missing: letting one through would poison
+    every downstream sum/mean and the Eq.-12 sizing arithmetic.
+    """
+    node = kg.node(node_id)
+    if not aggregate_query.passes_filters(node):
+        return False
+    if aggregate_query.function.needs_attribute:
+        value = node.attribute(aggregate_query.attribute or "")
+        return value is not None and not math.isnan(value)
+    return True
+
+
+def usable_answers(
+    kg: KnowledgeGraph, aggregate_query: AggregateQuery, answers: set[int]
+) -> set[int]:
+    """Subset of ``answers`` passing filters and carrying the attribute."""
+    return {
+        node_id
+        for node_id in answers
+        if is_usable_answer(kg, aggregate_query, node_id)
+    }
+
+
+def aggregate_over(
+    kg: KnowledgeGraph, aggregate_query: AggregateQuery, answers: set[int]
+) -> tuple[float, dict[float, float]]:
+    """Exact ``(value, per-group values)`` of ``f_a`` over ``answers``.
+
+    ``answers`` should already be usable (see :func:`usable_answers`).
+    For grouped queries the scalar value is the number of groups.
+    """
+    group_by = aggregate_query.group_by
+    if group_by is None:
+        values = []
+        for node_id in answers:
+            value = aggregate_query.value_of(kg.node(node_id))
+            if value is not None:
+                values.append(value)
+        if not values and aggregate_query.function.needs_attribute:
+            return 0.0, {}
+        return exact_aggregate(aggregate_query.function, values), {}
+
+    partitions: dict[float, list[float]] = {}
+    for node_id in answers:
+        node = kg.node(node_id)
+        key = group_by.key_for(node)
+        value = aggregate_query.value_of(node)
+        if key is None or value is None:
+            continue
+        partitions.setdefault(key, []).append(value)
+    groups = {
+        key: exact_aggregate(aggregate_query.function, values)
+        for key, values in partitions.items()
+    }
+    return float(len(groups)), groups

@@ -1,0 +1,201 @@
+"""Query graphs (Definition 3) for all the shapes of Fig. 4.
+
+The representation follows the decomposition-assembly view of §V-B: a query
+graph is a set of :class:`PathQuery` components that share one target node.
+Each component starts at a *specific* node (name and types known) and walks
+a sequence of (predicate, node-types) hops ending at the target (only types
+known).  Shapes:
+
+* 1 component, 1 hop            -> SIMPLE  (Definition 3)
+* 1 component, >1 hop           -> CHAIN   (§V-B)
+* 2 components, both 1 hop      -> CYCLE   (Fig. 4(c))
+* >=3 components, <=1 multi-hop -> STAR    (Fig. 4(b))
+* anything else                 -> FLOWER  (Fig. 4(d))
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import QueryError
+
+
+class QueryShape(enum.Enum):
+    """The five query-graph shapes studied in the paper."""
+
+    SIMPLE = "simple"
+    CHAIN = "chain"
+    STAR = "star"
+    CYCLE = "cycle"
+    FLOWER = "flower"
+
+
+@dataclass(frozen=True)
+class PathQuery:
+    """One component: specific node -> hops -> shared target.
+
+    ``hops`` lists ``(predicate, node_types)`` pairs from the specific node
+    towards the target; the node types of the final hop are the target's
+    types.  A single hop makes this a simple query.
+    """
+
+    specific_name: str
+    specific_types: frozenset[str]
+    hops: tuple[tuple[str, frozenset[str]], ...]
+
+    def __post_init__(self) -> None:
+        if not self.specific_name:
+            raise QueryError("a path query needs a specific node name")
+        if not self.specific_types:
+            raise QueryError("the specific node needs at least one type")
+        if not self.hops:
+            raise QueryError("a path query needs at least one hop")
+        for predicate, types in self.hops:
+            if not predicate:
+                raise QueryError("every hop needs a predicate")
+            if not types:
+                raise QueryError("every hop needs at least one node type")
+
+    @property
+    def num_hops(self) -> int:
+        """Number of edges in this path component."""
+        return len(self.hops)
+
+    @property
+    def is_simple(self) -> bool:
+        """True for a one-hop component (Definition 3)."""
+        return len(self.hops) == 1
+
+    @property
+    def predicates(self) -> tuple[str, ...]:
+        """The hop predicates, in order from the specific node."""
+        return tuple(predicate for predicate, _ in self.hops)
+
+    @property
+    def target_types(self) -> frozenset[str]:
+        """Types required of the shared target node."""
+        return self.hops[-1][1]
+
+    @property
+    def intermediate_types(self) -> tuple[frozenset[str], ...]:
+        """Types of the unknown nodes between the specific node and target."""
+        return tuple(types for _, types in self.hops[:-1])
+
+
+@dataclass(frozen=True)
+class QueryGraph:
+    """A query graph: one or more path components sharing a target."""
+
+    components: tuple[PathQuery, ...]
+    shape_override: QueryShape | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise QueryError("a query graph needs at least one component")
+        target_types = self.components[0].target_types
+        for component in self.components[1:]:
+            if component.target_types != target_types:
+                raise QueryError(
+                    "all components of a query graph must share the target "
+                    f"types; got {sorted(target_types)} vs "
+                    f"{sorted(component.target_types)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def simple(
+        specific_name: str,
+        specific_types: Iterable[str],
+        predicate: str,
+        target_types: Iterable[str],
+    ) -> "QueryGraph":
+        """Definition 3: one specific node, one predicate, one target."""
+        component = PathQuery(
+            specific_name=specific_name,
+            specific_types=frozenset(specific_types),
+            hops=((predicate, frozenset(target_types)),),
+        )
+        return QueryGraph(components=(component,))
+
+    @staticmethod
+    def chain(
+        specific_name: str,
+        specific_types: Iterable[str],
+        hops: Sequence[tuple[str, Iterable[str]]],
+    ) -> "QueryGraph":
+        """§V-B: a multi-hop path from the specific node to the target."""
+        if len(hops) < 2:
+            raise QueryError("a chain query needs at least two hops")
+        component = PathQuery(
+            specific_name=specific_name,
+            specific_types=frozenset(specific_types),
+            hops=tuple((predicate, frozenset(types)) for predicate, types in hops),
+        )
+        return QueryGraph(components=(component,))
+
+    @staticmethod
+    def compose(
+        components: Sequence[QueryGraph | PathQuery],
+        shape: QueryShape | None = None,
+    ) -> "QueryGraph":
+        """Assemble a star / cycle / flower from simpler queries (§V-B)."""
+        flattened: list[PathQuery] = []
+        for component in components:
+            if isinstance(component, QueryGraph):
+                flattened.extend(component.components)
+            else:
+                flattened.append(component)
+        if len(flattened) < 2:
+            raise QueryError("composite queries need at least two components")
+        return QueryGraph(components=tuple(flattened), shape_override=shape)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def target_types(self) -> frozenset[str]:
+        """Types required of the shared target node."""
+        return self.components[0].target_types
+
+    @property
+    def is_composite(self) -> bool:
+        """True when more than one component shares the target."""
+        return len(self.components) > 1
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of query edges across components."""
+        return sum(component.num_hops for component in self.components)
+
+    @property
+    def shape(self) -> QueryShape:
+        """The Fig. 4 shape (override wins over classification)."""
+        if self.shape_override is not None:
+            return self.shape_override
+        return classify_shape(self.components)
+
+    def __str__(self) -> str:
+        parts = []
+        for component in self.components:
+            hops = " -> ".join(
+                f"[{predicate}] (*:{'|'.join(sorted(types))})"
+                for predicate, types in component.hops
+            )
+            parts.append(f"({component.specific_name}) -> {hops}")
+        return f"{self.shape.value}{{{'; '.join(parts)}}}"
+
+
+def classify_shape(components: Sequence[PathQuery]) -> QueryShape:
+    """Derive the Fig. 4 shape label from the component structure."""
+    if len(components) == 1:
+        return QueryShape.SIMPLE if components[0].is_simple else QueryShape.CHAIN
+    num_chains = sum(1 for component in components if not component.is_simple)
+    if len(components) == 2 and num_chains == 0:
+        return QueryShape.CYCLE
+    if num_chains <= 1:
+        return QueryShape.STAR
+    return QueryShape.FLOWER

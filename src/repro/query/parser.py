@@ -1,0 +1,430 @@
+"""AQL — a small text language for aggregate queries on knowledge graphs.
+
+The paper assumes query graphs are supplied directly or translated from
+keywords / natural language by an upstream component ([23], [24] in its
+bibliography).  AQL is this repository's concrete version of that input
+layer: a compact, unambiguous text form that covers every query the
+engine supports — all five shapes, filters (Definition 6) and GROUP-BY.
+
+Grammar (whitespace-insensitive, keywords case-insensitive)::
+
+    query      :=  aggregate MATCH pattern ("," pattern)*
+                   [WHERE condition (AND condition)*]
+                   [GROUP BY name [BIN number]]
+    aggregate  :=  FUNC "(" (name | "*") ")"
+    FUNC       :=  COUNT | SUM | AVG | MAX | MIN
+    pattern    :=  specific ("-[" name "]->" node)+
+    specific   :=  "(" name ":" types ")"
+    node       :=  "(" variable ":" types ")"
+    types      :=  name ("|" name)*
+    condition  :=  number cmp name cmp number     -- range filter
+                |  name cmp number                -- one-sided
+                |  number cmp name
+    cmp        :=  "<=" | "<" | ">=" | ">"
+
+The first node of each pattern is the paper's *specific node* (name and
+types known); every later node is an unknown node described only by its
+types.  All patterns must end in the **same variable** — the shared
+target of the decomposition-assembly framework (§V-B).
+
+Examples::
+
+    COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)
+
+    AVG(price) MATCH (Germany:Country)-[product]->(x:Automobile)
+        WHERE 25 <= fuel_economy <= 30
+
+    COUNT(*) MATCH (Spain:Country)-[bornIn]->(x:SoccerPlayer),
+                   (FC_Barcelona:SoccerClub)-[playsFor]->(x:SoccerPlayer)
+
+    SUM(transfer_value) MATCH (Spain:Country)-[bornIn]->(x:SoccerPlayer)
+        GROUP BY age BIN 5
+
+Names containing characters outside ``[A-Za-z0-9_.]`` can be quoted with
+double quotes: ``("Besty Ross":Person)``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.query.aggregate import AggregateFunction, AggregateQuery, Filter, GroupBy
+from repro.query.graph import PathQuery, QueryGraph
+
+__all__ = ["ParseError", "parse_query", "format_query"]
+
+_KEYWORDS = frozenset({"MATCH", "WHERE", "AND", "GROUP", "BY", "BIN"})
+_FUNCTIONS = frozenset(f.value for f in AggregateFunction)
+
+
+class ParseError(QueryError):
+    """An AQL string could not be parsed; carries the offending position."""
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        line = text.count("\n", 0, position) + 1
+        column = position - (text.rfind("\n", 0, position) + 1) + 1
+        snippet = text[position : position + 20] or "<end of input>"
+        super().__init__(
+            f"{message} at line {line}, column {column} (near {snippet!r})"
+        )
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # NAME | QUOTED | NUMBER | punctuation kinds below
+    value: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<ARROW_OUT>\]->)
+  | (?P<ARROW_IN>-\[)
+  | (?P<LE><=)
+  | (?P<GE>>=)
+  | (?P<LT><)
+  | (?P<GT>>)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COLON>:)
+  | (?P<PIPE>\|)
+  | (?P<COMMA>,)
+  | (?P<STAR>\*)
+  | (?P<NUMBER>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+  | (?P<QUOTED>"(?:[^"\\]|\\.)*")
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_.]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character", text, position)
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            value = match.group()
+            if kind == "QUOTED":
+                value = re.sub(r"\\(.)", r"\1", value[1:-1])
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token-stream helpers ----------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        position = token.position if token else len(self._text)
+        return ParseError(message, self._text, position)
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query", self._text, len(self._text))
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, what: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            raise self._error(f"expected {what}")
+        return self._advance()
+
+    def _at_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        return (
+            token is not None
+            and token.kind == "NAME"
+            and token.value.upper() == keyword
+        )
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._at_keyword(keyword):
+            raise self._error(f"expected keyword {keyword}")
+        self._advance()
+
+    def _name(self, what: str) -> str:
+        token = self._peek()
+        if token is not None and token.kind in ("NAME", "QUOTED"):
+            if token.kind == "NAME" and token.value.upper() in _KEYWORDS:
+                raise self._error(f"expected {what}, found keyword {token.value!r}")
+            return self._advance().value
+        raise self._error(f"expected {what}")
+
+    # -- grammar rules ------------------------------------------------------
+    def parse(self) -> AggregateQuery:
+        """Parse the token stream into an :class:`AggregateQuery`."""
+        function, attribute = self._aggregate()
+        self._expect_keyword("MATCH")
+        components = [self._pattern()]
+        while self._peek() is not None and self._peek().kind == "COMMA":  # type: ignore[union-attr]
+            self._advance()
+            components.append(self._pattern())
+
+        filters: list[Filter] = []
+        if self._at_keyword("WHERE"):
+            self._advance()
+            filters.append(self._condition())
+            while self._at_keyword("AND"):
+                self._advance()
+                filters.append(self._condition())
+
+        group_by: GroupBy | None = None
+        if self._at_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            group_attribute = self._name("a GROUP BY attribute")
+            bin_width: float | None = None
+            if self._at_keyword("BIN"):
+                self._advance()
+                bin_width = float(self._expect("NUMBER", "a bin width").value)
+            group_by = GroupBy(group_attribute, bin_width=bin_width)
+
+        if self._peek() is not None:
+            raise self._error("unexpected trailing input")
+
+        query_graph = self._assemble(components)
+        return AggregateQuery(
+            query=query_graph,
+            function=function,
+            attribute=attribute,
+            filters=tuple(filters),
+            group_by=group_by,
+        )
+
+    def _aggregate(self) -> tuple[AggregateFunction, str | None]:
+        token = self._expect("NAME", "an aggregate function")
+        name = token.value.upper()
+        if name not in _FUNCTIONS:
+            raise ParseError(
+                f"unknown aggregate function {token.value!r} "
+                f"(expected one of {sorted(_FUNCTIONS)})",
+                self._text,
+                token.position,
+            )
+        function = AggregateFunction(name)
+        self._expect("LPAREN", "'(' after the aggregate function")
+        attribute: str | None
+        if self._peek() is not None and self._peek().kind == "STAR":  # type: ignore[union-attr]
+            self._advance()
+            attribute = None
+        else:
+            attribute = self._name("an attribute name or '*'")
+        self._expect("RPAREN", "')' after the aggregate attribute")
+        if function is AggregateFunction.COUNT:
+            attribute = None  # COUNT(x) is tolerated and read as COUNT(*)
+        elif attribute is None:
+            raise self._error(f"{function.value} requires an attribute, not '*'")
+        return function, attribute
+
+    def _node(self, what: str) -> tuple[str, frozenset[str]]:
+        self._expect("LPAREN", f"'(' opening {what}")
+        name = self._name(f"the name of {what}")
+        self._expect("COLON", f"':' before the types of {what}")
+        types = [self._name("a node type")]
+        while self._peek() is not None and self._peek().kind == "PIPE":  # type: ignore[union-attr]
+            self._advance()
+            types.append(self._name("a node type"))
+        self._expect("RPAREN", f"')' closing {what}")
+        return name, frozenset(types)
+
+    def _pattern(self) -> tuple[PathQuery, str]:
+        """One pattern; returns the component and its target variable."""
+        specific_name, specific_types = self._node("the specific node")
+        hops: list[tuple[str, frozenset[str]]] = []
+        variable = ""
+        while self._peek() is not None and self._peek().kind == "ARROW_IN":  # type: ignore[union-attr]
+            self._advance()
+            predicate = self._name("an edge predicate")
+            self._expect("ARROW_OUT", "']->' closing the edge")
+            variable, types = self._node("a query node")
+            hops.append((predicate, types))
+        if not hops:
+            raise self._error("a pattern needs at least one -[predicate]-> edge")
+        component = PathQuery(
+            specific_name=specific_name,
+            specific_types=specific_types,
+            hops=tuple(hops),
+        )
+        return component, variable
+
+    def _assemble(
+        self, components: list[tuple[PathQuery, str]]
+    ) -> QueryGraph:
+        target_variables = {variable for _, variable in components}
+        if len(target_variables) > 1:
+            raise self._error(
+                "all patterns must end in the same target variable; got "
+                + ", ".join(sorted(target_variables))
+            )
+        paths = [component for component, _ in components]
+        if len(paths) == 1:
+            return QueryGraph(components=(paths[0],))
+        return QueryGraph.compose(paths)
+
+    def _condition(self) -> Filter:
+        """``25 <= attr <= 30``, ``attr <= 30`` or ``25 <= attr``."""
+        token = self._peek()
+        if token is None:
+            raise self._error("expected a filter condition")
+        if token.kind == "NUMBER":
+            # number cmp name [cmp number]
+            left = float(self._advance().value)
+            op1 = self._comparator()
+            attribute = self._name("a filter attribute")
+            lower, upper = self._bound_from(left, op1, before_attribute=True)
+            if self._peek() is not None and self._peek().kind in (  # type: ignore[union-attr]
+                "LE",
+                "LT",
+                "GE",
+                "GT",
+            ):
+                op2 = self._comparator()
+                right = float(self._expect("NUMBER", "a filter bound").value)
+                lower2, upper2 = self._bound_from(right, op2, before_attribute=False)
+                if (lower is None) == (lower2 is None):
+                    raise self._error(
+                        "a range condition must bound the attribute from "
+                        "both sides (e.g. 25 <= attr <= 30)"
+                    )
+                lower = lower if lower is not None else lower2
+                upper = upper if upper is not None else upper2
+            return Filter(attribute, lower=lower, upper=upper)
+        # name cmp number
+        attribute = self._name("a filter attribute")
+        op = self._comparator()
+        value = float(self._expect("NUMBER", "a filter bound").value)
+        lower, upper = self._bound_from(value, op, before_attribute=False)
+        return Filter(attribute, lower=lower, upper=upper)
+
+    def _comparator(self) -> str:
+        token = self._peek()
+        if token is None or token.kind not in ("LE", "LT", "GE", "GT"):
+            raise self._error("expected a comparison operator (<=, <, >=, >)")
+        return self._advance().kind
+
+    @staticmethod
+    def _bound_from(
+        value: float, op: str, *, before_attribute: bool
+    ) -> tuple[float | None, float | None]:
+        """Translate one comparison into (lower, upper) filter bounds.
+
+        ``before_attribute`` flips the direction: ``25 <= attr`` is a lower
+        bound, ``attr <= 25`` an upper one.  Strict comparisons become
+        half-open bounds via the adjacent float, which is exact for the
+        inclusive-range :class:`Filter`.
+        """
+        if before_attribute:
+            op = {"LE": "GE", "LT": "GT", "GE": "LE", "GT": "LT"}[op]
+        if op == "LE":
+            return None, value
+        if op == "LT":
+            return None, math.nextafter(value, -math.inf)
+        if op == "GE":
+            return value, None
+        return math.nextafter(value, math.inf), None
+
+
+def parse_query(text: str) -> AggregateQuery:
+    """Parse an AQL string into an :class:`AggregateQuery`.
+
+    Raises :class:`ParseError` (a :class:`~repro.errors.QueryError`) with
+    line/column information when the text is malformed.
+    """
+    return _Parser(text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Unparsing
+# ---------------------------------------------------------------------------
+_SAFE_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*\Z")
+
+
+def _quote(name: str) -> str:
+    if _SAFE_NAME_RE.match(name) and name.upper() not in _KEYWORDS:
+        return name
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _format_number(value: float) -> str:
+    return f"{value:g}"
+
+
+def _format_component(component: PathQuery, variable: str) -> str:
+    parts = [
+        f"({_quote(component.specific_name)}:"
+        f"{'|'.join(_quote(t) for t in sorted(component.specific_types))})"
+    ]
+    for index, (predicate, types) in enumerate(component.hops):
+        is_last = index == len(component.hops) - 1
+        node_name = variable if is_last else f"n{index + 1}"
+        parts.append(
+            f"-[{_quote(predicate)}]->"
+            f"({node_name}:{'|'.join(_quote(t) for t in sorted(types))})"
+        )
+    return "".join(parts)
+
+
+def format_query(aggregate_query: AggregateQuery) -> str:
+    """Render an :class:`AggregateQuery` back to parseable AQL text.
+
+    ``parse_query(format_query(q))`` reproduces ``q`` up to the float
+    adjustments strict comparisons introduce (the formatter only ever
+    emits inclusive bounds, which round-trip exactly).
+    """
+    function = aggregate_query.function
+    attribute = aggregate_query.attribute
+    head = f"{function.value}({_quote(attribute) if attribute else '*'})"
+    patterns = ", ".join(
+        _format_component(component, "x")
+        for component in aggregate_query.query.components
+    )
+    text = f"{head} MATCH {patterns}"
+    if aggregate_query.filters:
+        conditions = []
+        for filter_ in aggregate_query.filters:
+            if filter_.lower is not None and filter_.upper is not None:
+                conditions.append(
+                    f"{_format_number(filter_.lower)} <= {_quote(filter_.attribute)}"
+                    f" <= {_format_number(filter_.upper)}"
+                )
+            elif filter_.lower is not None:
+                conditions.append(
+                    f"{_quote(filter_.attribute)} >= {_format_number(filter_.lower)}"
+                )
+            else:
+                assert filter_.upper is not None
+                conditions.append(
+                    f"{_quote(filter_.attribute)} <= {_format_number(filter_.upper)}"
+                )
+        text += " WHERE " + " AND ".join(conditions)
+    if aggregate_query.group_by is not None:
+        text += f" GROUP BY {_quote(aggregate_query.group_by.attribute)}"
+        if aggregate_query.group_by.bin_width is not None:
+            text += f" BIN {_format_number(aggregate_query.group_by.bin_width)}"
+    return text

@@ -1,0 +1,38 @@
+"""Semantic-aware random-walk sampling (paper §IV-A) plus baselines.
+
+Pipeline: :class:`SamplingScope` bounds the walk to the n-hop neighbourhood
+of the mapping node; :class:`TransitionModel` builds the Eq. 5 transition
+probabilities from predicate similarities; :func:`stationary_distribution`
+runs Eq. 6 (power iteration) to convergence; :class:`AnswerCollector` draws
+the i.i.d. answer sample of Theorem 1.  :mod:`~repro.sampling.topology`
+contributes the CNARW / Node2Vec comparison samplers of Fig. 5(a), and
+:mod:`~repro.sampling.chain` the two-stage sampler for chain queries (§V-B).
+"""
+
+from repro.sampling.chain import ChainSampler
+from repro.sampling.collector import AnswerCollector, AnswerDistribution
+from repro.sampling.scope import SamplingScope, build_scope
+from repro.sampling.stationary import StationaryResult, stationary_distribution
+from repro.sampling.topology import (
+    cnarw_transition_model,
+    node2vec_visit_distribution,
+    uniform_transition_model,
+)
+from repro.sampling.transition import TransitionModel
+from repro.sampling.walker import RandomWalker, WalkRecord
+
+__all__ = [
+    "SamplingScope",
+    "build_scope",
+    "TransitionModel",
+    "StationaryResult",
+    "stationary_distribution",
+    "AnswerCollector",
+    "AnswerDistribution",
+    "ChainSampler",
+    "RandomWalker",
+    "WalkRecord",
+    "cnarw_transition_model",
+    "node2vec_visit_distribution",
+    "uniform_transition_model",
+]

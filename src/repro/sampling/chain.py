@@ -1,0 +1,188 @@
+"""Two-stage sampling for chain-shaped queries (paper §V-B).
+
+Stage 1 runs the semantic-aware walk from the specific entity with the
+first query predicate and keeps intermediate entities of the right type;
+stage 2 runs one walk *per intermediate* with the next predicate.  A final
+answer reached via intermediate ``ui`` has probability
+``pi' = pi'_i * pi'_(j|i)`` and duplicated answers accumulate their routes'
+probabilities — exactly the paper's composition rule (their sum is 1).
+
+For tractability the number of expanded intermediates is capped at the top
+``max_intermediates`` by stationary probability (re-normalised); the cap is
+recorded so experiments can report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.errors import SamplingError
+from repro.kg.graph import KnowledgeGraph
+from repro.query.answer import SampledAnswer
+from repro.query.graph import PathQuery
+from repro.sampling.collector import AnswerDistribution
+from repro.sampling.scope import build_scope, resolve_mapping_node
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class ChainDistribution:
+    """Joint answer distribution of a chain query.
+
+    ``routes`` maps each answer to its per-route components: a tuple of
+    ``(intermediate_path, probability)`` pairs; ``distribution`` is the
+    accumulated marginal the estimators consume.
+    """
+
+    distribution: AnswerDistribution
+    routes: dict[int, tuple[tuple[tuple[int, ...], float], ...]]
+    expanded_intermediates: int
+    truncated: bool
+
+
+class ChainSampler:
+    """Builds the composed stationary distribution of a chain component."""
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateVectorSpace,
+        *,
+        n_bound: int = 3,
+        max_intermediates: int = 64,
+        self_loop_weight: float = 0.001,
+        similarity_floor: float = 1e-3,
+    ) -> None:
+        if max_intermediates < 1:
+            raise SamplingError("max_intermediates must be >= 1")
+        self._kg = kg
+        self._space = space
+        self.n_bound = n_bound
+        self.max_intermediates = max_intermediates
+        self.self_loop_weight = self_loop_weight
+        self.similarity_floor = similarity_floor
+        from repro.sampling.strength import PredicateEdgeWeights
+
+        self._edge_weights = PredicateEdgeWeights(kg, space, floor=similarity_floor)
+
+    # ------------------------------------------------------------------
+    def _stage_distribution(
+        self, source: int, predicate: str, node_types: frozenset[str]
+    ) -> AnswerDistribution:
+        """Stationary answer distribution of one hop's walk from ``source``.
+
+        Uses the closed-form strength distribution (the walk is reversible;
+        see :mod:`repro.sampling.strength`) so that chains with many
+        intermediates stay affordable — one edge pass per stage instead of
+        one power iteration per intermediate.
+        """
+        from repro.sampling.collector import restrict_to_answers
+        from repro.sampling.strength import strength_distribution
+
+        scope = build_scope(self._kg, source, self.n_bound, node_types)
+        if scope.num_candidates == 0:
+            raise SamplingError(
+                f"no candidates of types {sorted(node_types)} within "
+                f"{self.n_bound} hops of node {source}"
+            )
+        probabilities = strength_distribution(
+            self._kg,
+            scope,
+            self._edge_weights.weights(predicate),
+            self_loop_weight=self.self_loop_weight,
+        )
+        return restrict_to_answers(scope, probabilities)
+
+    def build(self, component: PathQuery) -> ChainDistribution:
+        """Compose the per-hop distributions along ``component``."""
+        source = resolve_mapping_node(
+            self._kg, component.specific_name, component.specific_types
+        )
+        # frontier: partial route (nodes after the specific one) -> probability
+        frontier: dict[tuple[int, ...], float] = {(): 1.0}
+        truncated = False
+        expanded = 0
+
+        for predicate, node_types in component.hops:
+            next_frontier: dict[tuple[int, ...], float] = {}
+            # Expand only the most probable routes, keeping the cap global
+            # per hop so deep chains stay tractable.
+            ranked = sorted(frontier.items(), key=lambda item: -item[1])
+            kept = ranked[: self.max_intermediates]
+            if len(ranked) > len(kept):
+                truncated = True
+            kept_mass = sum(probability for _, probability in kept)
+            if kept_mass <= 0:
+                raise SamplingError("chain sampling lost all probability mass")
+            for route, probability in kept:
+                start = route[-1] if route else source
+                try:
+                    stage = self._stage_distribution(start, predicate, node_types)
+                except SamplingError:
+                    continue  # this intermediate reaches no next-hop candidate
+                expanded += 1
+                renormalised = probability / kept_mass
+                for node, node_probability in zip(stage.answers, stage.probabilities):
+                    extended = route + (int(node),)
+                    contribution = renormalised * float(node_probability)
+                    next_frontier[extended] = next_frontier.get(extended, 0.0) + contribution
+            if not next_frontier:
+                raise SamplingError(
+                    f"chain hop with predicate {predicate!r} produced no candidates"
+                )
+            frontier = next_frontier
+
+        # Accumulate route probabilities per final answer (the paper's rule).
+        marginal: dict[int, float] = {}
+        routes: dict[int, list[tuple[tuple[int, ...], float]]] = {}
+        for route, probability in frontier.items():
+            answer = route[-1]
+            marginal[answer] = marginal.get(answer, 0.0) + probability
+            routes.setdefault(answer, []).append((route[:-1], probability))
+
+        answers = np.asarray(sorted(marginal), dtype=np.int64)
+        probabilities = np.asarray(
+            [marginal[int(answer)] for answer in answers], dtype=np.float64
+        )
+        probabilities = probabilities / probabilities.sum()
+        distribution = AnswerDistribution(answers=answers, probabilities=probabilities)
+        frozen_routes = {
+            answer: tuple(sorted(pairs, key=lambda pair: -pair[1]))
+            for answer, pairs in routes.items()
+        }
+        return ChainDistribution(
+            distribution=distribution,
+            routes=frozen_routes,
+            expanded_intermediates=expanded,
+            truncated=truncated,
+        )
+
+    def collect(
+        self,
+        chain: ChainDistribution,
+        sample_size: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> list[SampledAnswer]:
+        """Draw i.i.d. answers; each carries its most likely route."""
+        if sample_size <= 0:
+            raise SamplingError("sample_size must be positive")
+        rng = ensure_rng(seed)
+        distribution = chain.distribution
+        picks = rng.choice(
+            len(distribution.answers), size=sample_size, p=distribution.probabilities
+        )
+        sampled = []
+        for pick in picks:
+            node = int(distribution.answers[pick])
+            best_route = chain.routes[node][0][0] if chain.routes.get(node) else ()
+            sampled.append(
+                SampledAnswer(
+                    node_id=node,
+                    probability=float(distribution.probabilities[pick]),
+                    route=best_route,
+                )
+            )
+        return sampled

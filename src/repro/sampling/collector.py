@@ -1,0 +1,135 @@
+"""Continuous sampling of candidate answers (paper §IV-A2(3), Theorem 1).
+
+After convergence, the stationary distribution over the scope is restricted
+to the candidate answers and renormalised (pi'_i = pi_i / sum pi); the
+collector then draws answers i.i.d. from that distribution — non-answer
+nodes are "ignored" exactly as in the paper.  Each draw carries its pi'_i,
+which the Eq. 7-9 estimators divide by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.query.answer import SampledAnswer
+from repro.sampling.scope import SamplingScope
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class AnswerDistribution:
+    """The answer-restricted stationary distribution pi_A."""
+
+    answers: np.ndarray  # node ids with positive stationary probability
+    probabilities: np.ndarray  # pi'_i, sums to 1
+
+    def __post_init__(self) -> None:
+        if len(self.answers) != len(self.probabilities):
+            raise SamplingError("answers and probabilities must align")
+        if len(self.answers) == 0:
+            raise SamplingError("no candidate answer has positive probability")
+        total = float(self.probabilities.sum())
+        if not np.isclose(total, 1.0, atol=1e-8):
+            raise SamplingError(f"pi_A must sum to 1, got {total}")
+
+    @property
+    def support_size(self) -> int:
+        """Number of distinct answers in the support."""
+        return len(self.answers)
+
+    def probability_of(self, node_id: int) -> float:
+        """The stationary probability pi' of one support entry."""
+        matches = np.nonzero(self.answers == node_id)[0]
+        if len(matches) == 0:
+            return 0.0
+        return float(self.probabilities[matches[0]])
+
+    def as_mapping(self) -> dict[int, float]:
+        """Answer id -> probability dict view of the distribution."""
+        return {
+            int(node): float(probability)
+            for node, probability in zip(self.answers, self.probabilities)
+        }
+
+
+def restrict_to_answers(
+    scope: SamplingScope, stationary: np.ndarray
+) -> AnswerDistribution:
+    """Extract pi_A from the scope-wide stationary distribution.
+
+    ``stationary`` is aligned with ``scope.nodes``.  Answers whose
+    stationary probability is exactly zero are dropped from the support
+    (they can never be visited, hence never sampled).
+    """
+    index = scope.index_of()
+    answers: list[int] = []
+    raw: list[float] = []
+    for node in scope.candidate_answers:
+        probability = float(stationary[index[node]])
+        if probability > 0.0:
+            answers.append(node)
+            raw.append(probability)
+    if not answers:
+        raise SamplingError(
+            "the stationary distribution assigns zero mass to every candidate"
+        )
+    probabilities = np.asarray(raw, dtype=np.float64)
+    probabilities = probabilities / probabilities.sum()
+    return AnswerDistribution(
+        answers=np.asarray(answers, dtype=np.int64), probabilities=probabilities
+    )
+
+
+class AnswerCollector:
+    """Draws i.i.d. answer samples from an :class:`AnswerDistribution`."""
+
+    def __init__(
+        self,
+        distribution: AnswerDistribution,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self._distribution = distribution
+        self._rng = ensure_rng(seed)
+
+    @property
+    def distribution(self) -> AnswerDistribution:
+        """The answer distribution being sampled from."""
+        return self._distribution
+
+    def collect_indices(self, sample_size: int) -> np.ndarray:
+        """Draw ``sample_size`` support indices with replacement from pi_A.
+
+        The engine works in index space: node ids and probabilities are
+        recovered by fancy-indexing the distribution's arrays, which keeps
+        the per-draw cost at numpy speed.
+        """
+        if sample_size <= 0:
+            raise SamplingError("sample_size must be positive")
+        return self._rng.choice(
+            len(self._distribution.answers),
+            size=sample_size,
+            p=self._distribution.probabilities,
+        )
+
+    def collect(self, sample_size: int) -> list[SampledAnswer]:
+        """Draw ``sample_size`` answers with replacement from pi_A."""
+        distribution = self._distribution
+        picks = self.collect_indices(sample_size)
+        return [
+            SampledAnswer(
+                node_id=int(distribution.answers[pick]),
+                probability=float(distribution.probabilities[pick]),
+            )
+            for pick in picks
+        ]
+
+    def collect_little_samples(
+        self, count: int, size_each: int
+    ) -> list[list[SampledAnswer]]:
+        """``count`` independent little samples for the BLB (§IV-C)."""
+        if count <= 0:
+            raise SamplingError("count must be positive")
+        return [self.collect(size_each) for _ in range(count)]

@@ -1,0 +1,96 @@
+"""The n-bounded sampling scope (paper §IV-A2).
+
+The random walk is restricted to nodes within ``n`` hops of the mapping
+node ``us`` — the induced subgraph G'.  The scope also pre-computes the
+candidate answer set A (Definition 4: nodes in G' sharing a type with the
+query target), which the collector, estimators and SSB all consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MappingNodeNotFoundError, SamplingError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.traversal import hop_distances
+
+
+@dataclass(frozen=True)
+class SamplingScope:
+    """The n-bounded subgraph around one mapping node, plus its candidates."""
+
+    source: int
+    n_bound: int
+    #: node id -> hop distance from the source, for every node in G'
+    distances: dict[int, int] = field(repr=False)
+    #: scope nodes in a fixed order (source first, then BFS discovery order)
+    nodes: tuple[int, ...] = field(repr=False)
+    #: candidate answers A: scope nodes type-compatible with the target
+    candidate_answers: tuple[int, ...] = field(repr=False)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes inside the scope."""
+        return len(self.nodes)
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of candidate answers inside the scope."""
+        return len(self.candidate_answers)
+
+    def contains(self, node_id: int) -> bool:
+        """True when ``node_id`` lies inside the scope."""
+        return node_id in self.distances
+
+    def index_of(self) -> dict[int, int]:
+        """node id -> dense index within :attr:`nodes` (built on demand)."""
+        return {node: index for index, node in enumerate(self.nodes)}
+
+
+def resolve_mapping_node(
+    kg: KnowledgeGraph, specific_name: str, specific_types: frozenset[str]
+) -> int:
+    """Find ``us`` for the query's specific node (Definition 5, cond. 1).
+
+    The KG is assumed entity-disambiguated, so the name lookup is unique;
+    the type intersection must also be non-empty.
+    """
+    if not kg.has_node_named(specific_name):
+        raise MappingNodeNotFoundError(f"no entity named {specific_name!r} in the KG")
+    node_id = kg.node_by_name(specific_name)
+    node = kg.node(node_id)
+    if not node.shares_type_with(specific_types):
+        raise MappingNodeNotFoundError(
+            f"entity {specific_name!r} has types {sorted(node.types)}, "
+            f"none of the required {sorted(specific_types)}"
+        )
+    return node_id
+
+
+def build_scope(
+    kg: KnowledgeGraph,
+    source: int,
+    n_bound: int,
+    target_types: frozenset[str],
+) -> SamplingScope:
+    """BFS the n-bounded subgraph and collect candidate answers.
+
+    Candidates exclude the source itself (an answer entity is distinct from
+    the specific entity in Definition 3's query graphs).
+    """
+    if n_bound < 1:
+        raise SamplingError("n_bound must be >= 1")
+    distances = hop_distances(kg, source, n_bound)
+    ordered_nodes = tuple(sorted(distances, key=lambda node: (distances[node], node)))
+    candidates = tuple(
+        node
+        for node in ordered_nodes
+        if node != source and kg.node(node).shares_type_with(target_types)
+    )
+    return SamplingScope(
+        source=source,
+        n_bound=n_bound,
+        distances=distances,
+        nodes=ordered_nodes,
+        candidate_answers=candidates,
+    )

@@ -1,0 +1,89 @@
+"""Closed-form stationary distributions for the reversible walk.
+
+The Eq. 5 transition matrix is a random walk on an undirected graph with
+symmetric edge weights (each edge's predicate similarity to the query
+predicate), so the chain is *reversible* and its stationary distribution is
+proportional to node strength — the sum of incident in-scope edge weights:
+
+    pi(u)  =  s(u) / sum_v s(v),      s(u) = sum_{e=(u,v), v in scope} w(e)
+
+This module computes that closed form directly.  It is mathematically
+identical to running Eq. 6 power iteration to convergence (tests assert the
+agreement) but costs one pass over the scope's edges — which is what makes
+the per-intermediate stage walks of chain queries (§V-B) affordable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.errors import SamplingError
+from repro.kg.graph import KnowledgeGraph
+from repro.sampling.scope import SamplingScope
+from repro.semantics.similarity import SIMILARITY_FLOOR, clamp_similarity
+
+
+class PredicateEdgeWeights:
+    """Per-query-predicate edge weight arrays, cached by predicate name."""
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateVectorSpace,
+        *,
+        floor: float = SIMILARITY_FLOOR,
+    ) -> None:
+        self._kg = kg
+        self._space = space
+        self.floor = floor
+        self._edge_predicate_ids = kg.edge_predicate_ids()
+        self._cache: dict[str, np.ndarray] = {}
+
+    def weights(self, query_predicate: str) -> np.ndarray:
+        """Clamped similarity of every edge's predicate to the query's."""
+        cached = self._cache.get(query_predicate)
+        if cached is not None:
+            return cached
+        per_predicate = np.array(
+            [
+                clamp_similarity(
+                    self._space.similarity(name, query_predicate), self.floor
+                )
+                for name in self._kg.predicates
+            ],
+            dtype=np.float64,
+        )
+        weights = per_predicate[self._edge_predicate_ids]
+        self._cache[query_predicate] = weights
+        return weights
+
+
+def strength_distribution(
+    kg: KnowledgeGraph,
+    scope: SamplingScope,
+    edge_weights: np.ndarray,
+    *,
+    self_loop_weight: float = 0.001,
+) -> np.ndarray:
+    """Stationary probabilities over ``scope.nodes`` via node strengths.
+
+    ``edge_weights`` is the per-edge weight array for the query predicate
+    (see :class:`PredicateEdgeWeights`).  The mapping node's aperiodicity
+    self-loop contributes ``self_loop_weight`` to its strength, matching
+    :class:`~repro.sampling.transition.TransitionModel` exactly.
+    """
+    in_scope = scope.distances
+    strengths = np.zeros(len(scope.nodes), dtype=np.float64)
+    for position, node in enumerate(scope.nodes):
+        total = 0.0
+        for edge_id, neighbour in kg.neighbors(node):
+            if neighbour in in_scope:
+                total += edge_weights[edge_id]
+        strengths[position] = total
+    source_position = scope.index_of()[scope.source]
+    strengths[source_position] += self_loop_weight
+    total_strength = strengths.sum()
+    if total_strength <= 0.0:
+        raise SamplingError("scope has no positively weighted edges")
+    return strengths / total_strength

@@ -1,0 +1,149 @@
+"""Transition matrix of the semantic-aware random walk (Eq. 5).
+
+For every scope node ``ui`` the probability of moving to neighbour ``uj``
+is proportional to the predicate similarity of the connecting edge to the
+query predicate.  The mapping node gets a small self-loop (weight 0.001 by
+default) which makes the chain aperiodic (Lemma 2); clamping similarities
+to a positive floor keeps it irreducible within the scope (Lemma 1).
+
+The matrix is stored row-compressed (one neighbour/probability array pair
+per node) and can be exported as a ``scipy.sparse.csr_matrix`` for the
+power-iteration solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.errors import SamplingError
+from repro.kg.graph import KnowledgeGraph
+from repro.sampling.scope import SamplingScope
+from repro.semantics.similarity import SIMILARITY_FLOOR, clamp_similarity
+
+DEFAULT_SELF_LOOP_WEIGHT = 0.001
+
+
+@dataclass(frozen=True)
+class _Row:
+    neighbours: np.ndarray  # dense scope indexes
+    probabilities: np.ndarray
+    edge_ids: np.ndarray
+
+
+class TransitionModel:
+    """Row-compressed transition probabilities over a sampling scope."""
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        scope: SamplingScope,
+        space: PredicateVectorSpace,
+        query_predicate: str,
+        *,
+        self_loop_weight: float = DEFAULT_SELF_LOOP_WEIGHT,
+        similarity_floor: float = SIMILARITY_FLOOR,
+    ) -> None:
+        if self_loop_weight <= 0:
+            raise SamplingError("self_loop_weight must be positive (Lemma 2)")
+        self.scope = scope
+        self.query_predicate = query_predicate
+        self._index = scope.index_of()
+        self._rows: list[_Row] = []
+        self._build(kg, space, self_loop_weight, similarity_floor)
+
+    def _build(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateVectorSpace,
+        self_loop_weight: float,
+        similarity_floor: float,
+    ) -> None:
+        source_index = self._index[self.scope.source]
+        for node in self.scope.nodes:
+            node_index = self._index[node]
+            neighbour_indexes: list[int] = []
+            weights: list[float] = []
+            edge_ids: list[int] = []
+            for edge_id, neighbour in kg.neighbors(node):
+                other_index = self._index.get(neighbour)
+                if other_index is None:
+                    continue  # neighbour outside the n-bounded scope
+                predicate = kg.predicate_of(edge_id)
+                weight = clamp_similarity(
+                    space.similarity(predicate, self.query_predicate),
+                    similarity_floor,
+                )
+                neighbour_indexes.append(other_index)
+                weights.append(weight)
+                edge_ids.append(edge_id)
+            if node_index == source_index:
+                # Aperiodicity fix: a tiny self-loop on the mapping node.
+                neighbour_indexes.append(source_index)
+                weights.append(self_loop_weight)
+                edge_ids.append(-1)
+            if not neighbour_indexes:
+                # Isolated scope node (possible when n_bound splits bridges):
+                # park the walker with a self-loop so rows stay stochastic.
+                neighbour_indexes.append(node_index)
+                weights.append(1.0)
+                edge_ids.append(-1)
+            weight_array = np.asarray(weights, dtype=np.float64)
+            probabilities = weight_array / weight_array.sum()
+            self._rows.append(
+                _Row(
+                    neighbours=np.asarray(neighbour_indexes, dtype=np.int64),
+                    probabilities=probabilities,
+                    edge_ids=np.asarray(edge_ids, dtype=np.int64),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of states (scope nodes) in the chain."""
+        return len(self._rows)
+
+    def row(self, scope_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbour_indexes, probabilities)`` for one scope node."""
+        row = self._rows[scope_index]
+        return row.neighbours, row.probabilities
+
+    def row_edges(self, scope_index: int) -> np.ndarray:
+        """(edge_ids, neighbours, probabilities) of one state's row."""
+        return self._rows[scope_index].edge_ids
+
+    def probability(self, from_index: int, to_index: int) -> float:
+        """p_ij between two scope indexes (0.0 when there is no edge)."""
+        row = self._rows[from_index]
+        matches = row.neighbours == to_index
+        if not np.any(matches):
+            return 0.0
+        return float(row.probabilities[matches].sum())
+
+    def to_sparse(self) -> sparse.csr_matrix:
+        """The full row-stochastic matrix P as a CSR matrix."""
+        indptr = [0]
+        indices: list[np.ndarray] = []
+        data: list[np.ndarray] = []
+        for row in self._rows:
+            indices.append(row.neighbours)
+            data.append(row.probabilities)
+            indptr.append(indptr[-1] + len(row.neighbours))
+        return sparse.csr_matrix(
+            (
+                np.concatenate(data) if data else np.empty(0),
+                np.concatenate(indices) if indices else np.empty(0, dtype=np.int64),
+                np.asarray(indptr, dtype=np.int64),
+            ),
+            shape=(self.size, self.size),
+        )
+
+    def validate_stochastic(self, atol: float = 1e-9) -> bool:
+        """True when every row sums to one (Markov-chain property)."""
+        return all(
+            abs(float(row.probabilities.sum()) - 1.0) <= atol for row in self._rows
+        )

@@ -1,0 +1,186 @@
+"""Exhaustive subgraph-match search (the expensive core of SSB, §III).
+
+Since Eq. 2 is non-monotone in path length, Dijkstra-style pruning is
+unsound; the paper's remark 2 prescribes enumerating all (simple) paths up
+to length ``n`` from the mapping node.  :func:`best_matches_from` does this
+in a *single* depth-first pass and records, for every reachable node, the
+best similarity and the path realising it — so SSB's per-candidate cost is
+amortised over one traversal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.kg.graph import KnowledgeGraph
+from repro.semantics.similarity import SIMILARITY_FLOOR, clamp_similarity
+
+
+@dataclass(frozen=True)
+class SubgraphMatch:
+    """One edge-to-path mapping (Definition 5) with its Eq. 2 similarity."""
+
+    answer: int
+    edge_path: tuple[int, ...]
+    node_path: tuple[int, ...]
+    similarity: float
+
+    @property
+    def length(self) -> int:
+        """Number of edges on the path so far."""
+        return len(self.edge_path)
+
+
+def best_matches_from(
+    kg: KnowledgeGraph,
+    space: PredicateVectorSpace,
+    query_predicate: str,
+    source: int,
+    max_length: int,
+    *,
+    targets: Iterable[int] | None = None,
+    floor: float = SIMILARITY_FLOOR,
+    max_expansions: int | None = None,
+) -> dict[int, SubgraphMatch]:
+    """Best subgraph match for every node reachable within ``max_length``.
+
+    Enumerates all simple paths from ``source`` of length <= ``max_length``
+    by DFS, carrying the running log-similarity so each extension is O(1).
+    When ``targets`` is given, only those nodes are recorded (the traversal
+    still passes through every node — correctness requires full
+    enumeration — but skips the bookkeeping for non-targets).
+    ``max_expansions`` caps the number of path extensions for callers that
+    need bounded latency; hitting the cap can only produce underestimates
+    (never false positives), mirroring the paper's false-negative analysis.
+    """
+    if max_length < 1:
+        raise ValueError("max_length must be >= 1")
+    target_set = set(targets) if targets is not None else None
+    best: dict[int, SubgraphMatch] = {}
+    expansions = 0
+
+    # Iterative DFS over simple paths; each frame is (node, neighbour index).
+    edge_path: list[int] = []
+    node_path: list[int] = [source]
+    log_sum = 0.0
+    log_stack: list[float] = []
+    on_path = {source}
+    stack: list[tuple[int, int]] = [(source, 0)]
+
+    def consider(node: int, depth: int, log_total: float) -> None:
+        """Record ``path`` if it beats the best similarity seen for its answer."""
+        if target_set is not None and node not in target_set:
+            return
+        similarity = math.exp(log_total / depth)
+        current = best.get(node)
+        if current is None or similarity > current.similarity:
+            best[node] = SubgraphMatch(
+                answer=node,
+                edge_path=tuple(edge_path),
+                node_path=tuple(node_path),
+                similarity=similarity,
+            )
+
+    while stack:
+        node, index = stack[-1]
+        neighbours = kg.neighbors(node)
+        if index >= len(neighbours) or (
+            max_expansions is not None and expansions >= max_expansions
+        ):
+            stack.pop()
+            if edge_path:
+                edge_path.pop()
+                node_path.pop()
+                log_sum -= log_stack.pop()
+            if node != source:
+                on_path.discard(node)
+            continue
+        stack[-1] = (node, index + 1)
+        edge_id, neighbour = neighbours[index]
+        if neighbour in on_path:
+            continue
+        expansions += 1
+        predicate = kg.predicate_of(edge_id)
+        log_similarity = math.log(
+            clamp_similarity(space.similarity(predicate, query_predicate), floor)
+        )
+        edge_path.append(edge_id)
+        node_path.append(neighbour)
+        log_sum += log_similarity
+        log_stack.append(log_similarity)
+        consider(neighbour, len(edge_path), log_sum)
+        if len(edge_path) < max_length:
+            on_path.add(neighbour)
+            stack.append((neighbour, 0))
+        else:
+            edge_path.pop()
+            node_path.pop()
+            log_sum -= log_stack.pop()
+
+    return best
+
+
+def best_matches_iterative(
+    kg: KnowledgeGraph,
+    space: PredicateVectorSpace,
+    query_predicate: str,
+    source: int,
+    max_length: int,
+    *,
+    targets: Iterable[int] | None = None,
+    floor: float = SIMILARITY_FLOOR,
+    budget_per_level: int = 3000,
+) -> dict[int, SubgraphMatch]:
+    """Budgeted enumeration via iterative deepening.
+
+    A plain depth-first enumeration with an expansion cap can burn its
+    entire budget inside the first neighbour's (possibly huge) subtree and
+    never record the source's other *direct* edges.  Iterative deepening
+    runs the capped DFS at depths 1..max_length and merges per-node best
+    matches, so shallow matches — which dominate Eq. 3 in practice — are
+    always recorded before deep exploration spends the budget.
+    """
+    target_set = set(targets) if targets is not None else None
+    merged: dict[int, SubgraphMatch] = {}
+    for depth in range(1, max_length + 1):
+        level = best_matches_from(
+            kg,
+            space,
+            query_predicate,
+            source,
+            depth,
+            targets=target_set,
+            floor=floor,
+            max_expansions=budget_per_level,
+        )
+        for node, match in level.items():
+            current = merged.get(node)
+            if current is None or match.similarity > current.similarity:
+                merged[node] = match
+    return merged
+
+
+def find_best_match(
+    kg: KnowledgeGraph,
+    space: PredicateVectorSpace,
+    query_predicate: str,
+    source: int,
+    target: int,
+    max_length: int,
+    *,
+    floor: float = SIMILARITY_FLOOR,
+) -> SubgraphMatch | None:
+    """Best match for a single target, or ``None`` if it is unreachable."""
+    matches = best_matches_from(
+        kg,
+        space,
+        query_predicate,
+        source,
+        max_length,
+        targets=[target],
+        floor=floor,
+    )
+    return matches.get(target)

@@ -1,0 +1,236 @@
+"""Greedy correctness validation with repeat factor ``r`` (paper §IV-B2).
+
+Enumerating all subgraph matches per sampled answer is what makes SSB slow;
+the engine instead runs a best-first search from the mapping node, guided by
+the stationary visiting probabilities computed during sampling, and stops
+after finding ``r`` distinct paths to the answer.  The best similarity among
+those paths decides correctness (similarity >= tau).
+
+Properties (paper's effectiveness analysis):
+
+* no false positives — an incorrect answer has *no* path of similarity
+  >= tau, so whatever path the greedy search returns cannot clear tau;
+* false negatives shrink as ``r`` grows (Fig. 6(c)): more paths found means
+  a better chance of hitting the answer's optimal match.
+
+Implementation notes.  A validator instance is bound to one query component
+and caches, per node, (a) a probability-sorted, branch-capped successor
+list with precomputed log-similarities, and (b) the full adjacency map used
+for the goal shortcut: whenever the expanded node has a direct edge to the
+answer, that path is recorded immediately instead of competing in the heap.
+This keeps one validation at O(budget * branch_cap) heap operations even
+around hubs with thousands of neighbours.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.kg.graph import KnowledgeGraph
+from repro.semantics.similarity import SIMILARITY_FLOOR, clamp_similarity
+
+#: default cap on queue pops per validation; bounds worst-case latency.
+DEFAULT_EXPANSION_BUDGET = 120
+
+#: successors kept per node (probability-ordered beam).
+DEFAULT_BRANCH_CAP = 16
+
+
+@dataclass(frozen=True)
+class ValidationOutcome:
+    """Result of validating one answer."""
+
+    answer: int
+    similarity: float
+    paths_found: int
+    expansions: int
+    #: length (edges) of the best path found; 0 when none was found
+    best_length: int = 0
+
+    def is_correct(self, tau: float) -> bool:
+        """True when the answer's (heuristic) best match clears tau."""
+        return self.similarity >= tau
+
+
+class CorrectnessValidator:
+    """Best-first path search guided by stationary probabilities."""
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateVectorSpace,
+        *,
+        repeat_factor: int = 3,
+        max_length: int = 3,
+        floor: float = SIMILARITY_FLOOR,
+        expansion_budget: int = DEFAULT_EXPANSION_BUDGET,
+        branch_cap: int = DEFAULT_BRANCH_CAP,
+    ) -> None:
+        if repeat_factor < 1:
+            raise ValueError("repeat_factor must be >= 1")
+        if max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        if branch_cap < 1:
+            raise ValueError("branch_cap must be >= 1")
+        self._kg = kg
+        self._space = space
+        self.repeat_factor = repeat_factor
+        self.max_length = max_length
+        self.floor = floor
+        self.expansion_budget = expansion_budget
+        self.branch_cap = branch_cap
+        # caches are (query predicate, visiting map) specific; they reset
+        # when the validator is reused for a different context
+        self._cache_key: tuple[str, int] | None = None
+        self._children: dict[int, list[tuple[float, int, float]]] = {}
+        self._adjacency: dict[int, dict[int, float]] = {}
+        self._log_cache: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def _reset_cache(self, query_predicate: str, visiting_id: int) -> None:
+        key = (query_predicate, visiting_id)
+        if self._cache_key != key:
+            self._cache_key = key
+            self._children.clear()
+            self._adjacency.clear()
+            self._log_cache.clear()
+
+    def _log_similarity(self, predicate: str, query_predicate: str) -> float:
+        cached = self._log_cache.get(predicate)
+        if cached is None:
+            cached = math.log(
+                clamp_similarity(
+                    self._space.similarity(predicate, query_predicate), self.floor
+                )
+            )
+            self._log_cache[predicate] = cached
+        return cached
+
+    def _expand(
+        self,
+        node: int,
+        query_predicate: str,
+        visiting_probabilities: Mapping[int, float],
+    ) -> tuple[list[tuple[float, int, float]], dict[int, float]]:
+        """Cached ``(sorted successor beam, full adjacency log-sims)``."""
+        children = self._children.get(node)
+        if children is not None:
+            return children, self._adjacency[node]
+        adjacency: dict[int, float] = {}
+        for edge_id, neighbour in self._kg.neighbors(node):
+            log_similarity = self._log_similarity(
+                self._kg.predicate_of(edge_id), query_predicate
+            )
+            previous = adjacency.get(neighbour)
+            if previous is None or log_similarity > previous:
+                adjacency[neighbour] = log_similarity
+        beam = sorted(
+            (
+                (-visiting_probabilities[neighbour], neighbour, log_similarity)
+                for neighbour, log_similarity in adjacency.items()
+                if neighbour in visiting_probabilities
+            ),
+        )[: self.branch_cap]
+        self._children[node] = beam
+        self._adjacency[node] = adjacency
+        return beam, adjacency
+
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        source: int,
+        answer: int,
+        query_predicate: str,
+        visiting_probabilities: Mapping[int, float],
+        stop_threshold: float | None = None,
+    ) -> ValidationOutcome:
+        """Find up to ``repeat_factor`` paths ``source -> answer`` greedily.
+
+        The frontier is a max-heap on the stationary probability of a
+        partial path's endpoint — the paper's "select the node with the
+        highest visiting probability" policy.  Only nodes with known
+        probability (i.e. inside the sampling scope) are expanded.
+
+        ``stop_threshold`` enables a sound short-circuit for correctness
+        validation: the answer similarity is a max over paths, so once a
+        found path reaches the threshold the >= tau verdict cannot change
+        and the remaining repeat-factor paths are skipped.
+        """
+        self._reset_cache(query_predicate, id(visiting_probabilities))
+        best_similarity = 0.0
+        best_length = 0
+        paths_found = 0
+        expansions = 0
+        tie_breaker = itertools.count()
+
+        # Heap entries: (-probability, tiebreak, node, log_sim, on_path).
+        heap: list[tuple[float, int, int, float, tuple[int, ...]]] = [
+            (-visiting_probabilities.get(source, 1.0), next(tie_breaker), source,
+             0.0, (source,))
+        ]
+        done = False
+        while heap and not done and expansions < self.expansion_budget:
+            _, _, node, log_sum, on_path = heapq.heappop(heap)
+            depth = len(on_path) - 1
+            expansions += 1
+            if depth >= self.max_length:
+                continue
+            beam, adjacency = self._expand(
+                node, query_predicate, visiting_probabilities
+            )
+            # Goal shortcut: a direct edge from the expanded node to the
+            # answer completes a path right away.
+            goal_log = adjacency.get(answer)
+            if goal_log is not None and answer not in on_path:
+                similarity = math.exp((log_sum + goal_log) / (depth + 1))
+                paths_found += 1
+                if similarity > best_similarity:
+                    best_similarity = similarity
+                    best_length = depth + 1
+                if paths_found >= self.repeat_factor or (
+                    stop_threshold is not None
+                    and best_similarity >= stop_threshold
+                ):
+                    done = True
+                    continue
+            for priority, child, log_similarity in beam:
+                if child == answer or child in on_path:
+                    continue
+                heapq.heappush(
+                    heap,
+                    (
+                        priority,
+                        next(tie_breaker),
+                        child,
+                        log_sum + log_similarity,
+                        on_path + (child,),
+                    ),
+                )
+        return ValidationOutcome(
+            answer=answer,
+            similarity=best_similarity,
+            paths_found=paths_found,
+            expansions=expansions,
+            best_length=best_length,
+        )
+
+    def validate_many(
+        self,
+        source: int,
+        answers: list[int],
+        query_predicate: str,
+        visiting_probabilities: Mapping[int, float],
+    ) -> dict[int, ValidationOutcome]:
+        """Validate each distinct answer once; results keyed by answer id."""
+        outcomes: dict[int, ValidationOutcome] = {}
+        for answer in answers:
+            if answer not in outcomes:
+                outcomes[answer] = self.validate(
+                    source, answer, query_predicate, visiting_probabilities
+                )
+        return outcomes

@@ -1,0 +1,88 @@
+"""Wall-clock timers used by the engine to attribute time to stages S1-S3.
+
+Table XII of the paper reports per-step times for semantic-aware sampling
+(S1), approximate estimation (S2) and accuracy guarantee (S3); the engine
+uses :class:`StageTimer` to accumulate those buckets.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Timer:
+    """A simple start/stop timer accumulating elapsed seconds."""
+
+    elapsed: float = 0.0
+    _started_at: float | None = None
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        if self._started_at is not None:
+            raise RuntimeError("timer already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and accumulate the elapsed time."""
+        if self._started_at is None:
+            raise RuntimeError("timer not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    @property
+    def running(self) -> bool:
+        """True while started and not yet stopped."""
+        return self._started_at is not None
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Accumulated milliseconds."""
+        return self.elapsed * 1000.0
+
+
+@dataclass
+class StageTimer:
+    """Accumulates elapsed time into named stages.
+
+    >>> stages = StageTimer()
+    >>> with stages.measure("sampling"):
+    ...     pass
+    >>> "sampling" in stages.stages
+    True
+    """
+
+    stages: dict[str, Timer] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, stage: str) -> Iterator[Timer]:
+        """Context manager timing one stage by name."""
+        timer = self.stages.setdefault(stage, Timer())
+        timer.start()
+        try:
+            yield timer
+        finally:
+            timer.stop()
+
+    def elapsed(self, stage: str) -> float:
+        """Elapsed seconds for ``stage`` (0.0 if the stage never ran)."""
+        timer = self.stages.get(stage)
+        return timer.elapsed if timer is not None else 0.0
+
+    def elapsed_ms(self, stage: str) -> float:
+        """Accumulated milliseconds."""
+        return self.elapsed(stage) * 1000.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all stages' elapsed milliseconds."""
+        return sum(timer.elapsed for timer in self.stages.values())
+
+    def as_dict_ms(self) -> dict[str, float]:
+        """Stage -> milliseconds mapping, for reports."""
+        return {name: timer.elapsed_ms for name, timer in self.stages.items()}

@@ -1,0 +1,117 @@
+"""Tests for the simulated human-annotation pipeline (HA-GT)."""
+
+import pytest
+
+from repro.datasets import AnnotationOracle, dbpedia_like, simple_query_graph
+from repro.datasets.workload import chain_query_graph
+from repro.errors import DatasetError
+from repro.query import AggregateFunction, AggregateQuery, QueryGraph
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return dbpedia_like(seed=0)
+
+
+@pytest.fixture(scope="module")
+def oracle(bundle):
+    return AnnotationOracle(bundle)
+
+
+class TestSchemaApproval:
+    def test_high_similarity_schemas_approved(self, oracle):
+        approved = oracle.approved_schemas("germany_cars")
+        assert "direct_product" in approved
+        assert "direct_assembly" in approved
+
+    def test_low_similarity_schemas_rejected(self, oracle):
+        approved = oracle.approved_schemas("germany_cars")
+        assert "via_designer" not in approved
+        assert "direct_carRelation" not in approved
+
+    def test_deterministic(self, bundle):
+        first = AnnotationOracle(bundle).approved_schemas("germany_cars")
+        second = AnnotationOracle(bundle).approved_schemas("germany_cars")
+        assert first == second
+
+    def test_approval_probability_monotone(self, oracle):
+        low = oracle._approval_probability(0.5, 0)
+        mid = oracle._approval_probability(0.8, 0)
+        high = oracle._approval_probability(0.95, 0)
+        assert low < mid < high
+
+    def test_needs_annotators(self, bundle):
+        with pytest.raises(DatasetError):
+            AnnotationOracle(bundle, num_annotators=0)
+
+
+class TestHumanAnswers:
+    def test_simple_component(self, bundle, oracle):
+        hub = bundle.spec.hub("germany_cars")
+        graph = simple_query_graph(hub)
+        answers = oracle.human_answers(graph)
+        # the direct_product entities must all be included
+        approved = oracle.approved_schemas("germany_cars")
+        for node_id in bundle.answers_of("germany_cars", "simple"):
+            provenance = bundle.schema_of(node_id, "germany_cars", "simple")
+            assert (node_id in answers) == (provenance.schema_label in approved)
+
+    def test_chain_component(self, bundle, oracle):
+        hub = bundle.spec.hub("germany_cars")
+        graph = chain_query_graph(hub)
+        answers = oracle.human_answers(graph)
+        assert answers == bundle.answers_of("germany_cars", "chain")
+
+    def test_composite_intersection(self, bundle, oracle):
+        germany = simple_query_graph(bundle.spec.hub("germany_cars"))
+        bavaria = simple_query_graph(bundle.spec.hub("bavaria_cars"))
+        composite = QueryGraph.compose([germany, bavaria])
+        answers = oracle.human_answers(composite)
+        assert answers == (
+            oracle.human_answers(germany) & oracle.human_answers(bavaria)
+        )
+        assert answers  # cycle overlap entities exist
+
+    def test_unknown_component_raises(self, oracle):
+        graph = QueryGraph.simple("Germany", ["Country"], "flies_to", ["Automobile"])
+        with pytest.raises(DatasetError, match="no hub matches"):
+            oracle.human_answers(graph)
+
+
+class TestHumanGroundTruth:
+    def test_count_ground_truth(self, bundle, oracle):
+        hub = bundle.spec.hub("germany_cars")
+        query = AggregateQuery(
+            query=simple_query_graph(hub), function=AggregateFunction.COUNT
+        )
+        truth = oracle.ground_truth(query)
+        assert truth.value == float(len(truth.answers))
+        assert truth.value > 0
+
+    def test_ha_close_to_tau_gt(self, bundle, oracle):
+        """With the calibrated tau, HA-GT and tau-GT should be similar."""
+        from repro.baselines import SemanticSimilarityBaseline
+
+        hub = bundle.spec.hub("germany_cars")
+        query = AggregateQuery(
+            query=simple_query_graph(hub), function=AggregateFunction.COUNT
+        )
+        tau_truth = SemanticSimilarityBaseline(
+            bundle.kg, bundle.space()
+        ).ground_truth(query)
+        ha_truth = oracle.ground_truth(query)
+        overlap = len(tau_truth.answers & ha_truth.answers)
+        union = len(tau_truth.answers | ha_truth.answers)
+        assert overlap / union > 0.85  # Table V territory
+
+    def test_grouped_ground_truth(self, bundle, oracle):
+        from repro.query import GroupBy
+
+        hub = bundle.spec.hub("germany_cars")
+        query = AggregateQuery(
+            query=simple_query_graph(hub),
+            function=AggregateFunction.COUNT,
+            group_by=GroupBy("body_style_code"),
+        )
+        truth = oracle.ground_truth(query)
+        assert sum(truth.groups.values()) == float(len(truth.answers))

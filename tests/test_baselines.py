@@ -1,0 +1,252 @@
+"""Tests for the comparator systems (SSB, SPARQL, SGQ, GraB, QGA, EAQ)."""
+
+import numpy as np
+import pytest
+
+from repro import AggregateFunction, AggregateQuery, QueryGraph
+from repro.baselines import (
+    EaqBaseline,
+    GrabBaseline,
+    QgaBaseline,
+    SemanticSimilarityBaseline,
+    SgqBaseline,
+    SparqlStyleEngine,
+    tau_ground_truth,
+)
+from repro.embedding import EmbeddingTrainer, TrainingConfig, TransEModel
+from repro.errors import QueryError
+from repro.query import Filter, GroupBy
+
+
+@pytest.fixture(scope="module")
+def ssb(toy) -> SemanticSimilarityBaseline:
+    return SemanticSimilarityBaseline(toy.kg, toy.space)
+
+
+class TestSSB:
+    def test_tau_gt_count_exact(self, toy, ssb):
+        truth = ssb.ground_truth(toy.count_query())
+        assert truth.value == toy.count_truth
+        assert truth.answers == frozenset(toy.correct_cars)
+
+    def test_tau_gt_avg_exact(self, toy, ssb):
+        truth = ssb.ground_truth(toy.avg_query())
+        assert truth.value == pytest.approx(toy.avg_truth)
+
+    def test_near_misses_excluded(self, toy, ssb):
+        truth = ssb.ground_truth(toy.count_query())
+        assert not (truth.answers & set(toy.near_miss_cars))
+
+    def test_lower_tau_admits_near_misses(self, toy):
+        lenient = SemanticSimilarityBaseline(toy.kg, toy.space, tau=0.4)
+        truth = lenient.ground_truth(toy.count_query())
+        assert truth.answers & set(toy.near_miss_cars)
+
+    def test_answer_method_matches_ground_truth(self, toy, ssb):
+        answer = ssb.answer(toy.count_query())
+        truth = ssb.ground_truth(toy.count_query())
+        assert answer.value == truth.value
+        assert answer.relative_error(truth.value) == 0.0
+        assert answer.elapsed_seconds > 0
+
+    def test_filters_applied(self, toy, ssb):
+        query = AggregateQuery(
+            query=toy.count_query().query,
+            function=AggregateFunction.COUNT,
+            filters=(Filter("price", 30_000.0, 31_000.0),),
+        )
+        truth = ssb.ground_truth(query)
+        expected = sum(
+            1
+            for car in toy.correct_cars
+            if 30_000.0 <= toy.kg.node(car).attribute("price") <= 31_000.0
+        )
+        assert truth.value == float(expected)
+
+    def test_group_by_ground_truth(self, toy, ssb):
+        query = AggregateQuery(
+            query=toy.count_query().query,
+            function=AggregateFunction.COUNT,
+            group_by=GroupBy("price", bin_width=10_000.0),
+        )
+        truth = ssb.ground_truth(query)
+        assert sum(truth.groups.values()) == toy.count_truth
+
+    def test_chain_ground_truth(self, toy, ssb):
+        query = AggregateQuery(
+            query=QueryGraph.chain(
+                "Germany",
+                ["Country"],
+                [("nationality", ["Person"]), ("designer", ["Automobile"])],
+            ),
+            function=AggregateFunction.COUNT,
+        )
+        truth = ssb.ground_truth(query)
+        # chain predicates match the near-miss wiring exactly -> 20 answers
+        assert truth.value == float(len(toy.near_miss_cars))
+
+    def test_convenience_wrapper(self, toy):
+        truth = tau_ground_truth(toy.kg, toy.space, toy.count_query())
+        assert truth.value == toy.count_truth
+
+    def test_wrapper_raises_on_undefined_attribute_truth(self, toy):
+        query = AggregateQuery(
+            query=toy.count_query().query,
+            function=AggregateFunction.AVG,
+            attribute="nonexistent",
+        )
+        with pytest.raises(QueryError):
+            tau_ground_truth(toy.kg, toy.space, query)
+
+
+class TestSparql:
+    def test_exact_schema_only(self, toy):
+        """The exact-match engine misses every schema-flexible answer."""
+        engine = SparqlStyleEngine(toy.kg, label="JENA")
+        answer = engine.answer(toy.count_query())
+        assert answer.value == 0.0  # no literal "product" edges in the toy KG
+
+    def test_finds_exact_predicate(self, toy):
+        query = AggregateQuery(
+            query=QueryGraph.simple("Germany", ["Country"], "assembly", ["Automobile"]),
+            function=AggregateFunction.COUNT,
+        )
+        answer = SparqlStyleEngine(toy.kg).answer(query)
+        # only directly-assembled cars match the literal predicate
+        direct = sum(1 for i, car in enumerate(toy.correct_cars) if i % 2 == 0)
+        assert answer.value == float(direct)
+
+    def test_chain_bgp(self, toy):
+        query = AggregateQuery(
+            query=QueryGraph.chain(
+                "Germany",
+                ["Country"],
+                [("nationality", ["Person"]), ("designer", ["Automobile"])],
+            ),
+            function=AggregateFunction.COUNT,
+        )
+        answer = SparqlStyleEngine(toy.kg).answer(query)
+        assert answer.value == float(len(toy.near_miss_cars))
+
+    def test_label(self, toy):
+        assert SparqlStyleEngine(toy.kg, label="Virtuoso").method_name == "Virtuoso"
+
+
+class TestSgq:
+    def test_includes_all_correct(self, toy, ssb):
+        baseline = SgqBaseline(toy.kg, toy.space)
+        answers = baseline.collect_answers(toy.count_query())
+        assert set(toy.correct_cars) <= answers
+
+    def test_topk_overshoot(self, toy):
+        """k grows in steps of 50: with 60 correct answers, k = 100 admits
+        up to 40 extra (near-miss) answers — SGQ's signature error."""
+        baseline = SgqBaseline(toy.kg, toy.space, k_step=50)
+        answer = baseline.answer(toy.count_query())
+        assert answer.value > toy.count_truth
+
+    def test_exact_k_no_overshoot(self, toy):
+        baseline = SgqBaseline(toy.kg, toy.space, k_step=60)
+        answer = baseline.answer(toy.count_query())
+        assert answer.value == toy.count_truth
+
+
+class TestGrab:
+    def test_structural_overinclusion(self, toy):
+        """GraB admits everything within its distance decay — near-misses too."""
+        baseline = GrabBaseline(toy.kg)
+        answers = baseline.collect_answers(toy.count_query())
+        assert set(toy.correct_cars) <= answers
+        assert set(toy.near_miss_cars) & answers
+
+    def test_tight_threshold_misses_two_hop(self, toy):
+        baseline = GrabBaseline(toy.kg, threshold=0.9)
+        answers = baseline.collect_answers(toy.count_query())
+        via_company = {car for i, car in enumerate(toy.correct_cars) if i % 2 == 1}
+        assert not (answers & via_company)
+
+    def test_invalid_decay(self, toy):
+        with pytest.raises(ValueError):
+            GrabBaseline(toy.kg, decay=0.0)
+
+
+class TestQga:
+    def test_token_overlap_matching(self, toy):
+        from repro.baselines.qga import token_overlap, tokenize
+
+        assert tokenize("producedBy") == frozenset({"produced", "by"})
+        assert token_overlap(tokenize("product"), tokenize("product")) == 1.0
+        assert token_overlap(tokenize("product"), tokenize("misc")) == 0.0
+
+    def test_no_token_overlap_no_answers(self, toy):
+        """'product' shares no tokens with 'assembly' etc.: QGA finds nothing."""
+        baseline = QgaBaseline(toy.kg)
+        answer = baseline.answer(toy.count_query())
+        assert answer.value == 0.0
+
+    def test_finds_keyword_matches(self, toy):
+        query = AggregateQuery(
+            query=QueryGraph.simple("Germany", ["Country"], "assembly", ["Automobile"]),
+            function=AggregateFunction.COUNT,
+        )
+        baseline = QgaBaseline(toy.kg)
+        answer = baseline.answer(query)
+        assert answer.value >= 30.0  # direct assembly cars match the keyword
+
+
+class TestEaq:
+    @pytest.fixture(scope="class")
+    def trained_model(self, toy):
+        model = TransEModel(
+            toy.kg.num_nodes,
+            toy.kg.num_predicates,
+            dim=16,
+            predicate_names=list(toy.kg.predicates),
+            seed=0,
+        )
+        EmbeddingTrainer(TrainingConfig(epochs=20, seed=0)).train(model, toy.kg)
+        return model
+
+    def test_simple_query_runs(self, toy, trained_model):
+        query = AggregateQuery(
+            query=QueryGraph.simple("Germany", ["Country"], "assembly", ["Automobile"]),
+            function=AggregateFunction.COUNT,
+        )
+        baseline = EaqBaseline(toy.kg, trained_model)
+        answer = baseline.answer(query)
+        assert answer.value >= 0.0
+
+    def test_composite_rejected(self, toy, trained_model):
+        chain = AggregateQuery(
+            query=QueryGraph.chain(
+                "Germany",
+                ["Country"],
+                [("nationality", ["Person"]), ("designer", ["Automobile"])],
+            ),
+            function=AggregateFunction.COUNT,
+        )
+        baseline = EaqBaseline(toy.kg, trained_model)
+        with pytest.raises(QueryError, match="simple"):
+            baseline.collect_answers(chain)
+
+    def test_invalid_quantile(self, toy, trained_model):
+        with pytest.raises(ValueError):
+            EaqBaseline(toy.kg, trained_model, score_quantile=1.5)
+
+
+class TestErrorOrdering:
+    def test_ours_vs_comparators_on_toy(self, toy, ssb, fast_config):
+        """The paper's headline: ours has far lower error than comparators."""
+        from repro import ApproximateAggregateEngine
+
+        truth = ssb.ground_truth(toy.count_query()).value
+        engine = ApproximateAggregateEngine(toy.kg, toy.embedding, fast_config)
+        ours = engine.execute(toy.count_query()).relative_error(truth)
+        for baseline in (
+            SgqBaseline(toy.kg, toy.space),
+            GrabBaseline(toy.kg),
+            QgaBaseline(toy.kg),
+            SparqlStyleEngine(toy.kg),
+        ):
+            comparator_error = baseline.answer(toy.count_query()).relative_error(truth)
+            assert ours < comparator_error

@@ -1,0 +1,124 @@
+"""Tests for the benchmark harness, metrics and reporting layers."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    bench_context,
+    jaccard,
+    method_names,
+    relative_error,
+    render_table,
+    run_method,
+)
+from repro.bench.harness import BenchContext
+from repro.bench.metrics import grouped_relative_error, mean_or_nan, variance_or_nan
+from repro.bench.reporting import save_result
+from repro.datasets import guaranteed_queries
+from repro.errors import ReproError
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+
+    def test_jaccard(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert jaccard(set(), set()) == 1.0
+        assert jaccard({1}, set()) == 0.0
+
+    def test_mean_or_nan(self):
+        assert mean_or_nan([1.0, 3.0]) == 2.0
+        assert np.isnan(mean_or_nan([]))
+        assert mean_or_nan([1.0, float("inf")]) == 1.0
+
+    def test_variance_or_nan(self):
+        assert variance_or_nan([1.0, 3.0]) == pytest.approx(2.0)
+        assert np.isnan(variance_or_nan([1.0]))
+
+    def test_grouped_relative_error(self):
+        truth = {1.0: 10.0, 2.0: 20.0}
+        estimated = {1.0: 11.0}  # missing group 2 counts as 100% error
+        value = grouped_relative_error(estimated, truth)
+        assert value == pytest.approx((0.1 + 1.0) / 2)
+        assert grouped_relative_error({}, {}) == 0.0
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(
+            "Title", ["A", "LongHeader"], [["x", 1.5], ["yy", 10_000.0]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "LongHeader" in lines[2]
+        assert "10,000.0" in text
+
+    def test_render_none_and_nan(self):
+        text = render_table("T", ["A"], [[None], [float("nan")]])
+        assert text.count("-") >= 2
+
+    def test_notes_appended(self):
+        text = render_table("T", ["A"], [["x"]], notes="a note")
+        assert text.endswith("a note")
+
+    def test_save_result(self, tmp_path, monkeypatch):
+        import repro.bench.reporting as reporting
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        path = save_result("unit", "content")
+        assert path.read_text() == "content\n"
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def context(self) -> BenchContext:
+        return bench_context("dbpedia-like", seed=0, scale=1.0)
+
+    def test_method_roster(self):
+        assert method_names() == (
+            "Ours", "EAQ", "GraB", "QGA", "SGQ", "JENA", "Virtuoso", "SSB",
+        )
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ReproError):
+            BenchContext("no-such-preset")
+
+    def test_ground_truth_caching(self, context):
+        query = guaranteed_queries(context.workload)[0]
+        first = context.tau_ground_truth(query.aggregate_query)
+        second = context.tau_ground_truth(query.aggregate_query)
+        assert first is second
+
+    def test_ssb_method_has_zero_tau_error(self, context):
+        query = guaranteed_queries(context.workload)[0]
+        truth = context.tau_ground_truth(query.aggregate_query)
+        outcome = run_method(context, "SSB", query)
+        assert outcome.error_against(truth.value, truth.groups) == 0.0
+
+    def test_ours_runs_and_reports(self, context):
+        query = guaranteed_queries(context.workload)[1]  # an AVG query
+        truth = context.tau_ground_truth(query.aggregate_query)
+        outcome = run_method(context, "Ours", query, query_seed=3)
+        assert outcome.elapsed_seconds > 0
+        assert outcome.error_against(truth.value, truth.groups) < 0.05
+
+    def test_eaq_unsupported_on_chain(self, context):
+        chain_query = next(
+            q for q in context.workload if q.shape.value == "chain"
+        )
+        outcome = run_method(context, "EAQ", chain_query)
+        assert not outcome.supported
+        assert np.isnan(outcome.error_against(1.0, {}))
+
+    def test_unknown_method_rejected(self, context):
+        query = context.workload[0]
+        with pytest.raises(ReproError):
+            run_method(context, "Oracle", query)
+
+    def test_context_memoised(self):
+        assert bench_context("dbpedia-like", 0, 1.0) is bench_context(
+            "dbpedia-like", 0, 1.0
+        )

@@ -1,0 +1,248 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ExperimentResult, _result
+from repro.cli import EXPERIMENTS, _figure_series, main
+
+
+# ---------------------------------------------------------------------------
+# datasets
+# ---------------------------------------------------------------------------
+def test_datasets_lists_all_presets(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("dbpedia-like", "freebase-like", "yago2-like"):
+        assert name in out
+    assert "nodes" in out
+
+
+# ---------------------------------------------------------------------------
+# query
+# ---------------------------------------------------------------------------
+def test_query_simple_count(capsys):
+    code = main(
+        [
+            "query",
+            "COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)",
+            "--dataset",
+            "dbpedia-like",
+            "--error-bound",
+            "0.05",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "COUNT" in out
+    assert "CI" in out
+    assert "ms" in out
+
+
+def test_query_with_trace(capsys):
+    code = main(
+        [
+            "query",
+            "COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)",
+            "--error-bound",
+            "0.05",
+            "--trace",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "round" in out
+
+
+def test_query_group_by(capsys):
+    code = main(
+        [
+            "query",
+            "COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)"
+            " GROUP BY body_style_code",
+            "--error-bound",
+            "0.05",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "groups" in out
+
+
+def test_query_unknown_dataset(capsys):
+    code = main(["query", "COUNT(*) MATCH (A:B)-[c]->(x:D)", "--dataset", "nope"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown dataset" in err
+
+
+def test_query_parse_error_is_reported(capsys):
+    code = main(["query", "THIS IS NOT AQL"])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "error:" in err
+
+
+def test_query_missing_mapping_node(capsys):
+    code = main(
+        ["query", "COUNT(*) MATCH (Atlantis:Country)-[product]->(x:Automobile)"]
+    )
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "error:" in err
+
+
+# ---------------------------------------------------------------------------
+# experiment
+# ---------------------------------------------------------------------------
+def test_experiment_list(capsys):
+    assert main(["experiment", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table6", "fig6b", "scaling", "ext_evt"):
+        assert name in out
+
+
+def test_experiment_registry_covers_every_bench():
+    import pathlib
+
+    bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+    bench_stems = {
+        # bench files zero-pad table numbers (bench_table06_...)
+        path.stem.removeprefix("bench_").replace("table0", "table")
+        for path in bench_dir.glob("bench_*.py")
+    }
+    # every registry name must be the prefix of some bench file stem
+    for name in EXPERIMENTS:
+        assert any(stem.startswith(name) for stem in bench_stems), name
+
+
+def test_experiment_unknown_name(capsys):
+    code = main(["experiment", "never-heard-of-it"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown experiment" in err
+
+
+def test_experiment_runs_stub_driver(capsys, monkeypatch):
+    stub = _result(
+        "stub",
+        "Stub experiment",
+        ["Label", "x", "y"],
+        [["a", 1.0, 2.0], ["a", 2.0, 3.0], ["b", 1.0, 4.0], ["b", 2.0, 1.0]],
+    )
+    monkeypatch.setitem(EXPERIMENTS, "stub", lambda seed=0: stub)
+    assert main(["experiment", "stub"]) == 0
+    out = capsys.readouterr().out
+    assert "Stub experiment" in out
+
+
+def test_experiment_plot_draws_chart(capsys, monkeypatch):
+    stub = _result(
+        "stub",
+        "Stub experiment",
+        ["Label", "x", "y"],
+        [["a", 1.0, 2.0], ["a", 2.0, 3.0], ["b", 1.0, 4.0], ["b", 2.0, 1.0]],
+    )
+    monkeypatch.setitem(EXPERIMENTS, "stub", lambda seed=0: stub)
+    assert main(["experiment", "stub", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "* a" in out
+    assert "o b" in out
+
+
+def test_experiment_plot_without_series(capsys, monkeypatch):
+    stub = _result("stub", "Stub", ["A", "B", "C"], [["x", "y", "z"]])
+    monkeypatch.setitem(EXPERIMENTS, "stub", lambda seed=0: stub)
+    assert main(["experiment", "stub", "--plot"]) == 0
+    assert "no plottable series" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# _figure_series layouts
+# ---------------------------------------------------------------------------
+def test_figure_series_label_first_layout():
+    result = _result(
+        "f", "t", ["Sampler", "x", "err"],
+        [["semantic", 1, 2.0], ["semantic", 2, 1.0], ["cnarw", 1, 8.0], ["cnarw", 2, 7.0]],
+    )
+    series, x_column, y_column = _figure_series(result)
+    assert {one.name for one in series} == {"semantic", "cnarw"}
+    assert (x_column, y_column) == (1, 2)
+
+
+def test_figure_series_x_first_layout():
+    result = _result(
+        "f", "t", ["r", "Function", "err"],
+        [[1, "COUNT", 2.0], [2, "COUNT", 1.5], [1, "AVG", 1.0], [2, "AVG", 0.5]],
+    )
+    series, x_column, y_column = _figure_series(result)
+    assert {one.name for one in series} == {"COUNT", "AVG"}
+    assert (x_column, y_column) == (0, 2)
+
+
+def test_figure_series_skips_short_groups():
+    result = _result("f", "t", ["L", "x", "y"], [["only-one-point", 1, 2.0]])
+    series, _x, _y = _figure_series(result)
+    assert series == []
+
+
+# ---------------------------------------------------------------------------
+# workload
+# ---------------------------------------------------------------------------
+def test_workload_runs_a_slice(capsys):
+    code = main(["workload", "--dataset", "dbpedia-like", "--limit", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "qid" in out
+    assert "Q001" in out
+
+
+def test_workload_unknown_dataset(capsys):
+    code = main(["workload", "--dataset", "nope"])
+    assert code == 2
+    assert "unknown dataset" in capsys.readouterr().err
+
+
+def test_workload_empty_filter(capsys):
+    code = main(["workload", "--limit", "0"])
+    assert code == 2
+    assert "no workload queries" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# export
+# ---------------------------------------------------------------------------
+def test_export_json_round_trips(tmp_path, capsys):
+    from repro.kg import load_json
+
+    path = tmp_path / "kg.json"
+    assert main(["export", str(path), "--dataset", "dbpedia-like"]) == 0
+    assert "wrote" in capsys.readouterr().out
+    kg = load_json(path)
+    assert kg.num_nodes > 0
+    assert kg.num_edges > 0
+
+
+def test_export_graphml_is_readable_by_networkx(tmp_path):
+    import networkx as nx
+
+    path = tmp_path / "kg.graphml"
+    assert main(["export", str(path), "--format", "graphml"]) == 0
+    graph = nx.read_graphml(path)
+    assert graph.number_of_nodes() > 0
+    some_node = next(iter(graph.nodes(data=True)))[1]
+    assert "types" in some_node
+
+
+def test_export_triples_is_tsv(tmp_path):
+    path = tmp_path / "kg.tsv"
+    assert main(["export", str(path), "--format", "triples"]) == 0
+    first_line = path.read_text().splitlines()[0]
+    assert len(first_line.split("\t")) == 3
+
+
+def test_export_unknown_dataset(tmp_path, capsys):
+    code = main(["export", str(tmp_path / "x.json"), "--dataset", "nope"])
+    assert code == 2
+    assert "unknown dataset" in capsys.readouterr().err

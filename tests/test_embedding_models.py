@@ -1,0 +1,169 @@
+"""Tests for the five embedding models and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    EmbeddingTrainer,
+    RescalModel,
+    StructuredEmbeddingModel,
+    TrainingConfig,
+    TransDModel,
+    TransEModel,
+    TransHModel,
+)
+from repro.errors import EmbeddingError
+from repro.kg import KnowledgeGraph
+
+ALL_MODELS = [TransEModel, TransHModel, TransDModel, RescalModel, StructuredEmbeddingModel]
+
+
+def tiny_model(model_class, num_entities=20, num_predicates=4, dim=8, seed=0):
+    return model_class(
+        num_entities,
+        num_predicates,
+        dim=dim,
+        predicate_names=[f"p{i}" for i in range(num_predicates)],
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def training_kg() -> KnowledgeGraph:
+    """A KG where predicates p_same / p_alias connect identical node pairs.
+
+    Relations used in identical contexts should end up with similar
+    vectors — the property Eq. 4 relies on.
+    """
+    rng = np.random.default_rng(3)
+    kg = KnowledgeGraph("train")
+    left = [kg.add_node(f"L{i}", ["L"]) for i in range(25)]
+    right = [kg.add_node(f"R{i}", ["R"]) for i in range(25)]
+    other = [kg.add_node(f"O{i}", ["O"]) for i in range(25)]
+    for index in range(25):
+        kg.add_edge(left[index], "p_same", right[index])
+        kg.add_edge(left[index], "p_alias", right[index])
+        kg.add_edge(right[index], "p_diff", other[(index + 3) % 25])
+        kg.add_edge(other[index], "p_noise", left[int(rng.integers(0, 25))])
+    return kg
+
+
+class TestModelBasics:
+    @pytest.mark.parametrize("model_class", ALL_MODELS)
+    def test_score_shape_and_sign(self, model_class):
+        model = tiny_model(model_class)
+        heads = np.array([0, 1, 2])
+        relations = np.array([0, 1, 2])
+        tails = np.array([3, 4, 5])
+        scores = model.score(heads, relations, tails)
+        assert scores.shape == (3,)
+        assert np.all(np.isfinite(scores))
+
+    @pytest.mark.parametrize("model_class", ALL_MODELS)
+    def test_relation_vectors_shape(self, model_class):
+        model = tiny_model(model_class)
+        vectors = model.relation_vectors()
+        assert vectors.shape[0] == model.num_predicates
+        assert vectors.shape[1] >= model.dim
+
+    @pytest.mark.parametrize("model_class", ALL_MODELS)
+    def test_predicate_vector_lookup(self, model_class):
+        model = tiny_model(model_class)
+        vector = model.predicate_vector("p1")
+        np.testing.assert_array_equal(vector, model.relation_vectors()[1])
+        with pytest.raises(EmbeddingError):
+            model.predicate_vector("nope")
+
+    @pytest.mark.parametrize("model_class", ALL_MODELS)
+    def test_parameter_count_positive(self, model_class):
+        model = tiny_model(model_class)
+        assert model.parameter_count() > 0
+        assert model.memory_bytes() == model.parameter_count() * 8
+
+    def test_memory_ordering_translation_vs_tensor(self):
+        """RESCAL/SE carry d*d matrices per relation: far more parameters."""
+        transe = tiny_model(TransEModel)
+        rescal = tiny_model(RescalModel)
+        se = tiny_model(StructuredEmbeddingModel)
+        assert transe.parameter_count() < rescal.parameter_count()
+        assert transe.parameter_count() < se.parameter_count()
+
+    def test_invalid_construction(self):
+        with pytest.raises(EmbeddingError):
+            TransEModel(0, 1, 4, predicate_names=["p"])
+        with pytest.raises(EmbeddingError):
+            TransEModel(1, 1, 0, predicate_names=["p"])
+        with pytest.raises(EmbeddingError):
+            TransEModel(1, 2, 4, predicate_names=["p"])  # name count mismatch
+
+    @pytest.mark.parametrize("model_class", ALL_MODELS)
+    def test_sgd_step_reduces_positive_scores(self, model_class):
+        """A few steps on one repeated pair must improve its score vs noise."""
+        model = tiny_model(model_class)
+        positives = np.array([[0, 0, 1]] * 8)
+        negatives = np.array([[0, 0, 15]] * 8)
+        before = model.score(np.array([0]), np.array([0]), np.array([1]))[0]
+        for _ in range(30):
+            model.sgd_step(positives, negatives, learning_rate=0.05, margin=1.0)
+        after_pos = model.score(np.array([0]), np.array([0]), np.array([1]))[0]
+        after_neg = model.score(np.array([0]), np.array([0]), np.array([15]))[0]
+        assert after_pos < after_neg  # positive triple scores better (lower)
+
+    @pytest.mark.parametrize("model_class", ALL_MODELS)
+    def test_normalize_entities_keeps_unit_rows(self, model_class):
+        model = tiny_model(model_class)
+        model.entity *= 3.0
+        model.normalize_entities()
+        norms = np.linalg.norm(model.entity, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+
+class TestTrainer:
+    def test_training_reduces_loss(self, training_kg):
+        model = tiny_model(TransEModel, num_entities=training_kg.num_nodes,
+                           num_predicates=training_kg.num_predicates, dim=16)
+        report = EmbeddingTrainer(TrainingConfig(epochs=15, seed=1)).train(
+            model, training_kg
+        )
+        assert report.epochs_run >= 1
+        assert report.loss_history[-1] < report.loss_history[0]
+        assert report.wall_seconds > 0
+
+    def test_trained_alias_predicates_similar(self, training_kg):
+        """p_same and p_alias share all contexts -> high cosine after training."""
+        from repro.embedding.predicate_space import PredicateVectorSpace
+
+        model = TransEModel(
+            training_kg.num_nodes,
+            training_kg.num_predicates,
+            dim=16,
+            predicate_names=list(training_kg.predicates),
+            seed=0,
+        )
+        EmbeddingTrainer(TrainingConfig(epochs=60, seed=1)).train(model, training_kg)
+        space = PredicateVectorSpace(model)
+        same_alias = space.similarity("p_same", "p_alias")
+        same_diff = space.similarity("p_same", "p_diff")
+        assert same_alias > same_diff
+
+    def test_empty_graph_rejected(self):
+        kg = KnowledgeGraph()
+        kg.add_node("a", ["T"])
+        model = tiny_model(TransEModel, num_entities=1, num_predicates=1)
+        with pytest.raises(EmbeddingError, match="no edges"):
+            EmbeddingTrainer().train(model, kg)
+
+    def test_entity_range_checked(self, training_kg):
+        model = tiny_model(TransEModel, num_entities=3, num_predicates=10)
+        with pytest.raises(EmbeddingError, match="range"):
+            EmbeddingTrainer().train(model, training_kg)
+
+    def test_config_validation(self):
+        with pytest.raises(EmbeddingError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(EmbeddingError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(EmbeddingError):
+            TrainingConfig(learning_rate=0)
+        with pytest.raises(EmbeddingError):
+            TrainingConfig(margin=0)

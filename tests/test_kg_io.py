@@ -1,0 +1,79 @@
+"""Round-trip tests for KG serialisation."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.kg import KnowledgeGraph, load_json, load_triples, save_json, save_triples
+from repro.kg.statistics import compute_statistics
+
+
+@pytest.fixture
+def sample_kg() -> KnowledgeGraph:
+    kg = KnowledgeGraph("sample")
+    germany = kg.add_node("Germany", ["Country", "Place"])
+    bmw = kg.add_node("BMW_320", ["Automobile"], {"price": 36_000.0, "hp": 335.0})
+    kg.add_edge(bmw, "assembly", germany)
+    return kg
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self, sample_kg, tmp_path):
+        path = tmp_path / "kg.json"
+        save_json(sample_kg, path)
+        restored = load_json(path)
+        assert restored.name == sample_kg.name
+        assert restored.num_nodes == sample_kg.num_nodes
+        assert restored.num_edges == sample_kg.num_edges
+        bmw = restored.node(restored.node_by_name("BMW_320"))
+        assert bmw.types == frozenset({"Automobile"})
+        assert bmw.attribute("price") == 36_000.0
+        edge = restored.edge(0)
+        assert edge.predicate == "assembly"
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "nodes": [], "edges": []}')
+        with pytest.raises(DatasetError, match="version"):
+            load_json(path)
+
+
+class TestTripleRoundTrip:
+    def test_triples_roundtrip(self, sample_kg, tmp_path):
+        path = tmp_path / "kg.tsv"
+        save_triples(sample_kg, path)
+        restored = load_triples(path)
+        assert restored.num_edges == 1
+        assert restored.has_node_named("Germany")
+        assert restored.predicate_of(0) == "assembly"
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "kg.tsv"
+        path.write_text("# comment\n\na\tp\tb\n")
+        kg = load_triples(path)
+        assert kg.num_edges == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "kg.tsv"
+        path.write_text("only two\tfields\n")
+        with pytest.raises(DatasetError, match="expected 3 fields"):
+            load_triples(path)
+
+
+class TestStatistics:
+    def test_table3_shape(self, sample_kg):
+        stats = compute_statistics(sample_kg)
+        assert stats.num_nodes == 2
+        assert stats.num_edges == 1
+        assert stats.num_node_types == 3
+        assert stats.num_edge_predicates == 1
+        assert stats.mean_degree == 1.0
+        assert stats.max_degree == 1
+        assert stats.num_attributes == 2
+        row = stats.as_table_row()
+        assert row["Dataset"] == "sample"
+        assert row["#Nodes"] == 2
+
+    def test_empty_graph(self):
+        stats = compute_statistics(KnowledgeGraph("empty"))
+        assert stats.mean_degree == 0.0
+        assert stats.max_degree == 0

@@ -1,0 +1,392 @@
+"""Tests for the AQL text query language (repro.query.parser)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.query import AggregateFunction, AggregateQuery, Filter, GroupBy, QueryShape
+from repro.query.graph import PathQuery, QueryGraph
+from repro.query.parser import ParseError, format_query, parse_query
+
+
+# ---------------------------------------------------------------------------
+# Happy paths, one per language feature
+# ---------------------------------------------------------------------------
+def test_simple_count():
+    query = parse_query("COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)")
+    assert query.function is AggregateFunction.COUNT
+    assert query.attribute is None
+    assert query.query.shape is QueryShape.SIMPLE
+    component = query.query.components[0]
+    assert component.specific_name == "Germany"
+    assert component.specific_types == frozenset({"Country"})
+    assert component.hops == (("product", frozenset({"Automobile"})),)
+
+
+def test_simple_avg_attribute():
+    query = parse_query("AVG(price) MATCH (Germany:Country)-[product]->(x:Automobile)")
+    assert query.function is AggregateFunction.AVG
+    assert query.attribute == "price"
+
+
+def test_keywords_are_case_insensitive():
+    query = parse_query(
+        "avg(price) match (Germany:Country)-[product]->(x:Automobile)"
+        " where 1 <= price <= 2 group by price bin 0.5"
+    )
+    assert query.function is AggregateFunction.AVG
+    assert query.group_by == GroupBy("price", bin_width=0.5)
+
+
+def test_multiple_target_types():
+    query = parse_query(
+        "COUNT(*) MATCH (G:Country)-[p]->(x:Automobile|MeanOfTransportation)"
+    )
+    assert query.query.target_types == frozenset(
+        {"Automobile", "MeanOfTransportation"}
+    )
+
+
+def test_quoted_names():
+    query = parse_query(
+        'COUNT(*) MATCH ("New York":City|"US State")-["based in"]->(x:Company)'
+    )
+    component = query.query.components[0]
+    assert component.specific_name == "New York"
+    assert component.specific_types == frozenset({"City", "US State"})
+    assert component.predicates == ("based in",)
+
+
+def test_quoted_name_with_escapes():
+    query = parse_query(r'COUNT(*) MATCH ("a\"b\\c":T)-[p]->(x:U)')
+    assert query.query.components[0].specific_name == 'a"b\\c'
+
+
+def test_chain_shape():
+    query = parse_query(
+        "AVG(transfer_value) MATCH "
+        "(Spain:Country)-[league]->(l:League)-[playerIn]->(x:SoccerPlayer)"
+    )
+    assert query.query.shape is QueryShape.CHAIN
+    component = query.query.components[0]
+    assert component.predicates == ("league", "playerIn")
+    assert component.intermediate_types == (frozenset({"League"}),)
+    assert component.target_types == frozenset({"SoccerPlayer"})
+
+
+def test_cycle_shape_two_patterns():
+    query = parse_query(
+        "COUNT(*) MATCH (Spain:Country)-[bornIn]->(x:SoccerPlayer), "
+        "(FC_Barcelona:SoccerClub)-[playsFor]->(x:SoccerPlayer)"
+    )
+    assert query.query.shape is QueryShape.CYCLE
+    assert len(query.query.components) == 2
+
+
+def test_star_shape_three_patterns():
+    query = parse_query(
+        "AVG(price) MATCH (China:Country)-[product]->(x:Automobile), "
+        "(Korea:Country)-[product]->(x:Automobile), "
+        "(Germany:Country)-[designer]->(d:Person)-[designed]->(x:Automobile)"
+    )
+    assert query.query.shape is QueryShape.STAR
+
+
+def test_flower_shape():
+    query = parse_query(
+        "COUNT(*) MATCH "
+        "(A:T)-[p]->(m:M)-[q]->(x:Target), "
+        "(B:T)-[p]->(n:N)-[q]->(x:Target), "
+        "(C:T)-[r]->(x:Target)"
+    )
+    assert query.query.shape is QueryShape.FLOWER
+
+
+# ---------------------------------------------------------------------------
+# Filters
+# ---------------------------------------------------------------------------
+def test_range_filter():
+    query = parse_query(
+        "AVG(price) MATCH (G:Country)-[p]->(x:Automobile)"
+        " WHERE 25 <= fuel_economy <= 30"
+    )
+    assert query.filters == (Filter("fuel_economy", lower=25.0, upper=30.0),)
+
+
+def test_one_sided_filters():
+    query = parse_query(
+        "AVG(price) MATCH (G:Country)-[p]->(x:Automobile)"
+        " WHERE price <= 50000 AND horsepower >= 200"
+    )
+    assert query.filters == (
+        Filter("price", upper=50000.0),
+        Filter("horsepower", lower=200.0),
+    )
+
+
+def test_reversed_one_sided_filter():
+    query = parse_query(
+        "COUNT(*) MATCH (G:C)-[p]->(x:T) WHERE 10 <= age"
+    )
+    assert query.filters == (Filter("age", lower=10.0),)
+
+
+def test_strict_bounds_become_half_open():
+    query = parse_query(
+        "COUNT(*) MATCH (G:C)-[p]->(x:T) WHERE 10 < age AND age < 20"
+    )
+    low, high = query.filters
+    assert low.lower == math.nextafter(10.0, math.inf)
+    assert high.upper == math.nextafter(20.0, -math.inf)
+
+
+def test_scientific_and_negative_numbers():
+    query = parse_query(
+        "COUNT(*) MATCH (G:C)-[p]->(x:T) WHERE -1.5e3 <= balance <= 2.5e3"
+    )
+    assert query.filters == (Filter("balance", lower=-1500.0, upper=2500.0),)
+
+
+def test_conflicting_range_sides_rejected():
+    with pytest.raises(ParseError, match="both sides"):
+        parse_query("COUNT(*) MATCH (G:C)-[p]->(x:T) WHERE 25 <= age >= 30")
+
+
+# ---------------------------------------------------------------------------
+# GROUP BY
+# ---------------------------------------------------------------------------
+def test_group_by_categorical():
+    query = parse_query(
+        "COUNT(*) MATCH (G:C)-[p]->(x:T) GROUP BY body_style_code"
+    )
+    assert query.group_by == GroupBy("body_style_code")
+
+
+def test_group_by_binned():
+    query = parse_query("COUNT(*) MATCH (G:C)-[p]->(x:T) GROUP BY age BIN 5")
+    assert query.group_by == GroupBy("age", bin_width=5.0)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate head
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["COUNT", "SUM", "AVG", "MAX", "MIN"])
+def test_all_functions_parse(name):
+    attribute = "*" if name == "COUNT" else "price"
+    query = parse_query(f"{name}({attribute}) MATCH (G:C)-[p]->(x:T)")
+    assert query.function is AggregateFunction(name)
+
+
+def test_count_with_attribute_is_normalised_to_star():
+    query = parse_query("COUNT(price) MATCH (G:C)-[p]->(x:T)")
+    assert query.attribute is None
+
+
+def test_sum_requires_attribute():
+    with pytest.raises(ParseError, match="requires an attribute"):
+        parse_query("SUM(*) MATCH (G:C)-[p]->(x:T)")
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(ParseError, match="unknown aggregate function"):
+        parse_query("MEDIAN(price) MATCH (G:C)-[p]->(x:T)")
+
+
+# ---------------------------------------------------------------------------
+# Error reporting
+# ---------------------------------------------------------------------------
+def test_missing_match_keyword():
+    with pytest.raises(ParseError, match="expected keyword MATCH"):
+        parse_query("COUNT(*) (G:C)-[p]->(x:T)")
+
+
+def test_mismatched_target_variables():
+    with pytest.raises(ParseError, match="same target variable"):
+        parse_query(
+            "COUNT(*) MATCH (A:T)-[p]->(x:U), (B:T)-[q]->(y:U)"
+        )
+
+
+def test_pattern_without_edge():
+    with pytest.raises(ParseError, match="at least one"):
+        parse_query("COUNT(*) MATCH (G:C)")
+
+
+def test_node_without_types():
+    with pytest.raises(ParseError):
+        parse_query("COUNT(*) MATCH (G)-[p]->(x:T)")
+
+
+def test_trailing_garbage():
+    with pytest.raises(ParseError, match="unexpected trailing input"):
+        parse_query("COUNT(*) MATCH (G:C)-[p]->(x:T) extra tokens")
+
+
+def test_unexpected_character():
+    with pytest.raises(ParseError, match="unexpected character"):
+        parse_query("COUNT(*) MATCH (G:C)-[p]->(x:T) WHERE a ~ 3")
+
+
+def test_empty_input():
+    with pytest.raises(ParseError):
+        parse_query("")
+
+
+def test_error_carries_line_and_column():
+    try:
+        parse_query("COUNT(*)\nMATCH (G:C)-[p]->\n!!!")
+    except ParseError as exc:
+        assert exc.line == 3
+        assert exc.column == 1
+    else:  # pragma: no cover
+        pytest.fail("expected a ParseError")
+
+
+def test_parse_error_is_a_query_error():
+    with pytest.raises(QueryError):
+        parse_query("not a query")
+
+
+def test_keyword_cannot_be_used_as_name():
+    with pytest.raises(ParseError, match="keyword"):
+        parse_query("COUNT(*) MATCH (MATCH:C)-[p]->(x:T)")
+
+
+def test_quoted_keyword_is_allowed_as_name():
+    query = parse_query('COUNT(*) MATCH ("MATCH":C)-[p]->(x:T)')
+    assert query.query.components[0].specific_name == "MATCH"
+
+
+# ---------------------------------------------------------------------------
+# format_query round-trips
+# ---------------------------------------------------------------------------
+def _example_queries() -> list[AggregateQuery]:
+    simple = QueryGraph.simple("Germany", ["Country"], "product", ["Automobile"])
+    chain = QueryGraph.chain(
+        "Spain",
+        ["Country"],
+        [("league", ["League"]), ("playerIn", ["SoccerPlayer"])],
+    )
+    cycle = QueryGraph.compose(
+        [
+            QueryGraph.simple("Spain", ["Country"], "bornIn", ["SoccerPlayer"]),
+            QueryGraph.simple(
+                "FC_Barcelona", ["SoccerClub"], "playsFor", ["SoccerPlayer"]
+            ),
+        ]
+    )
+    return [
+        AggregateQuery(query=simple, function=AggregateFunction.COUNT),
+        AggregateQuery(
+            query=simple,
+            function=AggregateFunction.AVG,
+            attribute="price",
+            filters=(Filter("fuel_economy", lower=25.0, upper=30.0),),
+        ),
+        AggregateQuery(
+            query=chain,
+            function=AggregateFunction.SUM,
+            attribute="transfer_value",
+            group_by=GroupBy("age", bin_width=5.0),
+        ),
+        AggregateQuery(query=cycle, function=AggregateFunction.COUNT),
+        AggregateQuery(
+            query=simple,
+            function=AggregateFunction.MAX,
+            attribute="price",
+            filters=(Filter("price", upper=100000.0),),
+        ),
+    ]
+
+
+@pytest.mark.parametrize("original", _example_queries(), ids=lambda q: q.describe())
+def test_round_trip(original):
+    text = format_query(original)
+    reparsed = parse_query(text)
+    assert reparsed == original
+
+
+def test_format_query_quotes_awkward_names():
+    query = AggregateQuery(
+        query=QueryGraph.simple("New York", ["US State"], "based in", ["Company"]),
+        function=AggregateFunction.COUNT,
+    )
+    text = format_query(query)
+    assert '"New York"' in text
+    assert '"US State"' in text
+    assert '"based in"' in text
+    assert parse_query(text) == query
+
+
+# ---------------------------------------------------------------------------
+# Property-based round-trip over generated queries
+# ---------------------------------------------------------------------------
+_names = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters="_ .-"
+    ),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip() == s and s != "")
+
+_types = st.frozensets(_names, min_size=1, max_size=3)
+
+
+@st.composite
+def _path_queries(draw, target_types):
+    num_hops = draw(st.integers(min_value=1, max_value=3))
+    hops = [
+        (draw(_names), draw(_types)) for _ in range(num_hops - 1)
+    ]
+    hops.append((draw(_names), target_types))
+    return PathQuery(
+        specific_name=draw(_names),
+        specific_types=draw(_types),
+        hops=tuple(hops),
+    )
+
+
+@st.composite
+def _aggregate_queries(draw):
+    target_types = draw(_types)
+    num_components = draw(st.integers(min_value=1, max_value=3))
+    components = tuple(
+        draw(_path_queries(target_types)) for _ in range(num_components)
+    )
+    graph = QueryGraph(components=components)
+    function = draw(st.sampled_from(list(AggregateFunction)))
+    attribute = draw(_names) if function.needs_attribute else None
+    bounds = draw(
+        st.tuples(
+            st.one_of(st.none(), st.integers(-1000, 1000).map(float)),
+            st.one_of(st.none(), st.integers(1001, 2000).map(float)),
+        ).filter(lambda pair: pair != (None, None))
+    )
+    filters = (
+        (Filter(draw(_names), lower=bounds[0], upper=bounds[1]),)
+        if draw(st.booleans())
+        else ()
+    )
+    group_by = (
+        GroupBy(draw(_names), bin_width=draw(st.sampled_from([None, 1.0, 5.0])))
+        if draw(st.booleans())
+        else None
+    )
+    return AggregateQuery(
+        query=graph,
+        function=function,
+        attribute=attribute,
+        filters=filters,
+        group_by=group_by,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_aggregate_queries())
+def test_property_round_trip(query):
+    assert parse_query(format_query(query)) == query

@@ -1,0 +1,150 @@
+"""Tests for the ASCII chart helpers (repro.bench.plots)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.plots import PlotError, Series, bar_chart, line_chart
+
+
+def _series(name="s", points=((0.0, 0.0), (1.0, 1.0))):
+    return Series(name=name, points=tuple(points))
+
+
+# ---------------------------------------------------------------------------
+# Series validation
+# ---------------------------------------------------------------------------
+def test_series_requires_name():
+    with pytest.raises(PlotError):
+        Series(name="", points=((0.0, 0.0),))
+
+
+def test_series_rejects_non_finite_points():
+    with pytest.raises(PlotError):
+        Series(name="s", points=((0.0, math.nan),))
+    with pytest.raises(PlotError):
+        Series(name="s", points=((math.inf, 1.0),))
+
+
+def test_series_from_rows_coerces_floats():
+    series = Series.from_rows("s", [(1, 2), (3, 4)])
+    assert series.points == ((1.0, 2.0), (3.0, 4.0))
+
+
+# ---------------------------------------------------------------------------
+# line_chart
+# ---------------------------------------------------------------------------
+def test_line_chart_contains_markers_axes_and_legend():
+    chart = line_chart(
+        [_series("alpha"), _series("beta", ((0.0, 1.0), (1.0, 0.0)))],
+        title="demo",
+        x_label="x",
+        y_label="y",
+    )
+    assert "demo" in chart
+    assert "* alpha" in chart
+    assert "o beta" in chart
+    assert "+" in chart  # axis corner
+    assert "[y: y]" in chart
+
+
+def test_line_chart_draws_each_series_marker():
+    chart = line_chart([_series("one")])
+    assert "*" in chart
+
+
+def test_line_chart_dimensions():
+    chart = line_chart([_series()], width=30, height=8, title="t")
+    body_lines = [line for line in chart.splitlines() if "|" in line]
+    assert len(body_lines) == 8
+    for line in body_lines:
+        assert len(line.split("|", 1)[1]) == 30
+
+
+def test_line_chart_flat_series_does_not_crash():
+    chart = line_chart([_series("flat", ((0.0, 5.0), (1.0, 5.0), (2.0, 5.0)))])
+    assert "flat" in chart
+
+
+def test_line_chart_single_point():
+    chart = line_chart([_series("dot", ((2.0, 3.0),))])
+    assert "*" in chart
+
+
+def test_line_chart_needs_series_and_points():
+    with pytest.raises(PlotError):
+        line_chart([])
+    with pytest.raises(PlotError):
+        line_chart([Series(name="empty")])
+
+
+def test_line_chart_rejects_tiny_grid():
+    with pytest.raises(PlotError):
+        line_chart([_series()], width=5, height=2)
+
+
+def test_line_chart_tick_labels_show_bounds():
+    chart = line_chart([_series("s", ((0.0, 10.0), (100.0, 250.0)))])
+    assert "250" in chart
+    assert "10" in chart
+    assert "100" in chart
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(-1e6, 1e6, allow_nan=False),
+            st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_line_chart_property_never_crashes(points):
+    chart = line_chart([Series(name="s", points=tuple(points))])
+    lines = chart.splitlines()
+    assert any("|" in line for line in lines)
+    assert lines[-1].strip().startswith("*")  # legend
+
+
+# ---------------------------------------------------------------------------
+# bar_chart
+# ---------------------------------------------------------------------------
+def test_bar_chart_scales_to_largest():
+    chart = bar_chart(["a", "b"], [1.0, 2.0], width=20)
+    lines = chart.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 20
+
+
+def test_bar_chart_zero_value_gets_no_bar():
+    chart = bar_chart(["zero", "one"], [0.0, 5.0])
+    zero_line = chart.splitlines()[0]
+    assert "#" not in zero_line
+
+
+def test_bar_chart_unit_and_title():
+    chart = bar_chart(["a"], [3.0], title="times", unit="ms")
+    assert chart.startswith("times")
+    assert "3 ms" in chart
+
+
+def test_bar_chart_all_zero_values():
+    chart = bar_chart(["a", "b"], [0.0, 0.0])
+    assert "#" not in chart
+
+
+def test_bar_chart_validation():
+    with pytest.raises(PlotError):
+        bar_chart([], [])
+    with pytest.raises(PlotError):
+        bar_chart(["a"], [1.0, 2.0])
+    with pytest.raises(PlotError):
+        bar_chart(["a"], [-1.0])
+    with pytest.raises(PlotError):
+        bar_chart(["a"], [1.0], width=3)

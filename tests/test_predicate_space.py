@@ -1,0 +1,113 @@
+"""Tests for LookupEmbedding and PredicateVectorSpace (Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.embedding import LookupEmbedding, PredicateVectorSpace
+from repro.embedding.predicate_space import cosine_similarity
+from repro.errors import EmbeddingError
+
+
+class TestLookupEmbedding:
+    def test_basic_lookup(self):
+        embedding = LookupEmbedding({"a": np.array([1.0, 0.0]), "b": np.array([0.0, 1.0])})
+        assert embedding.dim == 2
+        np.testing.assert_array_equal(embedding.predicate_vector("a"), [1.0, 0.0])
+        assert set(embedding.predicate_names) == {"a", "b"}
+
+    def test_unknown_predicate(self):
+        embedding = LookupEmbedding({"a": np.array([1.0, 0.0])})
+        with pytest.raises(EmbeddingError):
+            embedding.predicate_vector("zzz")
+        assert not embedding.knows_predicate("zzz")
+        assert embedding.knows_predicate("a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmbeddingError):
+            LookupEmbedding({})
+
+    def test_inconsistent_shapes_rejected(self):
+        with pytest.raises(EmbeddingError):
+            LookupEmbedding({"a": np.ones(2), "b": np.ones(3)})
+
+    def test_vectors_are_copied(self):
+        source = np.array([1.0, 0.0])
+        embedding = LookupEmbedding({"a": source})
+        source[0] = 99.0
+        assert embedding.predicate_vector("a")[0] == 1.0
+
+    def test_with_noise_changes_vectors(self):
+        embedding = LookupEmbedding({"a": np.array([1.0, 0.0])})
+        noisy = embedding.with_noise(0.5, seed=1)
+        assert not np.allclose(
+            noisy.predicate_vector("a"), embedding.predicate_vector("a")
+        )
+
+
+class TestCosine:
+    def test_identical(self):
+        assert cosine_similarity(np.ones(4), np.ones(4)) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0]), np.array([0, 1.0])) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        assert cosine_similarity(np.ones(3), -np.ones(3)) == pytest.approx(-1.0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+
+class TestPredicateVectorSpace:
+    @pytest.fixture
+    def space(self) -> PredicateVectorSpace:
+        return PredicateVectorSpace(
+            LookupEmbedding(
+                {
+                    "product": np.array([1.0, 0.0, 0.0]),
+                    "assembly": np.array([0.98, np.sqrt(1 - 0.98**2), 0.0]),
+                    "misc": np.array([0.0, 0.0, 1.0]),
+                }
+            )
+        )
+
+    def test_self_similarity_is_one(self, space):
+        assert space.similarity("product", "product") == 1.0
+
+    def test_known_cosine(self, space):
+        assert space.similarity("assembly", "product") == pytest.approx(0.98)
+
+    def test_symmetry(self, space):
+        assert space.similarity("assembly", "product") == space.similarity(
+            "product", "assembly"
+        )
+
+    def test_cache_hits_same_value(self, space):
+        first = space.similarity("misc", "product")
+        second = space.similarity("misc", "product")
+        assert first == second == pytest.approx(0.0)
+
+    def test_similarities_to(self, space):
+        values = space.similarities_to("product", ["product", "assembly", "misc"])
+        np.testing.assert_allclose(values, [1.0, 0.98, 0.0], atol=1e-9)
+
+    def test_most_similar(self, space):
+        ranked = space.most_similar("product", top_k=2)
+        assert ranked[0][0] == "assembly"
+        assert ranked[0][1] == pytest.approx(0.98)
+        with pytest.raises(EmbeddingError):
+            space.most_similar("product", top_k=0)
+
+    @given(
+        arrays(np.float64, 6, elements=st.floats(-5, 5)),
+        arrays(np.float64, 6, elements=st.floats(-5, 5)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_similarity_bounded(self, left, right):
+        """Cosines always land in [-1, 1] even with degenerate vectors."""
+        space = PredicateVectorSpace(LookupEmbedding({"l": left, "r": right}))
+        value = space.similarity("l", "r")
+        assert -1.0 <= value <= 1.0

@@ -1,0 +1,219 @@
+"""Tests for query graphs, aggregate specs, filters and GROUP-BY."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.kg import KnowledgeGraph
+from repro.query import (
+    AggregateFunction,
+    AggregateQuery,
+    Filter,
+    GroupBy,
+    PathQuery,
+    QueryGraph,
+    QueryShape,
+)
+from repro.query.aggregate import exact_aggregate
+from repro.query.graph import classify_shape
+
+
+def simple() -> QueryGraph:
+    return QueryGraph.simple("Germany", ["Country"], "product", ["Automobile"])
+
+
+def chain() -> QueryGraph:
+    return QueryGraph.chain(
+        "Germany",
+        ["Country"],
+        [("nationality", ["Person"]), ("design", ["Automobile"])],
+    )
+
+
+class TestQueryGraphShapes:
+    def test_simple(self):
+        graph = simple()
+        assert graph.shape is QueryShape.SIMPLE
+        assert graph.num_edges == 1
+        assert not graph.is_composite
+        assert graph.target_types == frozenset({"Automobile"})
+
+    def test_chain(self):
+        graph = chain()
+        assert graph.shape is QueryShape.CHAIN
+        component = graph.components[0]
+        assert component.num_hops == 2
+        assert component.predicates == ("nationality", "design")
+        assert component.intermediate_types == (frozenset({"Person"}),)
+
+    def test_chain_needs_two_hops(self):
+        with pytest.raises(QueryError):
+            QueryGraph.chain("G", ["C"], [("p", ["T"])])
+
+    def test_cycle(self):
+        other = QueryGraph.simple("Bavaria", ["Region"], "registeredIn", ["Automobile"])
+        graph = QueryGraph.compose([simple(), other])
+        assert graph.shape is QueryShape.CYCLE
+        assert graph.is_composite
+
+    def test_star(self):
+        components = [
+            simple(),
+            QueryGraph.simple("Bavaria", ["Region"], "registeredIn", ["Automobile"]),
+            chain(),
+        ]
+        graph = QueryGraph.compose(components)
+        assert graph.shape is QueryShape.STAR
+
+    def test_flower(self):
+        components = [chain(), chain(), simple()]
+        graph = QueryGraph.compose(components)
+        assert graph.shape is QueryShape.FLOWER
+
+    def test_shape_override(self):
+        other = QueryGraph.simple("Bavaria", ["Region"], "registeredIn", ["Automobile"])
+        graph = QueryGraph.compose([simple(), other], shape=QueryShape.FLOWER)
+        assert graph.shape is QueryShape.FLOWER
+
+    def test_compose_requires_two(self):
+        with pytest.raises(QueryError):
+            QueryGraph.compose([simple()])
+
+    def test_target_types_must_match(self):
+        mismatched = QueryGraph.simple("Spain", ["Country"], "bornIn", ["Person"])
+        with pytest.raises(QueryError, match="share the target"):
+            QueryGraph.compose([simple(), mismatched])
+
+    def test_str_contains_shape(self):
+        assert "simple" in str(simple())
+
+    def test_classify_directly(self):
+        component = simple().components[0]
+        assert classify_shape([component]) is QueryShape.SIMPLE
+
+
+class TestPathQueryValidation:
+    def test_needs_name(self):
+        with pytest.raises(QueryError):
+            PathQuery("", frozenset({"T"}), (("p", frozenset({"T"})),))
+
+    def test_needs_types(self):
+        with pytest.raises(QueryError):
+            PathQuery("x", frozenset(), (("p", frozenset({"T"})),))
+
+    def test_needs_hops(self):
+        with pytest.raises(QueryError):
+            PathQuery("x", frozenset({"T"}), ())
+
+    def test_hop_needs_predicate(self):
+        with pytest.raises(QueryError):
+            PathQuery("x", frozenset({"T"}), (("", frozenset({"T"})),))
+
+
+class TestFilters:
+    @pytest.fixture
+    def node(self):
+        kg = KnowledgeGraph()
+        node_id = kg.add_node("car", ["Automobile"], {"price": 40_000.0})
+        return kg.node(node_id)
+
+    def test_range_filter(self, node):
+        assert Filter("price", 30_000, 50_000).matches(node)
+        assert not Filter("price", 50_000, 90_000).matches(node)
+
+    def test_one_sided(self, node):
+        assert Filter("price", lower=30_000).matches(node)
+        assert Filter("price", upper=50_000).matches(node)
+        assert not Filter("price", lower=50_000).matches(node)
+
+    def test_missing_attribute_fails(self, node):
+        assert not Filter("weight", lower=0).matches(node)
+
+    def test_invalid_filters(self):
+        with pytest.raises(QueryError):
+            Filter("")
+        with pytest.raises(QueryError):
+            Filter("price")
+        with pytest.raises(QueryError):
+            Filter("price", 10, 5)
+
+
+class TestGroupBy:
+    @pytest.fixture
+    def node(self):
+        kg = KnowledgeGraph()
+        node_id = kg.add_node("player", ["SoccerPlayer"], {"age": 23.0})
+        return kg.node(node_id)
+
+    def test_categorical(self, node):
+        assert GroupBy("age").key_for(node) == 23.0
+
+    def test_binned(self, node):
+        group_by = GroupBy("age", bin_width=5.0)
+        assert group_by.key_for(node) == 20.0
+        assert "20" in group_by.label_for(20.0)
+
+    def test_missing_attribute(self, node):
+        assert GroupBy("height").key_for(node) is None
+
+    def test_invalid(self):
+        with pytest.raises(QueryError):
+            GroupBy("")
+        with pytest.raises(QueryError):
+            GroupBy("age", bin_width=0)
+
+
+class TestAggregateQuery:
+    def test_count_takes_no_attribute(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(query=simple(), function=AggregateFunction.COUNT, attribute="x")
+
+    def test_avg_requires_attribute(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(query=simple(), function=AggregateFunction.AVG)
+
+    def test_value_of(self):
+        kg = KnowledgeGraph()
+        node = kg.node(kg.add_node("car", ["Automobile"], {"price": 10.0}))
+        count_query = AggregateQuery(query=simple(), function=AggregateFunction.COUNT)
+        avg_query = AggregateQuery(
+            query=simple(), function=AggregateFunction.AVG, attribute="price"
+        )
+        assert count_query.value_of(node) == 1.0
+        assert avg_query.value_of(node) == 10.0
+
+    def test_describe_mentions_parts(self):
+        query = AggregateQuery(
+            query=simple(),
+            function=AggregateFunction.AVG,
+            attribute="price",
+            filters=(Filter("price", 1, 2),),
+            group_by=GroupBy("price"),
+        )
+        text = query.describe()
+        assert "AVG(price)" in text
+        assert "WHERE" in text
+        assert "GROUP BY" in text
+
+    def test_guarantee_flags(self):
+        assert AggregateFunction.COUNT.has_guarantee
+        assert AggregateFunction.SUM.has_guarantee
+        assert AggregateFunction.AVG.has_guarantee
+        assert not AggregateFunction.MAX.has_guarantee
+        assert not AggregateFunction.MIN.has_guarantee
+
+
+class TestExactAggregate:
+    def test_all_functions(self):
+        values = [1.0, 2.0, 3.0]
+        assert exact_aggregate(AggregateFunction.COUNT, values) == 3.0
+        assert exact_aggregate(AggregateFunction.SUM, values) == 6.0
+        assert exact_aggregate(AggregateFunction.AVG, values) == 2.0
+        assert exact_aggregate(AggregateFunction.MAX, values) == 3.0
+        assert exact_aggregate(AggregateFunction.MIN, values) == 1.0
+
+    def test_count_of_empty(self):
+        assert exact_aggregate(AggregateFunction.COUNT, []) == 0.0
+
+    def test_avg_of_empty_rejected(self):
+        with pytest.raises(QueryError):
+            exact_aggregate(AggregateFunction.AVG, [])

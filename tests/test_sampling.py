@@ -1,0 +1,250 @@
+"""Tests for scopes, transition matrices, stationary distributions, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingNodeNotFoundError, SamplingError
+from repro.sampling import (
+    AnswerCollector,
+    RandomWalker,
+    build_scope,
+    stationary_distribution,
+)
+from repro.sampling.collector import AnswerDistribution, restrict_to_answers
+from repro.sampling.scope import resolve_mapping_node
+from repro.sampling.strength import PredicateEdgeWeights, strength_distribution
+from repro.sampling.topology import (
+    cnarw_transition_model,
+    node2vec_visit_distribution,
+    uniform_transition_model,
+)
+from repro.sampling.transition import TransitionModel
+
+
+@pytest.fixture(scope="module")
+def toy_scope(toy):
+    return build_scope(toy.kg, toy.germany, 3, frozenset({"Automobile"}))
+
+
+@pytest.fixture(scope="module")
+def toy_transition(toy, toy_scope):
+    return TransitionModel(toy.kg, toy_scope, toy.space, "product")
+
+
+class TestScope:
+    def test_source_and_bound(self, toy, toy_scope):
+        assert toy_scope.source == toy.germany
+        assert toy_scope.n_bound == 3
+        assert toy_scope.contains(toy.germany)
+
+    def test_candidates_are_type_matched(self, toy, toy_scope):
+        for candidate in toy_scope.candidate_answers:
+            assert toy.kg.node(candidate).has_type("Automobile")
+
+    def test_all_cars_in_scope(self, toy, toy_scope):
+        candidates = set(toy_scope.candidate_answers)
+        assert set(toy.correct_cars) <= candidates
+        assert set(toy.near_miss_cars) <= candidates
+
+    def test_source_not_a_candidate(self, toy, toy_scope):
+        assert toy.germany not in toy_scope.candidate_answers
+
+    def test_index_mapping(self, toy_scope):
+        index = toy_scope.index_of()
+        assert len(index) == toy_scope.size
+        for node, position in index.items():
+            assert toy_scope.nodes[position] == node
+
+    def test_invalid_bound(self, toy):
+        with pytest.raises(SamplingError):
+            build_scope(toy.kg, toy.germany, 0, frozenset({"Automobile"}))
+
+    def test_resolve_mapping_node(self, toy):
+        assert (
+            resolve_mapping_node(toy.kg, "Germany", frozenset({"Country"}))
+            == toy.germany
+        )
+
+    def test_resolve_unknown_name(self, toy):
+        with pytest.raises(MappingNodeNotFoundError):
+            resolve_mapping_node(toy.kg, "Atlantis", frozenset({"Country"}))
+
+    def test_resolve_type_mismatch(self, toy):
+        with pytest.raises(MappingNodeNotFoundError):
+            resolve_mapping_node(toy.kg, "Germany", frozenset({"Automobile"}))
+
+
+class TestTransitionModel:
+    def test_rows_are_stochastic(self, toy_transition):
+        assert toy_transition.validate_stochastic()
+
+    def test_higher_similarity_higher_probability(self, toy, toy_transition):
+        """Eq. 5: p_ij proportional to predicate similarity (Example 4)."""
+        index = toy_transition.scope.index_of()
+        source_index = index[toy.germany]
+        direct_car = index[toy.correct_cars[0]]  # assembly, 0.98
+        person = index[toy.people[0]]  # nationality, 0.52
+        assert toy_transition.probability(source_index, direct_car) > (
+            toy_transition.probability(source_index, person)
+        )
+
+    def test_self_loop_on_source(self, toy, toy_transition):
+        index = toy_transition.scope.index_of()
+        source_index = index[toy.germany]
+        assert toy_transition.probability(source_index, source_index) > 0.0
+
+    def test_sparse_matrix_matches_rows(self, toy_transition):
+        matrix = toy_transition.to_sparse()
+        assert matrix.shape == (toy_transition.size, toy_transition.size)
+        row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+        np.testing.assert_allclose(row_sums, 1.0, atol=1e-9)
+
+    def test_invalid_self_loop_weight(self, toy, toy_scope):
+        with pytest.raises(SamplingError):
+            TransitionModel(
+                toy.kg, toy_scope, toy.space, "product", self_loop_weight=0.0
+            )
+
+
+class TestStationary:
+    def test_converges_and_sums_to_one(self, toy_transition):
+        result = stationary_distribution(toy_transition)
+        assert result.probabilities.sum() == pytest.approx(1.0, abs=1e-9)
+        assert result.residual < 1e-9
+        assert result.iterations >= 1
+
+    def test_fixed_point_property(self, toy_transition):
+        """pi P = pi at convergence (Eq. 6)."""
+        result = stationary_distribution(toy_transition)
+        pi = result.probabilities
+        advanced = pi @ toy_transition.to_sparse()
+        np.testing.assert_allclose(advanced, pi, atol=1e-7)
+
+    def test_matches_strength_closed_form(self, toy, toy_scope, toy_transition):
+        """Reversible walk: stationary == strength-proportional distribution."""
+        result = stationary_distribution(toy_transition)
+        weights = PredicateEdgeWeights(toy.kg, toy.space).weights("product")
+        closed_form = strength_distribution(toy.kg, toy_scope, weights)
+        np.testing.assert_allclose(result.probabilities, closed_form, atol=1e-6)
+
+    def test_as_mapping_drops_zeros(self, toy_transition):
+        result = stationary_distribution(toy_transition)
+        mapping = result.as_mapping(toy_transition.scope.nodes)
+        assert all(probability > 0 for probability in mapping.values())
+
+    def test_walker_visits_match_stationary(self, toy_transition):
+        """The literal walking-with-rejection walker agrees with Eq. 6."""
+        result = stationary_distribution(toy_transition)
+        walker = RandomWalker(toy_transition, seed=5)
+        record = walker.walk(60_000, burn_in=2_000)
+        empirical = record.empirical_distribution()
+        # Compare on the highest-probability states (the rest are noisy).
+        top = np.argsort(-result.probabilities)[:10]
+        np.testing.assert_allclose(
+            empirical[top], result.probabilities[top], atol=0.02
+        )
+
+
+class TestAnswerDistribution:
+    def test_restrict_to_answers(self, toy, toy_scope, toy_transition):
+        result = stationary_distribution(toy_transition)
+        distribution = restrict_to_answers(toy_scope, result.probabilities)
+        assert distribution.probabilities.sum() == pytest.approx(1.0)
+        assert set(distribution.answers) <= set(toy_scope.candidate_answers)
+
+    def test_correct_cars_have_higher_mass(self, toy, toy_scope, toy_transition):
+        """Semantic-aware sampling prefers semantically similar answers."""
+        result = stationary_distribution(toy_transition)
+        distribution = restrict_to_answers(toy_scope, result.probabilities)
+        correct_mass = sum(
+            distribution.probability_of(car) for car in toy.correct_cars
+        )
+        near_miss_mass = sum(
+            distribution.probability_of(car) for car in toy.near_miss_cars
+        )
+        assert correct_mass > 4 * near_miss_mass
+
+    def test_validation_errors(self):
+        with pytest.raises(SamplingError):
+            AnswerDistribution(np.array([1]), np.array([0.5, 0.5]))
+        with pytest.raises(SamplingError):
+            AnswerDistribution(np.array([], dtype=np.int64), np.array([]))
+        with pytest.raises(SamplingError):
+            AnswerDistribution(np.array([1, 2]), np.array([0.7, 0.7]))
+
+    def test_probability_of_unknown(self):
+        distribution = AnswerDistribution(np.array([5]), np.array([1.0]))
+        assert distribution.probability_of(99) == 0.0
+
+
+class TestCollector:
+    @pytest.fixture(scope="class")
+    def distribution(self):
+        return AnswerDistribution(
+            answers=np.array([10, 20, 30]),
+            probabilities=np.array([0.6, 0.3, 0.1]),
+        )
+
+    def test_collect_respects_distribution(self, distribution):
+        collector = AnswerCollector(distribution, seed=1)
+        draws = collector.collect(6_000)
+        share_10 = sum(1 for d in draws if d.node_id == 10) / len(draws)
+        assert share_10 == pytest.approx(0.6, abs=0.03)
+
+    def test_draws_carry_probabilities(self, distribution):
+        collector = AnswerCollector(distribution, seed=2)
+        for draw in collector.collect(50):
+            assert draw.probability == pytest.approx(
+                distribution.probability_of(draw.node_id)
+            )
+
+    def test_collect_indices_bounds(self, distribution):
+        collector = AnswerCollector(distribution, seed=3)
+        indices = collector.collect_indices(100)
+        assert indices.min() >= 0 and indices.max() < 3
+
+    def test_invalid_sizes(self, distribution):
+        collector = AnswerCollector(distribution)
+        with pytest.raises(SamplingError):
+            collector.collect(0)
+        with pytest.raises(SamplingError):
+            collector.collect_little_samples(0, 5)
+
+    def test_little_samples(self, distribution):
+        collector = AnswerCollector(distribution, seed=4)
+        littles = collector.collect_little_samples(3, 7)
+        assert len(littles) == 3
+        assert all(len(sample) == 7 for sample in littles)
+
+    def test_determinism(self, distribution):
+        first = AnswerCollector(distribution, seed=9).collect_indices(20)
+        second = AnswerCollector(distribution, seed=9).collect_indices(20)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestTopologySamplers:
+    def test_uniform_rows_stochastic(self, toy, toy_scope):
+        model = uniform_transition_model(toy.kg, toy_scope)
+        assert model.validate_stochastic()
+
+    def test_cnarw_rows_stochastic(self, toy, toy_scope):
+        model = cnarw_transition_model(toy.kg, toy_scope)
+        assert model.validate_stochastic()
+
+    def test_cnarw_ignores_semantics(self, toy, toy_scope):
+        """Topology samplers give near-miss cars the same visit mass."""
+        model = cnarw_transition_model(toy.kg, toy_scope)
+        result = stationary_distribution(model)
+        distribution = restrict_to_answers(toy_scope, result.probabilities)
+        direct = distribution.probability_of(toy.correct_cars[0])
+        near_miss = distribution.probability_of(toy.near_miss_cars[0])
+        assert near_miss == pytest.approx(direct, rel=0.5)
+
+    def test_node2vec_distribution(self, toy, toy_scope):
+        visits = node2vec_visit_distribution(toy.kg, toy_scope, steps=4_000, seed=0)
+        assert visits.sum() == pytest.approx(1.0)
+        assert (visits >= 0).all()
+
+    def test_node2vec_invalid_parameters(self, toy, toy_scope):
+        with pytest.raises(SamplingError):
+            node2vec_visit_distribution(toy.kg, toy_scope, return_parameter=0)

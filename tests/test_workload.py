@@ -1,0 +1,80 @@
+"""Tests for the benchmark workload generator."""
+
+import pytest
+
+from repro.datasets import (
+    dbpedia_like,
+    guaranteed_queries,
+    queries_of_shape,
+    standard_workload,
+)
+from repro.query import AggregateFunction, QueryShape
+
+
+@pytest.fixture(scope="module")
+def workload(dbpedia_bundle):
+    return standard_workload(dbpedia_bundle)
+
+
+class TestWorkloadShape:
+    def test_all_shapes_present(self, workload):
+        shapes = {query.shape for query in workload}
+        assert shapes == {
+            QueryShape.SIMPLE,
+            QueryShape.CHAIN,
+            QueryShape.STAR,
+            QueryShape.CYCLE,
+            QueryShape.FLOWER,
+        }
+
+    def test_all_functions_present(self, workload):
+        functions = {query.function for query in workload}
+        assert AggregateFunction.COUNT in functions
+        assert AggregateFunction.AVG in functions
+        assert AggregateFunction.SUM in functions
+        assert AggregateFunction.MAX in functions
+        assert AggregateFunction.MIN in functions
+
+    def test_filters_and_group_by_present(self, workload):
+        assert any(query.aggregate_query.has_filters for query in workload)
+        assert any(
+            query.aggregate_query.group_by is not None for query in workload
+        )
+
+    def test_qids_unique_and_labelled(self, workload):
+        qids = [query.qid for query in workload]
+        assert len(set(qids)) == len(qids)
+        assert all(qid.startswith("dbpedia-like-Q") for qid in qids)
+
+    def test_descriptions_non_empty(self, workload):
+        assert all(query.description for query in workload)
+
+    def test_queries_of_shape(self, workload):
+        chains = queries_of_shape(workload, QueryShape.CHAIN)
+        assert chains
+        assert all(query.shape is QueryShape.CHAIN for query in chains)
+
+    def test_guaranteed_queries_filtering(self, workload):
+        guaranteed = guaranteed_queries(workload)
+        assert guaranteed
+        for query in guaranteed:
+            assert query.function.has_guarantee
+            assert query.aggregate_query.group_by is None
+
+    def test_determinism(self, dbpedia_bundle):
+        first = [q.qid for q in standard_workload(dbpedia_bundle)]
+        second = [q.qid for q in standard_workload(dbpedia_bundle)]
+        assert first == second
+
+    def test_composite_hub_keys_recorded(self, workload):
+        composite = [q for q in workload if q.aggregate_query.query.is_composite]
+        assert composite
+        for query in composite:
+            assert len(query.hub_keys) == len(query.aggregate_query.query.components)
+
+    def test_filter_bounds_are_quartiles(self, workload, dbpedia_bundle):
+        filtered = [q for q in workload if q.aggregate_query.has_filters]
+        for query in filtered:
+            filter_ = query.aggregate_query.filters[0]
+            assert filter_.lower is not None and filter_.upper is not None
+            assert filter_.lower < filter_.upper
