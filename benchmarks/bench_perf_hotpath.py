@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""S1 hot-path benchmark: seed pure-Python loops vs the CSR kernels.
+
+Times, on the largest dataset preset (yago2-like, the one with the most
+hubs and answers):
+
+* **scope build** — BFS + candidate filtering, seed dict/deque loops
+  (:mod:`repro.sampling.reference`) vs the frontier-array BFS over the CSR
+  snapshot;
+* **transition build** — Eq. 5 assembly, seed per-edge Python with cached
+  pairwise similarities vs the vectorised gather over dense similarity
+  rows;
+* **engine.execute** — one full COUNT query end-to-end on the new path.
+
+Both paths are verified equivalent (identical scopes and rows, stationary
+distributions within 1e-12) before timing, and the before/after numbers
+land in a JSON report (checked in as ``BENCH_hotpath.json``).
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_hotpath.py [--smoke]
+
+``--smoke`` shrinks the dataset and repeat count so the whole script
+finishes in a few seconds; the tier-1 suite runs it on every test pass so
+hot-path regressions fail fast without a separate CI system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro import (  # noqa: E402
+    AggregateFunction,
+    AggregateQuery,
+    ApproximateAggregateEngine,
+    EngineConfig,
+    QueryGraph,
+)
+from repro.datasets import yago_like  # noqa: E402
+from repro.embedding.predicate_space import PredicateVectorSpace  # noqa: E402
+from repro.kg.csr import build_csr, csr_snapshot  # noqa: E402
+from repro.sampling.reference import (  # noqa: E402
+    ReferenceTransitionModel,
+    build_scope_python,
+)
+from repro.sampling.scope import build_scope  # noqa: E402
+from repro.sampling.stationary import stationary_distribution  # noqa: E402
+from repro.sampling.transition import TransitionModel  # noqa: E402
+
+#: the benchmarked query: the largest hub of the yago2-like preset
+HUB_NAME = "Spain"
+HUB_TYPES = ("Country",)
+QUERY_PREDICATE = "bornIn"
+TARGET_TYPE = "SoccerPlayer"
+
+
+def _time_best(function, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``function()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _check_equivalence(reference: ReferenceTransitionModel, model: TransitionModel) -> None:
+    """Assert the CSR model matches the seed model row for row."""
+    assert reference.size == model.size, "state counts differ"
+    for index in range(reference.size):
+        seed_neighbours, seed_probabilities = reference.row(index)
+        neighbours, probabilities = model.row(index)
+        assert np.array_equal(seed_neighbours, neighbours), f"row {index} neighbours"
+        assert np.array_equal(reference.row_edges(index), model.row_edges(index))
+        np.testing.assert_allclose(
+            seed_probabilities, probabilities, rtol=0.0, atol=1e-12
+        )
+    seed_stationary = stationary_distribution(reference).probabilities
+    csr_stationary = stationary_distribution(model).probabilities
+    np.testing.assert_allclose(seed_stationary, csr_stationary, rtol=0.0, atol=1e-12)
+
+
+def run(scale: float, repeats: int, seed: int) -> dict:
+    """Benchmark one configuration and return the report dict."""
+    bundle = yago_like(seed=seed, scale=scale)
+    kg = bundle.kg
+    space = bundle.space()
+    config = EngineConfig(seed=seed)
+    source = kg.node_by_name(HUB_NAME)
+    target_types = frozenset((TARGET_TYPE,))
+
+    compile_started = time.perf_counter()
+    build_csr(kg)
+    compile_seconds = time.perf_counter() - compile_started
+    csr_snapshot(kg)  # populate the cache used by the timed kernels
+
+    # -- scope build ---------------------------------------------------
+    scope_python = build_scope_python(kg, source, config.n_bound, target_types)
+    scope = build_scope(kg, source, config.n_bound, target_types)
+    assert scope_python.nodes == scope.nodes, "scope node order diverged"
+    assert scope_python.candidate_answers == scope.candidate_answers
+    assert scope_python.distances == scope.distances
+    scope_python_seconds = _time_best(
+        lambda: build_scope_python(kg, source, config.n_bound, target_types), repeats
+    )
+    scope_csr_seconds = _time_best(
+        lambda: build_scope(kg, source, config.n_bound, target_types), repeats
+    )
+
+    # -- transition build ----------------------------------------------
+    # Warm both similarity caches first: the seed path's pairwise dict and
+    # the dense row, so the timings compare steady-state assembly cost.
+    reference = ReferenceTransitionModel(kg, scope, space, QUERY_PREDICATE)
+    model = TransitionModel(kg, scope, space, QUERY_PREDICATE)
+    _check_equivalence(reference, model)
+    transition_python_seconds = _time_best(
+        lambda: ReferenceTransitionModel(kg, scope, space, QUERY_PREDICATE), repeats
+    )
+    transition_csr_seconds = _time_best(
+        lambda: TransitionModel(kg, scope, space, QUERY_PREDICATE), repeats
+    )
+
+    # -- one full engine.execute ---------------------------------------
+    aggregate_query = AggregateQuery(
+        query=QueryGraph.simple(HUB_NAME, HUB_TYPES, QUERY_PREDICATE, [TARGET_TYPE]),
+        function=AggregateFunction.COUNT,
+    )
+
+    def execute_once() -> None:
+        engine = ApproximateAggregateEngine(kg, space, config)
+        engine.execute(aggregate_query)
+
+    engine_seconds = _time_best(execute_once, max(1, repeats // 2))
+
+    return {
+        "preset": "yago2-like",
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "kg_nodes": kg.num_nodes,
+        "kg_edges": kg.num_edges,
+        "scope_nodes": scope.size,
+        "scope_candidates": scope.num_candidates,
+        "transition_nnz": int(model.to_sparse().nnz),
+        "snapshot_compile_seconds": compile_seconds,
+        "scope": {
+            "python_seconds": scope_python_seconds,
+            "csr_seconds": scope_csr_seconds,
+            "speedup": scope_python_seconds / scope_csr_seconds,
+        },
+        "transition": {
+            "python_seconds": transition_python_seconds,
+            "csr_seconds": transition_csr_seconds,
+            "speedup": transition_python_seconds / transition_csr_seconds,
+        },
+        "engine_execute_seconds": engine_seconds,
+        "equivalent": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale + few repeats; finishes in a few seconds",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hotpath.json",
+        help="where to write the JSON report",
+    )
+    arguments = parser.parse_args(argv)
+    scale = arguments.scale if arguments.scale is not None else (1.0 if arguments.smoke else 3.0)
+    repeats = arguments.repeats if arguments.repeats is not None else (3 if arguments.smoke else 7)
+
+    report = run(scale=scale, repeats=repeats, seed=arguments.seed)
+    report["smoke"] = arguments.smoke
+    arguments.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"scope build:      {report['scope']['python_seconds'] * 1e3:8.2f} ms -> "
+          f"{report['scope']['csr_seconds'] * 1e3:8.2f} ms  "
+          f"({report['scope']['speedup']:.1f}x)")
+    print(f"transition build: {report['transition']['python_seconds'] * 1e3:8.2f} ms -> "
+          f"{report['transition']['csr_seconds'] * 1e3:8.2f} ms  "
+          f"({report['transition']['speedup']:.1f}x)")
+    print(f"engine.execute:   {report['engine_execute_seconds'] * 1e3:8.2f} ms")
+    print(f"[saved to {arguments.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

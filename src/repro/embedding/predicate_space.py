@@ -1,14 +1,16 @@
 """Predicate similarity space (Eq. 4 of the paper).
 
 Wraps any :class:`PredicateEmbedding` and serves cached cosine similarities
-between predicate names.  The sampler asks for millions of pairwise
-similarities (one per edge per transition-row), so the cache and the
-vector-norm precomputation matter.
+between predicate names.  The sampler needs a similarity per edge per
+transition row; rather than one cached pairwise call per edge, the hot path
+asks for a dense :meth:`~PredicateVectorSpace.similarity_row` — one
+matrix-vector product over the stacked unit-normalised predicate matrix,
+cached per query predicate — and indexes it by dense predicate id.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -34,6 +36,12 @@ class PredicateVectorSpace:
         self._vectors: dict[str, np.ndarray] = {}
         self._norms: dict[str, float] = {}
         self._pair_cache: dict[tuple[str, str], float] = {}
+        #: vocabulary tuple -> stacked unit-normalised (P, d) matrix
+        self._matrix_cache: dict[tuple[str, ...], np.ndarray] = {}
+        #: (query predicate, vocabulary tuple) -> dense similarity row
+        self._row_cache: dict[tuple[str, tuple[str, ...]], np.ndarray] = {}
+        #: as _row_cache but with NaN marking unknown predicates
+        self._known_row_cache: dict[tuple[str, tuple[str, ...]], np.ndarray] = {}
 
     @property
     def embedding(self) -> PredicateEmbedding:
@@ -69,20 +77,126 @@ class PredicateVectorSpace:
         self._pair_cache[key] = value
         return value
 
+    def _unit_matrix(self, predicates: tuple[str, ...], *, cache: bool) -> np.ndarray:
+        """Stacked unit-normalised vectors of ``predicates``.
+
+        ``cache`` should be set only for stable vocabularies (the
+        embedding's own names, a graph's interned predicates) — ad-hoc
+        lists would otherwise pin a (P, d) matrix each forever.
+        """
+        cached = self._matrix_cache.get(predicates) if cache else None
+        if cached is not None:
+            return cached
+        rows = np.stack([self.vector(name) for name in predicates])
+        norms = np.linalg.norm(rows, axis=1)
+        unit = rows / np.where(norms > 0.0, norms, 1.0)[:, None]
+        if cache:
+            unit.setflags(write=False)
+            self._matrix_cache[predicates] = unit
+        return unit
+
+    def _compute_similarity_row(
+        self, query_predicate: str, vocabulary: tuple[str, ...], *, cache_matrix: bool
+    ) -> np.ndarray:
+        if not vocabulary:
+            return np.empty(0, dtype=np.float64)
+        if all(name == query_predicate for name in vocabulary):
+            # Identical names give 1.0 without any vector lookup, exactly
+            # like pairwise similarity() — even for unembedded predicates.
+            return np.ones(len(vocabulary), dtype=np.float64)
+        query_vector = self.vector(query_predicate)
+        query_norm = self._norms[query_predicate]
+        unit_query = (
+            query_vector / query_norm if query_norm > 0.0 else np.zeros_like(query_vector)
+        )
+        matrix = self._unit_matrix(vocabulary, cache=cache_matrix)
+        row = np.clip(matrix @ unit_query, -1.0, 1.0)
+        for position, name in enumerate(vocabulary):
+            if name == query_predicate:
+                row[position] = 1.0  # identical names give exactly 1.0
+        return row
+
+    def similarity_row(
+        self, query_predicate: str, predicates: Sequence[str] | None = None
+    ) -> np.ndarray:
+        """Dense similarities from every predicate in a vocabulary to the query.
+
+        ``predicates`` fixes the row's ordering (default: the embedding's
+        ``predicate_names``); callers index the result by dense predicate id.
+        One matmul over the stacked unit-normalised predicate matrix, cached
+        per (query predicate, vocabulary); the returned array is read-only.
+        Intended for stable vocabularies (a graph's interned predicates) —
+        for throwaway lists use :meth:`similarities_to`, which does not
+        populate the caches.
+        """
+        vocabulary = tuple(
+            self._embedding.predicate_names if predicates is None else predicates
+        )
+        key = (query_predicate, vocabulary)
+        cached = self._row_cache.get(key)
+        if cached is not None:
+            return cached
+        row = self._compute_similarity_row(query_predicate, vocabulary, cache_matrix=True)
+        row.setflags(write=False)
+        self._row_cache[key] = row
+        return row
+
+    def known_similarity_row(
+        self, query_predicate: str, predicates: Sequence[str]
+    ) -> np.ndarray:
+        """Like :meth:`similarity_row`, but NaN where the embedding has no vector.
+
+        This is the hot-path variant for a graph's full predicate
+        vocabulary: consumers index the row by dense predicate id and defer
+        the unknown-predicate failure until an edge labelled by one is
+        actually touched (the seed's lazy per-edge behaviour), by checking
+        the gathered values for NaN.  Cached per (query, vocabulary); the
+        returned array is read-only.
+        """
+        vocabulary = tuple(predicates)
+        key = (query_predicate, vocabulary)
+        cached = self._known_row_cache.get(key)
+        if cached is not None:
+            return cached
+        known = [
+            (position, name)
+            for position, name in enumerate(vocabulary)
+            if self._embedding.knows_predicate(name)
+        ]
+        row = np.full(len(vocabulary), np.nan, dtype=np.float64)
+        if known:
+            values = self.similarity_row(
+                query_predicate, tuple(name for _, name in known)
+            )
+            row[[position for position, _ in known]] = values
+        row.setflags(write=False)
+        self._known_row_cache[key] = row
+        return row
+
     def similarities_to(self, query_predicate: str, predicates: Iterable[str]) -> np.ndarray:
-        """Vector of similarities from each of ``predicates`` to the query."""
-        return np.array(
-            [self.similarity(predicate, query_predicate) for predicate in predicates],
-            dtype=np.float64,
+        """Vector of similarities from each of ``predicates`` to the query.
+
+        One matmul, uncached: ad-hoc predicate lists do not grow the
+        per-vocabulary caches.
+        """
+        return self._compute_similarity_row(
+            query_predicate, tuple(predicates), cache_matrix=False
         )
 
     def most_similar(self, query_predicate: str, top_k: int = 5) -> list[tuple[str, float]]:
-        """The ``top_k`` known predicates most similar to ``query_predicate``."""
+        """The ``top_k`` known predicates most similar to ``query_predicate``.
+
+        Routed through :meth:`similarity_row` so ranking the whole
+        vocabulary costs one matmul instead of populating the O(P^2)
+        pairwise cache.
+        """
         if top_k <= 0:
             raise EmbeddingError("top_k must be positive")
+        vocabulary = tuple(self._embedding.predicate_names)
+        row = self.similarity_row(query_predicate, vocabulary)
         scored = [
-            (name, self.similarity(name, query_predicate))
-            for name in self._embedding.predicate_names
+            (name, float(value))
+            for name, value in zip(vocabulary, row)
             if name != query_predicate
         ]
         scored.sort(key=lambda pair: (-pair[1], pair[0]))

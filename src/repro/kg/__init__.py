@@ -7,6 +7,7 @@ walk and subgraph matches move along paths regardless of triple direction)
 while the triple orientation is preserved for the SPARQL-style baseline.
 """
 
+from repro.kg.csr import CSRGraph, build_csr, csr_snapshot
 from repro.kg.graph import Edge, KnowledgeGraph, Node
 from repro.kg.interop import from_networkx, to_networkx
 from repro.kg.io import load_json, load_triples, save_json, save_triples
@@ -19,9 +20,12 @@ from repro.kg.traversal import (
 )
 
 __all__ = [
+    "CSRGraph",
     "Edge",
     "KnowledgeGraph",
     "Node",
+    "build_csr",
+    "csr_snapshot",
     "GraphStatistics",
     "compute_statistics",
     "bounded_node_set",

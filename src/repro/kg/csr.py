@@ -1,0 +1,248 @@
+"""Immutable CSR snapshot of a :class:`KnowledgeGraph` (the S1 kernel).
+
+The hot path of the paper — scope BFS, Eq. 5 transition assembly, candidate
+filtering — spends its time walking adjacency lists of ``(edge_id,
+neighbour)`` tuples and looking up per-edge predicate similarities through
+string-keyed dicts.  This module compacts the mutable store into four dense
+numpy arrays once per graph version:
+
+* ``indptr`` / ``neighbor_ids`` / ``edge_ids`` — the direction-agnostic
+  adjacency in compressed-sparse-row form, entry-for-entry identical in
+  order to ``KnowledgeGraph.neighbors``;
+* ``edge_predicate_ids`` — dense predicate id per edge, so a per-query
+  similarity table indexed by predicate id turns per-edge weighting into
+  one fancy-index.
+
+It also precomputes per-type dense node-id arrays and a node x type
+membership bitmask so candidate filtering (Definition 4's "shares a type
+with the target") becomes a boolean gather instead of a per-node
+``frozenset`` intersection.
+
+Snapshots are cached on the graph and invalidated by the graph's version
+counter, which every mutator (``add_node`` / ``add_edge`` /
+``set_attribute``) bumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError
+from repro.kg.graph import KnowledgeGraph
+
+#: attribute name under which the (version, snapshot) pair is memoised
+_SNAPSHOT_ATTR = "_csr_snapshot_cache"
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """Read-only array view of one graph version.
+
+    ``neighbor_ids[indptr[u]:indptr[u+1]]`` lists the neighbours of ``u``
+    (both edge directions, insertion order) and ``edge_ids`` the incident
+    edge per entry, exactly mirroring ``KnowledgeGraph.neighbors(u)``.
+    """
+
+    num_nodes: int
+    num_edges: int
+    indptr: np.ndarray  # (num_nodes + 1,) int64
+    neighbor_ids: np.ndarray  # (num_endpoints,) int64
+    edge_ids: np.ndarray  # (num_endpoints,) int64, aligned with neighbor_ids
+    edge_predicate_ids: np.ndarray  # (num_edges,) int64
+    type_names: tuple[str, ...]
+    type_index: Mapping[str, int]
+    type_matrix: np.ndarray  # (num_nodes, num_types) bool membership bitmask
+    nodes_by_type: Mapping[str, np.ndarray]  # per-type dense node-id arrays
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def neighbors(self, node_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(edge_ids, neighbour_ids)`` array views incident to ``node_id``."""
+        self._check_node(node_id)
+        start, end = self.indptr[node_id], self.indptr[node_id + 1]
+        return self.edge_ids[start:end], self.neighbor_ids[start:end]
+
+    def degree(self, node_id: int) -> int:
+        """Number of incident edge endpoints (both directions)."""
+        self._check_node(node_id)
+        return int(self.indptr[node_id + 1] - self.indptr[node_id])
+
+    def gather_neighbors(
+        self, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated adjacency of ``nodes`` in one vectorised gather.
+
+        Returns ``(rows, neighbour_ids, edge_ids)`` where ``rows[k]`` is the
+        position within ``nodes`` that entry ``k`` belongs to.  Entries keep
+        per-node adjacency order, so the result is the flattened equivalent
+        of ``[kg.neighbors(n) for n in nodes]``.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        starts = self.indptr[nodes]
+        counts = self.indptr[nodes + 1] - starts
+        total = int(counts.sum())
+        cumulative = np.concatenate(([0], np.cumsum(counts)))
+        gather = np.repeat(starts - cumulative[:-1], counts) + np.arange(
+            total, dtype=np.int64
+        )
+        rows = np.repeat(np.arange(len(nodes), dtype=np.int64), counts)
+        return rows, self.neighbor_ids[gather], self.edge_ids[gather]
+
+    def gather_within(
+        self, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Adjacency of ``nodes`` restricted to endpoints inside ``nodes``.
+
+        Returns ``(positions, rows, cols, edge_ids)``: ``positions`` maps
+        every graph node id to its index within ``nodes`` (-1 outside), and
+        the entry arrays cover only edges whose far endpoint is also in
+        ``nodes`` — the shared gather behind Eq. 5 assembly and the
+        strength closed form.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        positions = np.full(self.num_nodes, -1, dtype=np.int64)
+        positions[nodes] = np.arange(len(nodes), dtype=np.int64)
+        rows, neighbours, edge_ids = self.gather_neighbors(nodes)
+        cols = positions[neighbours]
+        keep = cols >= 0
+        return positions, rows[keep], cols[keep], edge_ids[keep]
+
+    # ------------------------------------------------------------------
+    # BFS
+    # ------------------------------------------------------------------
+    def hop_distance_array(self, source: int, max_hops: int) -> np.ndarray:
+        """Frontier-array BFS: hop distance per node, -1 beyond ``max_hops``.
+
+        Each level gathers the whole frontier's adjacency in one slice
+        gather, masks already-visited nodes, and dedupes with ``np.unique``
+        — no per-edge Python.
+        """
+        if max_hops < 0:
+            raise ValueError("max_hops must be >= 0")
+        self._check_node(source)
+        distances = np.full(self.num_nodes, -1, dtype=np.int64)
+        distances[source] = 0
+        frontier = np.asarray([source], dtype=np.int64)
+        for depth in range(1, max_hops + 1):
+            _, neighbours, _ = self.gather_neighbors(frontier)
+            fresh = neighbours[distances[neighbours] < 0]
+            if len(fresh) == 0:
+                break
+            frontier = np.unique(fresh)
+            distances[frontier] = depth
+        return distances
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def type_mask(self, types: Iterable[str]) -> np.ndarray:
+        """Boolean mask over node ids: carries at least one of ``types``.
+
+        Unknown type names contribute nothing (matching
+        ``Node.shares_type_with`` on an absent type).
+        """
+        columns = [self.type_index[name] for name in types if name in self.type_index]
+        if not columns:
+            return np.zeros(self.num_nodes, dtype=bool)
+        if len(columns) == 1:
+            return self.type_matrix[:, columns[0]].copy()
+        return self.type_matrix[:, columns].any(axis=1)
+
+    def nodes_with_type(self, type_name: str) -> np.ndarray:
+        """Dense node-id array of one type ([] for unknown types)."""
+        nodes = self.nodes_by_type.get(type_name)
+        if nodes is None:
+            return np.empty(0, dtype=np.int64)
+        return nodes
+
+    def nodes_with_any_type(self, types: Iterable[str]) -> np.ndarray:
+        """Sorted distinct node ids carrying any of ``types``."""
+        parts = [self.nodes_with_type(name) for name in types]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    # ------------------------------------------------------------------
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.num_nodes:
+            raise NodeNotFoundError(f"node id {node_id} out of range")
+
+
+def build_csr(kg: KnowledgeGraph) -> CSRGraph:
+    """Compile a fresh :class:`CSRGraph` from the mutable store.
+
+    The adjacency is reconstructed from the triple list with one stable
+    sort: endpoint entries are interleaved (subject entry, then object
+    entry, per edge) so that the per-node order matches the append order of
+    ``KnowledgeGraph.add_edge`` exactly.
+    """
+    num_nodes = kg.num_nodes
+    num_edges = kg.num_edges
+    if num_edges:
+        triples = np.fromiter(
+            kg.triples(), dtype=np.dtype((np.int64, 3)), count=num_edges
+        )
+        subjects, predicate_ids, objects = triples[:, 0], triples[:, 1], triples[:, 2]
+    else:
+        subjects = predicate_ids = objects = np.empty(0, dtype=np.int64)
+
+    # Interleave the two directions per edge; a self-loop contributes one
+    # endpoint entry only (mirroring add_edge's ``obj != subject`` guard).
+    endpoint_src = np.empty(2 * num_edges, dtype=np.int64)
+    endpoint_dst = np.empty(2 * num_edges, dtype=np.int64)
+    endpoint_src[0::2], endpoint_src[1::2] = subjects, objects
+    endpoint_dst[0::2], endpoint_dst[1::2] = objects, subjects
+    endpoint_edge = np.repeat(np.arange(num_edges, dtype=np.int64), 2)
+    keep = np.ones(2 * num_edges, dtype=bool)
+    keep[1::2] = subjects != objects
+    endpoint_src = endpoint_src[keep]
+    endpoint_dst = endpoint_dst[keep]
+    endpoint_edge = endpoint_edge[keep]
+
+    order = np.argsort(endpoint_src, kind="stable")
+    neighbor_ids = endpoint_dst[order]
+    edge_ids = endpoint_edge[order]
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum(np.bincount(endpoint_src, minlength=num_nodes))
+
+    type_names = kg.types
+    type_index = {name: column for column, name in enumerate(type_names)}
+    type_matrix = np.zeros((num_nodes, len(type_names)), dtype=bool)
+    nodes_by_type: dict[str, np.ndarray] = {}
+    for name, column in type_index.items():
+        typed = np.asarray(kg.nodes_with_type(name), dtype=np.int64)
+        nodes_by_type[name] = typed
+        type_matrix[typed, column] = True
+
+    arrays = (neighbor_ids, edge_ids, indptr, predicate_ids, type_matrix)
+    for array in arrays:
+        array.setflags(write=False)
+    for typed in nodes_by_type.values():
+        typed.setflags(write=False)
+    return CSRGraph(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        indptr=indptr,
+        neighbor_ids=neighbor_ids,
+        edge_ids=edge_ids,
+        edge_predicate_ids=predicate_ids,
+        type_names=type_names,
+        type_index=type_index,
+        type_matrix=type_matrix,
+        nodes_by_type=nodes_by_type,
+    )
+
+
+def csr_snapshot(kg: KnowledgeGraph) -> CSRGraph:
+    """The cached snapshot of ``kg``'s current version (compiled on miss)."""
+    cached = getattr(kg, _SNAPSHOT_ATTR, None)
+    version = kg.version
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    snapshot = build_csr(kg)
+    setattr(kg, _SNAPSHOT_ATTR, (version, snapshot))
+    return snapshot

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
+import numpy as np
+
 from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
 
 
@@ -101,6 +103,8 @@ class KnowledgeGraph:
         self._name_index: dict[str, int] = {}
         self._type_index: dict[str, list[int]] = {}
         self._predicate_edge_index: dict[int, list[int]] = {}
+        # Monotone mutation counter; CSR snapshots key their cache on it.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -125,6 +129,7 @@ class KnowledgeGraph:
         self._name_index[name] = node_id
         for type_name in type_set:
             self._type_index.setdefault(type_name, []).append(node_id)
+        self._version += 1
         return node_id
 
     def add_edge(self, subject: int, predicate: str, obj: int) -> int:
@@ -138,12 +143,14 @@ class KnowledgeGraph:
         if obj != subject:
             self._adjacency[obj].append((edge_id, subject))
         self._predicate_edge_index.setdefault(predicate_id, []).append(edge_id)
+        self._version += 1
         return edge_id
 
     def set_attribute(self, node_id: int, name: str, value: float) -> None:
         """Set (or overwrite) numeric attribute ``name`` on ``node_id``."""
         self._check_node(node_id)
         self._nodes[node_id].attributes[name] = float(value)
+        self._version += 1
 
     def intern_predicate(self, predicate: str) -> int:
         """Return the dense id for ``predicate``, creating one if needed."""
@@ -158,6 +165,11 @@ class KnowledgeGraph:
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every structural or attribute change."""
+        return self._version
+
     @property
     def num_nodes(self) -> int:
         """Number of entities in the graph."""
@@ -255,12 +267,12 @@ class KnowledgeGraph:
         for record in self._edges:
             yield record.subject, record.predicate_id, record.object
 
-    def edge_predicate_ids(self) -> "np.ndarray":
+    def edge_predicate_ids(self) -> np.ndarray:
         """Dense ``predicate_id`` per edge id (vectorised edge weighting)."""
-        import numpy as np
-
-        return np.asarray(
-            [record.predicate_id for record in self._edges], dtype=np.int64
+        return np.fromiter(
+            (record.predicate_id for record in self._edges),
+            dtype=np.int64,
+            count=len(self._edges),
         )
 
     def neighbors(self, node_id: int) -> list[tuple[int, int]]:

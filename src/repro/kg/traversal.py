@@ -9,9 +9,11 @@ computation of Eq. 2-3.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Callable, Iterator
 
+import numpy as np
+
+from repro.kg.csr import csr_snapshot
 from repro.kg.graph import KnowledgeGraph
 
 
@@ -19,22 +21,12 @@ def hop_distances(kg: KnowledgeGraph, source: int, max_hops: int) -> dict[int, i
     """BFS hop distance from ``source`` for all nodes within ``max_hops``.
 
     Distances treat edges as undirected, matching the paper's edge-to-path
-    mapping.  The source itself has distance 0.
+    mapping.  The source itself has distance 0.  Runs as a frontier-array
+    BFS over the graph's CSR snapshot — one adjacency gather per level.
     """
-    if max_hops < 0:
-        raise ValueError("max_hops must be >= 0")
-    distances = {source: 0}
-    frontier = deque([source])
-    while frontier:
-        current = frontier.popleft()
-        depth = distances[current]
-        if depth == max_hops:
-            continue
-        for _edge_id, neighbour in kg.neighbors(current):
-            if neighbour not in distances:
-                distances[neighbour] = depth + 1
-                frontier.append(neighbour)
-    return distances
+    distances = csr_snapshot(kg).hop_distance_array(source, max_hops)
+    reached = np.flatnonzero(distances >= 0)
+    return {int(node): int(distances[node]) for node in reached}
 
 
 def bounded_node_set(kg: KnowledgeGraph, source: int, max_hops: int) -> set[int]:

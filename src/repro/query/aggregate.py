@@ -103,7 +103,13 @@ class GroupBy:
             return None
         if self.bin_width is None:
             return value
-        return math.floor(value / self.bin_width) * self.bin_width
+        key = math.floor(value / self.bin_width) * self.bin_width
+        if key > value:
+            # Tiny negative values can underflow the division to -0.0,
+            # rounding the key into the bin above; step down one bin so
+            # key <= value always holds.
+            key -= self.bin_width
+        return key
 
     def label_for(self, key: float) -> str:
         """Human-readable label of the group keyed by ``key``."""

@@ -1,0 +1,200 @@
+"""Seed (pure-Python) S1 implementations, kept as reference oracles.
+
+These are verbatim ports of the pre-CSR hot path — per-edge Python loops
+over ``kg.neighbors`` tuples and string-keyed similarity lookups.  They are
+no longer called by the engine; they exist so that
+
+* the equivalence tests can pin the vectorised kernels (scope BFS, Eq. 5
+  transition assembly, strength closed form) to the original semantics, and
+* ``benchmarks/bench_perf_hotpath.py`` can report honest before/after
+  timings against the exact seed implementation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.errors import SamplingError
+from repro.kg.graph import KnowledgeGraph
+from repro.sampling.scope import SamplingScope
+from repro.semantics.similarity import SIMILARITY_FLOOR, clamp_similarity
+
+
+def hop_distances_python(
+    kg: KnowledgeGraph, source: int, max_hops: int
+) -> dict[int, int]:
+    """Seed BFS: dict-and-deque traversal over adjacency tuple lists."""
+    if max_hops < 0:
+        raise ValueError("max_hops must be >= 0")
+    distances = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        current = frontier.popleft()
+        depth = distances[current]
+        if depth == max_hops:
+            continue
+        for _edge_id, neighbour in kg.neighbors(current):
+            if neighbour not in distances:
+                distances[neighbour] = depth + 1
+                frontier.append(neighbour)
+    return distances
+
+
+def build_scope_python(
+    kg: KnowledgeGraph,
+    source: int,
+    n_bound: int,
+    target_types: frozenset[str],
+) -> SamplingScope:
+    """Seed scope build: BFS dict + per-node ``shares_type_with`` filtering."""
+    if n_bound < 1:
+        raise SamplingError("n_bound must be >= 1")
+    distances = hop_distances_python(kg, source, n_bound)
+    ordered_nodes = tuple(sorted(distances, key=lambda node: (distances[node], node)))
+    candidates = tuple(
+        node
+        for node in ordered_nodes
+        if node != source and kg.node(node).shares_type_with(target_types)
+    )
+    return SamplingScope(
+        source=source,
+        n_bound=n_bound,
+        distances=distances,
+        nodes=ordered_nodes,
+        candidate_answers=candidates,
+    )
+
+
+@dataclass(frozen=True)
+class ReferenceRow:
+    """One state's row of the seed transition matrix."""
+
+    neighbours: np.ndarray  # dense scope indexes
+    probabilities: np.ndarray
+    edge_ids: np.ndarray
+
+
+class ReferenceTransitionModel:
+    """The seed per-edge Eq. 5 assembly, row dataclass per node and all."""
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        scope: SamplingScope,
+        space: PredicateVectorSpace,
+        query_predicate: str,
+        *,
+        self_loop_weight: float = 0.001,
+        similarity_floor: float = SIMILARITY_FLOOR,
+    ) -> None:
+        if self_loop_weight <= 0:
+            raise SamplingError("self_loop_weight must be positive (Lemma 2)")
+        self.scope = scope
+        self.query_predicate = query_predicate
+        self._index = scope.index_of()
+        self._rows: list[ReferenceRow] = []
+        self._build(kg, space, self_loop_weight, similarity_floor)
+
+    def _build(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateVectorSpace,
+        self_loop_weight: float,
+        similarity_floor: float,
+    ) -> None:
+        source_index = self._index[self.scope.source]
+        for node in self.scope.nodes:
+            node_index = self._index[node]
+            neighbour_indexes: list[int] = []
+            weights: list[float] = []
+            edge_ids: list[int] = []
+            for edge_id, neighbour in kg.neighbors(node):
+                other_index = self._index.get(neighbour)
+                if other_index is None:
+                    continue  # neighbour outside the n-bounded scope
+                predicate = kg.predicate_of(edge_id)
+                weight = clamp_similarity(
+                    space.similarity(predicate, self.query_predicate),
+                    similarity_floor,
+                )
+                neighbour_indexes.append(other_index)
+                weights.append(weight)
+                edge_ids.append(edge_id)
+            if node_index == source_index:
+                neighbour_indexes.append(source_index)
+                weights.append(self_loop_weight)
+                edge_ids.append(-1)
+            if not neighbour_indexes:
+                neighbour_indexes.append(node_index)
+                weights.append(1.0)
+                edge_ids.append(-1)
+            weight_array = np.asarray(weights, dtype=np.float64)
+            probabilities = weight_array / weight_array.sum()
+            self._rows.append(
+                ReferenceRow(
+                    neighbours=np.asarray(neighbour_indexes, dtype=np.int64),
+                    probabilities=probabilities,
+                    edge_ids=np.asarray(edge_ids, dtype=np.int64),
+                )
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of states (scope nodes) in the chain."""
+        return len(self._rows)
+
+    def row(self, scope_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbour_indexes, probabilities)`` for one scope node."""
+        row = self._rows[scope_index]
+        return row.neighbours, row.probabilities
+
+    def row_edges(self, scope_index: int) -> np.ndarray:
+        """Edge ids of one state's row (-1 for synthetic self-loops)."""
+        return self._rows[scope_index].edge_ids
+
+    def to_sparse(self) -> sparse.csr_matrix:
+        """The full row-stochastic matrix P as a CSR matrix."""
+        indptr = [0]
+        indices: list[np.ndarray] = []
+        data: list[np.ndarray] = []
+        for row in self._rows:
+            indices.append(row.neighbours)
+            data.append(row.probabilities)
+            indptr.append(indptr[-1] + len(row.neighbours))
+        return sparse.csr_matrix(
+            (
+                np.concatenate(data) if data else np.empty(0),
+                np.concatenate(indices) if indices else np.empty(0, dtype=np.int64),
+                np.asarray(indptr, dtype=np.int64),
+            ),
+            shape=(self.size, self.size),
+        )
+
+
+def strength_distribution_python(
+    kg: KnowledgeGraph,
+    scope: SamplingScope,
+    edge_weights: np.ndarray,
+    *,
+    self_loop_weight: float = 0.001,
+) -> np.ndarray:
+    """Seed closed-form stationary distribution: per-edge Python loop."""
+    in_scope = scope.distances
+    strengths = np.zeros(len(scope.nodes), dtype=np.float64)
+    for position, node in enumerate(scope.nodes):
+        total = 0.0
+        for edge_id, neighbour in kg.neighbors(node):
+            if neighbour in in_scope:
+                total += edge_weights[edge_id]
+        strengths[position] = total
+    source_position = scope.index_of()[scope.source]
+    strengths[source_position] += self_loop_weight
+    total_strength = strengths.sum()
+    if total_strength <= 0.0:
+        raise SamplingError("scope has no positively weighted edges")
+    return strengths / total_strength

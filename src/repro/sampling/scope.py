@@ -10,9 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import MappingNodeNotFoundError, SamplingError
+from repro.kg.csr import csr_snapshot
 from repro.kg.graph import KnowledgeGraph
-from repro.kg.traversal import hop_distances
 
 
 @dataclass(frozen=True)
@@ -76,21 +78,26 @@ def build_scope(
     """BFS the n-bounded subgraph and collect candidate answers.
 
     Candidates exclude the source itself (an answer entity is distinct from
-    the specific entity in Definition 3's query graphs).
+    the specific entity in Definition 3's query graphs).  Both the BFS and
+    the type filtering run on the graph's CSR snapshot: distances come from
+    the frontier-array BFS, candidate selection is one boolean gather over
+    the node x type membership bitmask.
     """
     if n_bound < 1:
         raise SamplingError("n_bound must be >= 1")
-    distances = hop_distances(kg, source, n_bound)
-    ordered_nodes = tuple(sorted(distances, key=lambda node: (distances[node], node)))
-    candidates = tuple(
-        node
-        for node in ordered_nodes
-        if node != source and kg.node(node).shares_type_with(target_types)
-    )
+    snapshot = csr_snapshot(kg)
+    distance_array = snapshot.hop_distance_array(source, n_bound)
+    reached = np.flatnonzero(distance_array >= 0)
+    # (distance, node id) order: ``reached`` is already ascending, so a
+    # stable sort on distance reproduces the seed's lexicographic order.
+    ordered = reached[np.argsort(distance_array[reached], kind="stable")]
+    candidate_mask = snapshot.type_mask(target_types)[ordered]
+    candidate_mask &= ordered != source
+    distances = dict(zip(reached.tolist(), distance_array[reached].tolist()))
     return SamplingScope(
         source=source,
         n_bound=n_bound,
         distances=distances,
-        nodes=ordered_nodes,
-        candidate_answers=candidates,
+        nodes=tuple(ordered.tolist()),
+        candidate_answers=tuple(ordered[candidate_mask].tolist()),
     )

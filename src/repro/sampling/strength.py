@@ -19,9 +19,10 @@ import numpy as np
 
 from repro.embedding.predicate_space import PredicateVectorSpace
 from repro.errors import SamplingError
+from repro.kg.csr import csr_snapshot
 from repro.kg.graph import KnowledgeGraph
 from repro.sampling.scope import SamplingScope
-from repro.semantics.similarity import SIMILARITY_FLOOR, clamp_similarity
+from repro.semantics.similarity import SIMILARITY_FLOOR, require_known_predicates
 
 
 class PredicateEdgeWeights:
@@ -41,20 +42,25 @@ class PredicateEdgeWeights:
         self._cache: dict[str, np.ndarray] = {}
 
     def weights(self, query_predicate: str) -> np.ndarray:
-        """Clamped similarity of every edge's predicate to the query's."""
+        """Clamped similarity of every edge's predicate to the query's.
+
+        The dense similarity row (one matmul, cached in the space) is
+        clamped into [floor, 1] and scattered to edges by predicate id;
+        an edge whose predicate the embedding does not cover raises
+        ``EmbeddingError``.
+        """
         cached = self._cache.get(query_predicate)
         if cached is not None:
             return cached
-        per_predicate = np.array(
-            [
-                clamp_similarity(
-                    self._space.similarity(name, query_predicate), self.floor
-                )
-                for name in self._kg.predicates
-            ],
-            dtype=np.float64,
+        per_predicate = np.clip(
+            self._space.known_similarity_row(query_predicate, self._kg.predicates),
+            self.floor,
+            1.0,
         )
         weights = per_predicate[self._edge_predicate_ids]
+        require_known_predicates(
+            self._kg, self._space, self._edge_predicate_ids, weights
+        )
         self._cache[query_predicate] = weights
         return weights
 
@@ -71,17 +77,15 @@ def strength_distribution(
     ``edge_weights`` is the per-edge weight array for the query predicate
     (see :class:`PredicateEdgeWeights`).  The mapping node's aperiodicity
     self-loop contributes ``self_loop_weight`` to its strength, matching
-    :class:`~repro.sampling.transition.TransitionModel` exactly.
+    :class:`~repro.sampling.transition.TransitionModel` exactly.  Strengths
+    are accumulated in one weighted bincount over the CSR adjacency gather.
     """
-    in_scope = scope.distances
-    strengths = np.zeros(len(scope.nodes), dtype=np.float64)
-    for position, node in enumerate(scope.nodes):
-        total = 0.0
-        for edge_id, neighbour in kg.neighbors(node):
-            if neighbour in in_scope:
-                total += edge_weights[edge_id]
-        strengths[position] = total
-    source_position = scope.index_of()[scope.source]
+    nodes = np.asarray(scope.nodes, dtype=np.int64)
+    positions, rows, _cols, edge_ids = csr_snapshot(kg).gather_within(nodes)
+    strengths = np.bincount(
+        rows, weights=edge_weights[edge_ids], minlength=len(nodes)
+    )
+    source_position = int(positions[scope.source])
     strengths[source_position] += self_loop_weight
     total_strength = strengths.sum()
     if total_strength <= 0.0:

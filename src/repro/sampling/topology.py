@@ -21,9 +21,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SamplingError
+from repro.kg.csr import csr_snapshot
 from repro.kg.graph import KnowledgeGraph
 from repro.sampling.scope import SamplingScope
-from repro.sampling.transition import TransitionModel
+from repro.sampling.transition import DEFAULT_SELF_LOOP_WEIGHT, TransitionModel
 from repro.utils.rng import ensure_rng
 
 
@@ -44,74 +45,65 @@ def cnarw_transition_model(
 class SimpleTransitionModel(TransitionModel):
     """A topology-only transition model with the same row interface.
 
-    Reuses :class:`TransitionModel`'s storage/solver plumbing but replaces
-    the Eq. 5 semantic weights with structural ones.
+    Reuses :class:`TransitionModel`'s CSR gather and row-installation
+    plumbing but replaces the Eq. 5 semantic weights with structural ones.
     """
 
     def __init__(self, kg: KnowledgeGraph, scope: SamplingScope, mode: str) -> None:
         if mode not in ("uniform", "cnarw"):
             raise SamplingError(f"unknown topology mode {mode!r}")
         self._mode = mode
-        self._neighbour_sets: dict[int, set[int]] = {}
-        self._kg_ref = kg
         # Note: we bypass TransitionModel.__init__ and build rows directly —
         # the semantic constructor requires an embedding space we do not use.
         self.scope = scope
         self.query_predicate = "<topology>"
-        self._index = scope.index_of()
-        self._rows = []
         self._build_structural(kg)
 
-    def _neighbours_of(self, node: int) -> set[int]:
-        cached = self._neighbour_sets.get(node)
-        if cached is None:
-            cached = set(self._kg_ref.neighbor_ids(node))
-            self._neighbour_sets[node] = cached
-        return cached
-
-    def _structural_weight(self, node: int, neighbour: int) -> float:
-        if self._mode == "uniform":
-            return 1.0
-        common = len(self._neighbours_of(node) & self._neighbours_of(neighbour))
-        denominator = max(
-            1, min(len(self._neighbours_of(node)), len(self._neighbours_of(neighbour)))
-        )
-        # CNARW: prefer neighbours sharing few common neighbours; keep a
-        # positive floor so the chain stays irreducible.
-        return max(1.0 - common / denominator, 0.05)
-
     def _build_structural(self, kg: KnowledgeGraph) -> None:
-        from repro.sampling.transition import _Row  # shared row container
+        source_index, rows, cols, edge_ids = self._gather_scope_entries(kg)
+        if self._mode == "uniform":
+            weights = np.ones(len(rows), dtype=np.float64)
+        else:
+            weights = self._cnarw_weights(kg, rows, cols)
+        self._install_rows(
+            len(self.scope.nodes),
+            source_index,
+            rows,
+            cols,
+            weights,
+            edge_ids,
+            DEFAULT_SELF_LOOP_WEIGHT,
+        )
 
-        source_index = self._index[self.scope.source]
-        for node in self.scope.nodes:
-            node_index = self._index[node]
-            neighbour_indexes: list[int] = []
-            weights: list[float] = []
-            edge_ids: list[int] = []
-            for edge_id, neighbour in kg.neighbors(node):
-                other_index = self._index.get(neighbour)
-                if other_index is None:
-                    continue
-                neighbour_indexes.append(other_index)
-                weights.append(self._structural_weight(node, neighbour))
-                edge_ids.append(edge_id)
-            if node_index == source_index:
-                neighbour_indexes.append(source_index)
-                weights.append(0.001)
-                edge_ids.append(-1)
-            if not neighbour_indexes:
-                neighbour_indexes.append(node_index)
-                weights.append(1.0)
-                edge_ids.append(-1)
-            weight_array = np.asarray(weights, dtype=np.float64)
-            self._rows.append(
-                _Row(
-                    neighbours=np.asarray(neighbour_indexes, dtype=np.int64),
-                    probabilities=weight_array / weight_array.sum(),
-                    edge_ids=np.asarray(edge_ids, dtype=np.int64),
-                )
-            )
+    def _cnarw_weights(
+        self, kg: KnowledgeGraph, rows: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        """CNARW weight 1 - |N(u) ∩ N(v)| / min(d(u), d(v)) per entry.
+
+        Prefers neighbours sharing few common neighbours; the 0.05 floor
+        keeps the chain irreducible.  Set intersections stay per-entry
+        Python (this is a Fig. 5(a) baseline, not the paper's hot path),
+        but the neighbour sets come from CSR slices.
+        """
+        snapshot = csr_snapshot(kg)
+        nodes = self.scope.nodes
+        neighbour_sets: dict[int, set[int]] = {}
+
+        def neighbours_of(node: int) -> set[int]:
+            cached = neighbour_sets.get(node)
+            if cached is None:
+                cached = set(snapshot.neighbors(node)[1].tolist())
+                neighbour_sets[node] = cached
+            return cached
+
+        weights = np.empty(len(rows), dtype=np.float64)
+        for position in range(len(rows)):
+            left = neighbours_of(nodes[int(rows[position])])
+            right = neighbours_of(nodes[int(cols[position])])
+            common = len(left & right)
+            denominator = max(1, min(len(left), len(right)))
+            weights[position] = max(1.0 - common / denominator, 0.05)
+        return weights
 
 
 def node2vec_visit_distribution(

@@ -6,32 +6,28 @@ query predicate.  The mapping node gets a small self-loop (weight 0.001 by
 default) which makes the chain aperiodic (Lemma 2); clamping similarities
 to a positive floor keeps it irreducible within the scope (Lemma 1).
 
-The matrix is stored row-compressed (one neighbour/probability array pair
-per node) and can be exported as a ``scipy.sparse.csr_matrix`` for the
-power-iteration solver.
+The matrix is assembled in one vectorised pass over the graph's CSR
+snapshot: gather the scope nodes' adjacency, drop out-of-scope endpoints,
+index the query predicate's dense similarity row by edge predicate id,
+clamp, and row-normalise with ``np.add.reduceat``.  The result is stored
+directly as CSR arrays (``indptr`` / ``neighbours`` / ``probabilities`` /
+``edge_ids``), so :meth:`TransitionModel.to_sparse` is a wrap rather than a
+concatenation and :meth:`TransitionModel.row` returns zero-copy views.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse
 
 from repro.embedding.predicate_space import PredicateVectorSpace
 from repro.errors import SamplingError
+from repro.kg.csr import csr_snapshot
 from repro.kg.graph import KnowledgeGraph
 from repro.sampling.scope import SamplingScope
-from repro.semantics.similarity import SIMILARITY_FLOOR, clamp_similarity
+from repro.semantics.similarity import SIMILARITY_FLOOR, require_known_predicates
 
 DEFAULT_SELF_LOOP_WEIGHT = 0.001
-
-
-@dataclass(frozen=True)
-class _Row:
-    neighbours: np.ndarray  # dense scope indexes
-    probabilities: np.ndarray
-    edge_ids: np.ndarray
 
 
 class TransitionModel:
@@ -51,9 +47,23 @@ class TransitionModel:
             raise SamplingError("self_loop_weight must be positive (Lemma 2)")
         self.scope = scope
         self.query_predicate = query_predicate
-        self._index = scope.index_of()
-        self._rows: list[_Row] = []
         self._build(kg, space, self_loop_weight, similarity_floor)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _gather_scope_entries(
+        self, kg: KnowledgeGraph
+    ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """In-scope adjacency entries ``(source_index, rows, cols, edge_ids)``.
+
+        ``rows``/``cols`` are dense scope indexes; entries keep per-node
+        adjacency order and ``rows`` is non-decreasing.
+        """
+        positions, rows, cols, edge_ids = csr_snapshot(kg).gather_within(
+            np.asarray(self.scope.nodes, dtype=np.int64)
+        )
+        return int(positions[self.scope.source]), rows, cols, edge_ids
 
     def _build(
         self,
@@ -62,88 +72,121 @@ class TransitionModel:
         self_loop_weight: float,
         similarity_floor: float,
     ) -> None:
-        source_index = self._index[self.scope.source]
-        for node in self.scope.nodes:
-            node_index = self._index[node]
-            neighbour_indexes: list[int] = []
-            weights: list[float] = []
-            edge_ids: list[int] = []
-            for edge_id, neighbour in kg.neighbors(node):
-                other_index = self._index.get(neighbour)
-                if other_index is None:
-                    continue  # neighbour outside the n-bounded scope
-                predicate = kg.predicate_of(edge_id)
-                weight = clamp_similarity(
-                    space.similarity(predicate, self.query_predicate),
-                    similarity_floor,
-                )
-                neighbour_indexes.append(other_index)
-                weights.append(weight)
-                edge_ids.append(edge_id)
-            if node_index == source_index:
-                # Aperiodicity fix: a tiny self-loop on the mapping node.
-                neighbour_indexes.append(source_index)
-                weights.append(self_loop_weight)
-                edge_ids.append(-1)
-            if not neighbour_indexes:
-                # Isolated scope node (possible when n_bound splits bridges):
-                # park the walker with a self-loop so rows stay stochastic.
-                neighbour_indexes.append(node_index)
-                weights.append(1.0)
-                edge_ids.append(-1)
-            weight_array = np.asarray(weights, dtype=np.float64)
-            probabilities = weight_array / weight_array.sum()
-            self._rows.append(
-                _Row(
-                    neighbours=np.asarray(neighbour_indexes, dtype=np.int64),
-                    probabilities=probabilities,
-                    edge_ids=np.asarray(edge_ids, dtype=np.int64),
-                )
-            )
+        source_index, rows, cols, edge_ids = self._gather_scope_entries(kg)
+        entry_predicate_ids = csr_snapshot(kg).edge_predicate_ids[edge_ids]
+        similarity_row = space.known_similarity_row(self.query_predicate, kg.predicates)
+        weights = np.clip(similarity_row, similarity_floor, 1.0)[entry_predicate_ids]
+        require_known_predicates(kg, space, entry_predicate_ids, weights)
+        self._install_rows(
+            len(self.scope.nodes),
+            source_index,
+            rows,
+            cols,
+            weights,
+            edge_ids,
+            self_loop_weight,
+        )
+
+    def _install_rows(
+        self,
+        size: int,
+        source_index: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        weights: np.ndarray,
+        edge_ids: np.ndarray,
+        self_loop_weight: float,
+    ) -> None:
+        """Append the Lemma-2 self-loops, row-normalise, store CSR arrays.
+
+        ``rows`` must be non-decreasing (per-node adjacency order).  The
+        mapping node always gains an aperiodicity self-loop at the end of
+        its row; isolated scope nodes (possible when the n-bound splits
+        bridges) get a unit self-loop so every row stays stochastic.  Both
+        synthetic entries carry edge id -1, as in the seed implementation.
+        """
+        counts = np.bincount(rows, minlength=size)
+        extras = np.zeros(size, dtype=np.int64)
+        extras[source_index] = 1
+        isolated = counts == 0
+        isolated[source_index] = False
+        extras[isolated] = 1
+        final_counts = counts + extras
+
+        indptr = np.zeros(size + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(final_counts)
+        total = int(indptr[-1])
+        out_cols = np.empty(total, dtype=np.int64)
+        out_weights = np.empty(total, dtype=np.float64)
+        out_edge_ids = np.empty(total, dtype=np.int64)
+
+        # Base entries land at their row start plus their within-row rank.
+        base_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        positions = indptr[rows] + (
+            np.arange(len(rows), dtype=np.int64) - base_starts[rows]
+        )
+        out_cols[positions] = cols
+        out_weights[positions] = weights
+        out_edge_ids[positions] = edge_ids
+
+        # Synthetic self-loops occupy the last slot of their rows.
+        extra_rows = np.flatnonzero(extras)
+        extra_positions = indptr[extra_rows + 1] - 1
+        out_cols[extra_positions] = extra_rows
+        out_weights[extra_positions] = np.where(
+            extra_rows == source_index, self_loop_weight, 1.0
+        )
+        out_edge_ids[extra_positions] = -1
+
+        row_sums = np.add.reduceat(out_weights, indptr[:-1])
+        out_weights /= np.repeat(row_sums, final_counts)
+
+        self._indptr = indptr
+        self._neighbours = out_cols
+        self._probabilities = out_weights
+        self._edge_ids = out_edge_ids
 
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:
         """Number of states (scope nodes) in the chain."""
-        return len(self._rows)
+        return len(self._indptr) - 1
 
     def row(self, scope_index: int) -> tuple[np.ndarray, np.ndarray]:
         """``(neighbour_indexes, probabilities)`` for one scope node."""
-        row = self._rows[scope_index]
-        return row.neighbours, row.probabilities
+        start, end = self._indptr[scope_index], self._indptr[scope_index + 1]
+        return self._neighbours[start:end], self._probabilities[start:end]
 
     def row_edges(self, scope_index: int) -> np.ndarray:
-        """(edge_ids, neighbours, probabilities) of one state's row."""
-        return self._rows[scope_index].edge_ids
+        """Edge ids of one state's row (-1 for synthetic self-loops)."""
+        start, end = self._indptr[scope_index], self._indptr[scope_index + 1]
+        return self._edge_ids[start:end]
 
     def probability(self, from_index: int, to_index: int) -> float:
         """p_ij between two scope indexes (0.0 when there is no edge)."""
-        row = self._rows[from_index]
-        matches = row.neighbours == to_index
+        neighbours, probabilities = self.row(from_index)
+        matches = neighbours == to_index
         if not np.any(matches):
             return 0.0
-        return float(row.probabilities[matches].sum())
+        return float(probabilities[matches].sum())
 
     def to_sparse(self) -> sparse.csr_matrix:
-        """The full row-stochastic matrix P as a CSR matrix."""
-        indptr = [0]
-        indices: list[np.ndarray] = []
-        data: list[np.ndarray] = []
-        for row in self._rows:
-            indices.append(row.neighbours)
-            data.append(row.probabilities)
-            indptr.append(indptr[-1] + len(row.neighbours))
+        """The full row-stochastic matrix P as a CSR matrix.
+
+        The internal storage already is CSR, so this is a wrap of copies
+        (copies so scipy's in-place canonicalisations cannot corrupt the
+        model's own arrays).
+        """
         return sparse.csr_matrix(
             (
-                np.concatenate(data) if data else np.empty(0),
-                np.concatenate(indices) if indices else np.empty(0, dtype=np.int64),
-                np.asarray(indptr, dtype=np.int64),
+                self._probabilities.copy(),
+                self._neighbours.copy(),
+                self._indptr.copy(),
             ),
             shape=(self.size, self.size),
         )
 
     def validate_stochastic(self, atol: float = 1e-9) -> bool:
         """True when every row sums to one (Markov-chain property)."""
-        return all(
-            abs(float(row.probabilities.sum()) - 1.0) <= atol for row in self._rows
-        )
+        row_sums = np.add.reduceat(self._probabilities, self._indptr[:-1])
+        return bool(np.all(np.abs(row_sums - 1.0) <= atol))

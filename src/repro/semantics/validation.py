@@ -19,7 +19,9 @@ list with precomputed log-similarities, and (b) the full adjacency map used
 for the goal shortcut: whenever the expanded node has a direct edge to the
 answer, that path is recorded immediately instead of competing in the heap.
 This keeps one validation at O(budget * branch_cap) heap operations even
-around hubs with thousands of neighbours.
+around hubs with thousands of neighbours.  Per-edge log-similarities come
+from one dense log-clamped similarity row indexed by predicate id over the
+CSR snapshot's adjacency slices — no per-edge string lookups.
 """
 
 from __future__ import annotations
@@ -30,9 +32,12 @@ import math
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.kg.csr import csr_snapshot
 from repro.kg.graph import KnowledgeGraph
-from repro.semantics.similarity import SIMILARITY_FLOOR, clamp_similarity
+from repro.semantics.similarity import SIMILARITY_FLOOR, require_known_predicates
 
 #: default cap on queue pops per validation; bounds worst-case latency.
 DEFAULT_EXPANSION_BUDGET = 120
@@ -89,7 +94,7 @@ class CorrectnessValidator:
         self._cache_key: tuple[str, int] | None = None
         self._children: dict[int, list[tuple[float, int, float]]] = {}
         self._adjacency: dict[int, dict[int, float]] = {}
-        self._log_cache: dict[str, float] = {}
+        self._log_row: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def _reset_cache(self, query_predicate: str, visiting_id: int) -> None:
@@ -98,18 +103,22 @@ class CorrectnessValidator:
             self._cache_key = key
             self._children.clear()
             self._adjacency.clear()
-            self._log_cache.clear()
+            self._log_row = None
 
-    def _log_similarity(self, predicate: str, query_predicate: str) -> float:
-        cached = self._log_cache.get(predicate)
-        if cached is None:
-            cached = math.log(
-                clamp_similarity(
-                    self._space.similarity(predicate, query_predicate), self.floor
-                )
+    def _log_similarities(self, query_predicate: str) -> np.ndarray:
+        """Dense log-clamped similarity per predicate id (cached per query).
+
+        Predicates the embedding does not cover hold NaN; like the seed's
+        lazy per-edge lookups, they only raise when an expansion actually
+        touches one of their edges (see :meth:`_expand`).
+        """
+        if self._log_row is None:
+            row = self._space.known_similarity_row(
+                query_predicate, self._kg.predicates
             )
-            self._log_cache[predicate] = cached
-        return cached
+            with np.errstate(invalid="ignore"):
+                self._log_row = np.log(np.clip(row, self.floor, 1.0))
+        return self._log_row
 
     def _expand(
         self,
@@ -121,14 +130,20 @@ class CorrectnessValidator:
         children = self._children.get(node)
         if children is not None:
             return children, self._adjacency[node]
-        adjacency: dict[int, float] = {}
-        for edge_id, neighbour in self._kg.neighbors(node):
-            log_similarity = self._log_similarity(
-                self._kg.predicate_of(edge_id), query_predicate
-            )
-            previous = adjacency.get(neighbour)
-            if previous is None or log_similarity > previous:
-                adjacency[neighbour] = log_similarity
+        snapshot = csr_snapshot(self._kg)
+        edge_ids, neighbours = snapshot.neighbors(node)
+        predicate_ids = snapshot.edge_predicate_ids[edge_ids]
+        log_similarities = self._log_similarities(query_predicate)[predicate_ids]
+        # Same failure mode as the seed's per-edge lookup: expanding a node
+        # whose edge predicate the embedding does not know raises.
+        require_known_predicates(
+            self._kg, self._space, predicate_ids, log_similarities
+        )
+        # Best (max) log-similarity per distinct neighbour, vectorised.
+        distinct, inverse = np.unique(neighbours, return_inverse=True)
+        best = np.full(len(distinct), -np.inf, dtype=np.float64)
+        np.maximum.at(best, inverse, log_similarities)
+        adjacency = dict(zip(distinct.tolist(), best.tolist()))
         beam = sorted(
             (
                 (-visiting_probabilities[neighbour], neighbour, log_similarity)

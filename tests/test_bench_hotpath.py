@@ -1,0 +1,56 @@
+"""Tier-1 smoke run of the S1 hot-path benchmark.
+
+Runs ``benchmarks/bench_perf_hotpath.py --smoke`` in-process (the script
+verifies seed-vs-CSR equivalence before timing anything) so hot-path
+regressions — broken equivalence or a vanished speedup — fail the normal
+test pass without a separate CI system.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_perf_hotpath.py"
+
+
+def _load_bench_module():
+    specification = importlib.util.spec_from_file_location("bench_perf_hotpath", BENCH_PATH)
+    module = importlib.util.module_from_spec(specification)
+    sys.modules[specification.name] = module
+    specification.loader.exec_module(module)
+    return module
+
+
+def test_smoke_bench_runs_fast_and_reports_speedups(tmp_path):
+    bench = _load_bench_module()
+    output = tmp_path / "hotpath.json"
+    started = time.perf_counter()
+    exit_code = bench.main(["--smoke", "--output", str(output)])
+    elapsed = time.perf_counter() - started
+    assert exit_code == 0
+    # Smoke finishes in ~2 s on an idle machine; the generous budget only
+    # catches gross hot-path regressions, not CI machine load.
+    assert elapsed < 60.0, f"smoke bench took {elapsed:.1f}s, budget is 60s"
+
+    report = json.loads(output.read_text())
+    assert report["smoke"] is True
+    assert report["equivalent"] is True
+    assert report["scope_nodes"] > 0 and report["scope_candidates"] > 0
+    # Smoke asserts only that the vectorised path is not slower (machine
+    # load makes tighter wall-clock floors flaky); the checked-in full run
+    # (BENCH_hotpath.json) documents the >=3x / >=5x acceptance numbers.
+    assert report["scope"]["speedup"] > 1.0
+    assert report["transition"]["speedup"] > 1.0
+
+
+def test_checked_in_report_meets_acceptance():
+    report = json.loads((REPO_ROOT / "BENCH_hotpath.json").read_text())
+    assert report["smoke"] is False
+    assert report["equivalent"] is True
+    assert report["scope"]["speedup"] >= 3.0
+    assert report["transition"]["speedup"] >= 5.0
