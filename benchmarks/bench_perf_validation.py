@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""S2 validation benchmark: seed per-answer loop vs the batched service.
+
+PR 1 left ``engine.execute`` validation-dominated (see
+``BENCH_hotpath.json``); PR 2 moved validation behind
+:meth:`CorrectnessValidator.validate_batch` — one pass per round over a
+shared expansion cache with array-valued visiting probabilities, replacing
+the per-answer dict-probing loop the engine used to drive one support
+entry at a time.  This bench times, on the largest dataset preset
+(yago2-like):
+
+* **per-answer vs batched** — the seed validator
+  (:class:`repro.semantics.reference.ReferenceValidator`, dict-probed
+  visiting map) looped over the workload's answers vs one
+  ``validate_batch`` call on the same answers, both with the engine's tau
+  short-circuit;
+* **engine validation stage** — ``engine.execute``'s ``"validation"``
+  stage bucket with ``batched_validation`` on vs off (plan cache cleared
+  between runs so verdict memos cannot leak timing).
+
+The workload is real: the distinct answers ``engine.execute`` actually
+validated for the benchmark query.  Both validator implementations are
+verified outcome-identical before timing, and the numbers land in a JSON
+report (checked in as ``BENCH_validation.json``).
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_validation.py [--smoke]
+
+``--smoke`` shrinks the dataset and repeat count so the whole script
+finishes in a few seconds; the tier-1 suite runs it on every test pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import (  # noqa: E402
+    AggregateFunction,
+    AggregateQuery,
+    ApproximateAggregateEngine,
+    EngineConfig,
+    QueryGraph,
+)
+from repro.core.plan import shared_plan_cache  # noqa: E402
+from repro.datasets import yago_like  # noqa: E402
+from repro.semantics.reference import ReferenceValidator  # noqa: E402
+from repro.semantics.validation import CorrectnessValidator  # noqa: E402
+
+#: the benchmarked query: the largest hub of the yago2-like preset
+HUB_NAME = "Spain"
+HUB_TYPES = ("Country",)
+QUERY_PREDICATE = "bornIn"
+TARGET_TYPE = "SoccerPlayer"
+
+
+def _time_best(function, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``function()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run(scale: float, repeats: int, seed: int) -> dict:
+    """Benchmark one configuration and return the report dict."""
+    bundle = yago_like(seed=seed, scale=scale)
+    kg = bundle.kg
+    space = bundle.space()
+    aggregate_query = AggregateQuery(
+        query=QueryGraph.simple(HUB_NAME, HUB_TYPES, QUERY_PREDICATE, [TARGET_TYPE]),
+        function=AggregateFunction.COUNT,
+    )
+    batched_config = EngineConfig(seed=seed)
+    per_answer_config = EngineConfig(seed=seed, batched_validation=False)
+
+    def execute_with(config: EngineConfig):
+        shared_plan_cache().clear()  # no verdict-memo leakage between runs
+        engine = ApproximateAggregateEngine(kg, space, config)
+        result = engine.execute(aggregate_query)
+        return engine, result
+
+    # -- engine validation stage, both modes ---------------------------
+    def stage_seconds(config: EngineConfig) -> tuple[float, float]:
+        best_stage = best_total = float("inf")
+        for _ in range(max(1, repeats // 2)):
+            started = time.perf_counter()
+            _, result = execute_with(config)
+            total = time.perf_counter() - started
+            stage = result.stage_ms.get("validation", 0.0) / 1000.0
+            if stage < best_stage:
+                best_stage, best_total = stage, total
+        return best_stage, best_total
+
+    batched_stage_seconds, batched_execute_seconds = stage_seconds(batched_config)
+    per_answer_stage_seconds, per_answer_execute_seconds = stage_seconds(
+        per_answer_config
+    )
+
+    # -- the real validated workload -----------------------------------
+    engine, result = execute_with(batched_config)
+    component = aggregate_query.query.components[0]
+    plan = engine._prepared_cache[component]
+    answers = sorted(plan.similarity_cache)
+    tau = batched_config.tau
+    visiting_mapping = {
+        node: float(probability)
+        for node, probability in enumerate(plan.visiting)
+        if probability > 0.0
+    }
+
+    def reference_validator() -> ReferenceValidator:
+        return ReferenceValidator(
+            kg,
+            space,
+            repeat_factor=batched_config.repeat_factor,
+            max_length=batched_config.n_bound,
+            floor=batched_config.similarity_floor,
+            expansion_budget=batched_config.validation_expansions,
+        )
+
+    def batched_validator() -> CorrectnessValidator:
+        return CorrectnessValidator(
+            kg,
+            space,
+            repeat_factor=batched_config.repeat_factor,
+            max_length=batched_config.n_bound,
+            floor=batched_config.similarity_floor,
+            expansion_budget=batched_config.validation_expansions,
+        )
+
+    # -- equivalence gate ----------------------------------------------
+    seed_outcomes = {
+        answer: reference_validator().validate(
+            plan.source, answer, QUERY_PREDICATE, visiting_mapping, tau
+        )
+        for answer in answers
+    }
+    # a persistent per-answer validator (shared caches, like the seed
+    # engine's) must agree too
+    persistent = reference_validator()
+    for answer in answers:
+        assert seed_outcomes[answer] == persistent.validate(
+            plan.source, answer, QUERY_PREDICATE, visiting_mapping, tau
+        )
+    batch_outcomes = batched_validator().validate_batch(
+        plan.source, answers, QUERY_PREDICATE, plan.visiting, stop_threshold=tau
+    )
+    assert batch_outcomes == seed_outcomes, "batched validation diverged"
+
+    # -- per-answer vs batched over the identical workload -------------
+    def per_answer_pass() -> None:
+        validator = reference_validator()
+        for answer in answers:
+            validator.validate(
+                plan.source, answer, QUERY_PREDICATE, visiting_mapping, tau
+            )
+
+    def batched_pass() -> None:
+        batched_validator().validate_batch(
+            plan.source, answers, QUERY_PREDICATE, plan.visiting, stop_threshold=tau
+        )
+
+    per_answer_seconds = _time_best(per_answer_pass, repeats)
+    batched_seconds = _time_best(batched_pass, repeats)
+
+    return {
+        "preset": "yago2-like",
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "kg_nodes": kg.num_nodes,
+        "kg_edges": kg.num_edges,
+        "workload_answers": len(answers),
+        "total_draws": result.total_draws,
+        "validation": {
+            "per_answer_seconds": per_answer_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": per_answer_seconds / batched_seconds,
+        },
+        "engine": {
+            "batched": {
+                "execute_seconds": batched_execute_seconds,
+                "validation_stage_seconds": batched_stage_seconds,
+            },
+            "per_answer": {
+                "execute_seconds": per_answer_execute_seconds,
+                "validation_stage_seconds": per_answer_stage_seconds,
+            },
+        },
+        "equivalent": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale + few repeats; finishes in a few seconds",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_validation.json",
+        help="where to write the JSON report",
+    )
+    arguments = parser.parse_args(argv)
+    scale = arguments.scale if arguments.scale is not None else (1.0 if arguments.smoke else 3.0)
+    repeats = arguments.repeats if arguments.repeats is not None else (3 if arguments.smoke else 7)
+
+    report = run(scale=scale, repeats=repeats, seed=arguments.seed)
+    report["smoke"] = arguments.smoke
+    arguments.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    validation = report["validation"]
+    engine = report["engine"]
+    print(
+        f"validation ({report['workload_answers']} answers): "
+        f"{validation['per_answer_seconds'] * 1e3:8.2f} ms -> "
+        f"{validation['batched_seconds'] * 1e3:8.2f} ms  "
+        f"({validation['speedup']:.1f}x)"
+    )
+    print(
+        f"engine validation stage: "
+        f"{engine['per_answer']['validation_stage_seconds'] * 1e3:8.2f} ms -> "
+        f"{engine['batched']['validation_stage_seconds'] * 1e3:8.2f} ms"
+    )
+    print(
+        f"engine.execute:          "
+        f"{engine['per_answer']['execute_seconds'] * 1e3:8.2f} ms -> "
+        f"{engine['batched']['execute_seconds'] * 1e3:8.2f} ms"
+    )
+    print(f"[saved to {arguments.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,9 @@ the paper's interactive error-bound refinement (Fig. 6(a)).
 
 from repro.core.config import DeltaStrategy, EngineConfig, SamplerKind
 from repro.core.engine import ApproximateAggregateEngine
+from repro.core.executor import QueryExecutor
+from repro.core.plan import PlanCache, QueryPlan, shared_plan_cache
+from repro.core.planner import QueryPlanner
 from repro.core.result import ApproximateResult, GroupedResult, RoundTrace
 from repro.core.session import InteractiveSession
 
@@ -23,4 +26,9 @@ __all__ = [
     "GroupedResult",
     "RoundTrace",
     "InteractiveSession",
+    "QueryPlan",
+    "QueryPlanner",
+    "QueryExecutor",
+    "PlanCache",
+    "shared_plan_cache",
 ]

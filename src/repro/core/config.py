@@ -89,6 +89,10 @@ class EngineConfig:
     max_intermediates: int = 64
     # Validation search budget
     validation_expansions: int = 120
+    #: route each round's pending answers through the validation service's
+    #: batched pass; off = the seed's per-answer loop (equivalent outcomes,
+    #: kept for the validation benchmark and equivalence tests)
+    batched_validation: bool = True
     # GROUP-BY: groups smaller than this many observed draws do not gate
     # termination (their CIs are reported as-is)
     min_group_draws: int = 8

@@ -1,125 +1,55 @@
-"""The sampling-estimation engine (paper Algorithm 2 + §V extensions).
+"""The engine facade over the plan/execute split (paper Algorithm 2).
 
-Execution of ``AQ_G = (Q, f_a)``:
+Execution of ``AQ_G = (Q, f_a)`` is a pipeline of three layers:
 
-1. **S1 — semantic-aware sampling** (§IV-A): per query component, build the
-   n-bounded scope around the mapping node, assemble the Eq. 5 transition
-   matrix from predicate similarities, run Eq. 6 power iteration to the
-   stationary distribution, restrict it to the candidate answers (Theorem
-   1) and draw the initial sample as ``t`` BLB little samples.  Chain
-   components compose per-hop walks (§V-B); composite shapes intersect
-   their components' supports with product weights (decomposition-assembly,
-   §V-B).
-2. **S2 — approximate estimation** (§IV-B): validate each distinct sampled
-   answer with the greedy ``r``-path search, apply filters (§V-A), then the
-   Eq. 7-9 estimators.
-3. **S3 — accuracy guarantee** (§IV-C): BLB confidence interval, Theorem-2
-   termination, Eq. 12 error-based sample growth; repeat from S2.
+1. **Planning (S1)** — :mod:`repro.core.planner` builds one immutable
+   :class:`~repro.core.plan.QueryPlan` per query component (scope,
+   Eq. 5 transition, Eq. 6 stationary distribution, Theorem-1 answer
+   restriction, validator handle) and shares it through the process-wide
+   :class:`~repro.core.plan.PlanCache`, so concurrent engines and sessions
+   over the same graph reuse plans instead of rebuilding them.
+2. **Validation + estimation (S2)** — :mod:`repro.core.executor` validates
+   each round's pending support entries in one batched pass per component
+   (verdicts memoised on the plan) and applies the Eq. 7-9 estimators.
+3. **Guarantee (S3)** — BLB confidence interval, Theorem-2 termination and
+   Eq. 12 error-based sample growth, looping back into S2.
 
-Implementation note: draws live as *index arrays* into the answer
-distribution's support.  Validation and attribute pricing happen once per
-support entry; every per-draw quantity is a numpy fancy-index, so the
-engine's cost is dominated by the semantics (validation searches, power
-iteration), not by sample bookkeeping.
+:class:`ApproximateAggregateEngine` is the thin facade wiring a planner and
+an executor together behind the unchanged public API: draws live as index
+arrays into the answer distribution's support, validation happens once per
+support entry, and every per-draw quantity is a numpy fancy-index.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.core.config import DeltaStrategy, EngineConfig, ExtremeMethod, SamplerKind
-from repro.core.result import ApproximateResult, GroupedResult, RoundTrace
+from repro.core.config import EngineConfig
+from repro.core.executor import (
+    STAGE_ESTIMATION,
+    STAGE_GUARANTEE,
+    STAGE_SAMPLING,
+    STAGE_VALIDATION,
+    QueryExecutor,
+    _QueryState,
+)
+from repro.core.plan import QueryPlan
+from repro.core.planner import QueryPlanner
+from repro.core.result import ApproximateResult, GroupedResult
 from repro.embedding.base import PredicateEmbedding
 from repro.embedding.predicate_space import PredicateVectorSpace
-from repro.errors import EstimationError, QueryError, SamplingError
-from repro.estimation.accuracy import moe_target, satisfies_error_bound
-from repro.estimation.bootstrap import blb_confidence_interval, fast_bootstrap_sigma
-from repro.estimation.confidence import ConfidenceInterval
-from repro.estimation.estimators import EstimationSample, estimate, estimate_extreme
-from repro.estimation.extreme import estimate_extreme_evt
 from repro.kg.graph import KnowledgeGraph
-from repro.query.aggregate import AggregateFunction, AggregateQuery
+from repro.query.aggregate import AggregateQuery
 from repro.query.graph import PathQuery
-from repro.sampling.chain import ChainDistribution, ChainSampler
-from repro.sampling.collector import (
-    AnswerCollector,
-    AnswerDistribution,
-    restrict_to_answers,
-)
-from repro.sampling.scope import build_scope, resolve_mapping_node
-from repro.sampling.stationary import stationary_distribution
-from repro.sampling.topology import (
-    cnarw_transition_model,
-    node2vec_visit_distribution,
-)
-from repro.sampling.transition import TransitionModel
-from repro.semantics.validation import CorrectnessValidator
-from repro.utils.rng import derive_seed, ensure_rng
-from repro.utils.timing import StageTimer
 
-STAGE_SAMPLING = "sampling"
-STAGE_ESTIMATION = "estimation"
-STAGE_GUARANTEE = "guarantee"
+#: backwards-compatible alias: a "prepared component" is now a shared plan
+_PreparedComponent = QueryPlan
 
-
-@dataclass
-class _PreparedComponent:
-    """One query component's sampling artefacts."""
-
-    component: PathQuery
-    source: int
-    distribution: AnswerDistribution
-    #: scope-wide stationary probabilities (simple components only)
-    visiting: dict[int, float]
-    walk_iterations: int
-    num_candidates: int
-    chain: ChainDistribution | None = None
-    #: shared greedy validator (first-leg validator for chain components)
-    validator: CorrectnessValidator | None = None
-    #: memoised per-answer similarities (greedy results are deterministic)
-    similarity_cache: dict[int, float] = field(default_factory=dict)
-    #: chain validation memo: (hop level, node) -> best (log_sum, length)
-    chain_prefix_memo: dict[tuple[int, int], tuple[float, int] | None] = field(
-        default_factory=dict
-    )
-
-
-@dataclass
-class _QueryState:
-    """Mutable state of one query execution (kept alive by sessions)."""
-
-    aggregate_query: AggregateQuery
-    components: list[_PreparedComponent]
-    joint: AnswerDistribution
-    collector: AnswerCollector
-    #: per-little-sample arrays of support indices
-    little_samples: list[np.ndarray]
-    desired_n: int
-    num_candidates: int
-    walk_iterations: int
-    #: per-support-entry verdicts, filled lazily as entries are first drawn
-    support_known: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
-    support_correct: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
-    support_value: np.ndarray = field(default_factory=lambda: np.empty(0))
-    #: per-support group keys (NaN = not grouped / invalid), built lazily
-    support_group: np.ndarray | None = None
-    support_group_known: np.ndarray | None = None
-    rounds: list[RoundTrace] = field(default_factory=list)
-    timers: StageTimer = field(default_factory=StageTimer)
-
-    @property
-    def total_draws(self) -> int:
-        """Draws collected so far across all little samples."""
-        return int(sum(len(sample) for sample in self.little_samples))
-
-    def distinct_support_indices(self) -> np.ndarray:
-        """Sorted unique support indices present in the draws."""
-        if not self.little_samples:
-            return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate(self.little_samples))
+__all__ = [
+    "ApproximateAggregateEngine",
+    "STAGE_SAMPLING",
+    "STAGE_VALIDATION",
+    "STAGE_ESTIMATION",
+    "STAGE_GUARANTEE",
+]
 
 
 class ApproximateAggregateEngine:
@@ -138,16 +68,8 @@ class ApproximateAggregateEngine:
             else PredicateVectorSpace(embedding)
         )
         self.config = config or EngineConfig()
-        self._prepared_cache: dict[PathQuery, _PreparedComponent] = {}
-        self._typed_nodes_cache: dict[frozenset[str], frozenset[int]] = {}
-
-    def _typed_nodes(self, types: frozenset[str]) -> frozenset[int]:
-        """All KG nodes carrying any of ``types`` (cached)."""
-        cached = self._typed_nodes_cache.get(types)
-        if cached is None:
-            cached = frozenset(self._kg.nodes_with_any_type(types))
-            self._typed_nodes_cache[types] = cached
-        return cached
+        self._planner = QueryPlanner(kg, self._space, self.config)
+        self._executor = QueryExecutor(kg, self._space, self.config, self._planner)
 
     @property
     def kg(self) -> KnowledgeGraph:
@@ -158,6 +80,21 @@ class ApproximateAggregateEngine:
     def space(self) -> PredicateVectorSpace:
         """The predicate vector space driving Eq. 4/5."""
         return self._space
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The planning layer (S1) this engine draws plans from."""
+        return self._planner
+
+    @property
+    def executor(self) -> QueryExecutor:
+        """The execution layer (S2 + S3) running the rounds."""
+        return self._executor
+
+    @property
+    def _prepared_cache(self) -> dict[PathQuery, QueryPlan]:
+        """The engine-local plan view (legacy name kept for callers)."""
+        return self._planner.plans
 
     # ------------------------------------------------------------------
     # Public API
@@ -174,19 +111,23 @@ class ApproximateAggregateEngine:
         this execution only.
         """
         aggregate_query = self._coerce_query(aggregate_query)
-        state = self._initialise(aggregate_query, seed)
+        state = self._executor.initialise(aggregate_query, seed)
         if aggregate_query.group_by is not None:
-            return self._run_grouped(state, self.config.error_bound)
+            return self._executor.run_grouped(state, self.config.error_bound)
         if not aggregate_query.function.has_guarantee:
-            return self._run_extreme(state)
-        return self._run_rounds(state, self.config.error_bound)
+            return self._executor.run_extreme(state)
+        return self._executor.run_rounds(state, self.config.error_bound)
 
     def estimate_once(
         self, aggregate_query: AggregateQuery | str, *, seed: int | None = None
     ) -> ApproximateResult:
         """One sampling-estimation round without refinement (diagnostics)."""
-        state = self._initialise(self._coerce_query(aggregate_query), seed)
-        return self._run_rounds(state, self.config.error_bound, max_rounds=1)
+        state = self._executor.initialise(self._coerce_query(aggregate_query), seed)
+        return self._executor.run_rounds(state, self.config.error_bound, max_rounds=1)
+
+    def answer_similarity(self, state_or_components, node_id: int) -> float:
+        """Composite answer similarity: minimum across components."""
+        return self._executor.answer_similarity(state_or_components, node_id)
 
     @staticmethod
     def _coerce_query(aggregate_query: AggregateQuery | str) -> AggregateQuery:
@@ -197,372 +138,13 @@ class ApproximateAggregateEngine:
         return aggregate_query
 
     # ------------------------------------------------------------------
-    # Preparation (S1)
+    # Internal entry points kept for sessions and diagnostics
     # ------------------------------------------------------------------
-    def _prepare_components(
-        self, aggregate_query: AggregateQuery
-    ) -> list[_PreparedComponent]:
-        return [
-            self._prepare_component(component)
-            for component in aggregate_query.query.components
-        ]
-
-    def _prepare_component(self, component: PathQuery) -> _PreparedComponent:
-        cached = self._prepared_cache.get(component)
-        if cached is not None:
-            return cached
-        if component.is_simple:
-            prepared = self._prepare_simple(component)
-        else:
-            prepared = self._prepare_chain(component)
-        self._prepared_cache[component] = prepared
-        return prepared
-
-    def _prepare_simple(self, component: PathQuery) -> _PreparedComponent:
-        config = self.config
-        source = resolve_mapping_node(
-            self._kg, component.specific_name, component.specific_types
-        )
-        predicate, target_types = component.hops[0]
-        scope = build_scope(self._kg, source, config.n_bound, target_types)
-        if scope.num_candidates == 0:
-            raise SamplingError(
-                f"no candidate of types {sorted(target_types)} within "
-                f"{config.n_bound} hops of {component.specific_name!r}"
-            )
-        if config.sampler is SamplerKind.NODE2VEC:
-            probabilities = node2vec_visit_distribution(
-                self._kg, scope, seed=derive_seed(config.seed, "node2vec", source)
-            )
-            iterations = 0
-        else:
-            if config.sampler is SamplerKind.CNARW:
-                transition = cnarw_transition_model(self._kg, scope)
-            else:
-                transition = TransitionModel(
-                    self._kg,
-                    scope,
-                    self._space,
-                    predicate,
-                    self_loop_weight=config.self_loop_weight,
-                    similarity_floor=config.similarity_floor,
-                )
-            stationary = stationary_distribution(transition)
-            probabilities = stationary.probabilities
-            iterations = stationary.iterations
-        distribution = restrict_to_answers(scope, probabilities)
-        visiting = {
-            node: float(probability)
-            for node, probability in zip(scope.nodes, probabilities)
-            if probability > 0.0
-        }
-        validator = CorrectnessValidator(
-            self._kg,
-            self._space,
-            repeat_factor=config.repeat_factor,
-            max_length=config.n_bound,
-            floor=config.similarity_floor,
-            expansion_budget=config.validation_expansions,
-        )
-        return _PreparedComponent(
-            component=component,
-            source=source,
-            distribution=distribution,
-            visiting=visiting,
-            walk_iterations=iterations,
-            num_candidates=scope.num_candidates,
-            validator=validator,
-        )
-
-    def _prepare_chain(self, component: PathQuery) -> _PreparedComponent:
-        config = self.config
-        sampler = ChainSampler(
-            self._kg,
-            self._space,
-            n_bound=config.n_bound,
-            max_intermediates=config.max_intermediates,
-            self_loop_weight=config.self_loop_weight,
-            similarity_floor=config.similarity_floor,
-        )
-        chain = sampler.build(component)
-        source = resolve_mapping_node(
-            self._kg, component.specific_name, component.specific_types
-        )
-        # Chain validation runs lazily per sampled answer (§V-B): the
-        # answer-side legs are enumerated from the answer (whose
-        # neighbourhood is small), while the hub-side leg reuses the greedy
-        # r-path validator guided by the first hop's stationary map.
-        first_predicate, first_types = component.hops[0]
-        first_scope = build_scope(self._kg, source, config.n_bound, first_types)
-        first_transition = TransitionModel(
-            self._kg,
-            first_scope,
-            self._space,
-            first_predicate,
-            self_loop_weight=config.self_loop_weight,
-            similarity_floor=config.similarity_floor,
-        )
-        first_stationary = stationary_distribution(first_transition)
-        visiting = {
-            node: float(probability)
-            for node, probability in zip(
-                first_scope.nodes, first_stationary.probabilities
-            )
-            if probability > 0.0
-        }
-        validator = CorrectnessValidator(
-            self._kg,
-            self._space,
-            repeat_factor=config.repeat_factor,
-            max_length=config.n_bound,
-            floor=config.similarity_floor,
-            expansion_budget=config.validation_expansions,
-        )
-        return _PreparedComponent(
-            component=component,
-            source=source,
-            distribution=chain.distribution,
-            visiting=visiting,
-            walk_iterations=chain.expanded_intermediates,
-            num_candidates=chain.distribution.support_size,
-            chain=chain,
-            validator=validator,
-        )
-
-    @staticmethod
-    def _joint_distribution(
-        components: list[_PreparedComponent],
-    ) -> AnswerDistribution:
-        """Decomposition-assembly: intersect supports, multiply weights."""
-        if len(components) == 1:
-            return components[0].distribution
-        mappings = [prepared.distribution.as_mapping() for prepared in components]
-        support = set(mappings[0])
-        for mapping in mappings[1:]:
-            support &= set(mapping)
-        if not support:
-            raise QueryError(
-                "the query components share no candidate answer; the "
-                "composite query has an empty intersection sample"
-            )
-        answers = np.asarray(sorted(support), dtype=np.int64)
-        weights = np.asarray(
-            [
-                math.prod(mapping[int(answer)] for mapping in mappings)
-                for answer in answers
-            ],
-            dtype=np.float64,
-        )
-        weights = weights / weights.sum()
-        return AnswerDistribution(answers=answers, probabilities=weights)
-
     def _initialise(
         self, aggregate_query: AggregateQuery, seed: int | None
     ) -> _QueryState:
-        config = self.config
-        effective_seed = config.seed if seed is None else seed
-        rng = ensure_rng(derive_seed(effective_seed, "engine"))
-        timers = StageTimer()
+        return self._executor.initialise(aggregate_query, seed)
 
-        with timers.measure(STAGE_SAMPLING):
-            components = self._prepare_components(aggregate_query)
-            joint = self._joint_distribution(components)
-            collector = AnswerCollector(joint, seed=rng)
-            num_candidates = max(
-                prepared.num_candidates for prepared in components
-            )
-            if aggregate_query.function.has_guarantee:
-                ratio = config.sample_ratio
-            else:
-                ratio = config.extreme_sample_ratio
-            desired_n = max(
-                config.min_initial_sample, int(math.ceil(ratio * num_candidates))
-            )
-            little_size = config.blb.little_sample_size(desired_n)
-            little_samples = [
-                collector.collect_indices(little_size)
-                for _ in range(config.blb.num_little_samples)
-            ]
-        support_size = joint.support_size
-        return _QueryState(
-            aggregate_query=aggregate_query,
-            components=components,
-            joint=joint,
-            collector=collector,
-            little_samples=little_samples,
-            desired_n=desired_n,
-            num_candidates=num_candidates,
-            walk_iterations=max(prepared.walk_iterations for prepared in components),
-            support_known=np.zeros(support_size, dtype=bool),
-            support_correct=np.zeros(support_size, dtype=bool),
-            support_value=np.zeros(support_size, dtype=np.float64),
-            timers=timers,
-        )
-
-    # ------------------------------------------------------------------
-    # Validation (S2)
-    # ------------------------------------------------------------------
-    def _component_similarity(
-        self, prepared: _PreparedComponent, node_id: int
-    ) -> float:
-        """Best-match similarity of ``node_id`` for one component."""
-        cached = prepared.similarity_cache.get(node_id)
-        if cached is not None:
-            return cached
-        if prepared.chain is not None:
-            similarity = self._chain_similarity(prepared, node_id)
-        else:
-            assert prepared.validator is not None
-            outcome = prepared.validator.validate(
-                prepared.source,
-                node_id,
-                prepared.component.predicates[0],
-                prepared.visiting,
-                stop_threshold=self.config.tau,
-            )
-            similarity = outcome.similarity
-        prepared.similarity_cache[node_id] = similarity
-        return similarity
-
-    def _chain_prefix(
-        self, prepared: _PreparedComponent, level: int, node_id: int
-    ) -> tuple[float, int] | None:
-        """Best (log-similarity sum, edge count) for source ->hops[:level]-> node.
-
-        Level 1 uses the greedy r-path validator on the first hop's
-        stationary map; deeper levels enumerate backwards from ``node_id``
-        with a capped DFS (the answer-side neighbourhood is small) and
-        recurse over typed intermediates, memoised per (level, node).
-        """
-        from repro.semantics.matching import best_matches_iterative
-
-        key = (level, node_id)
-        if key in prepared.chain_prefix_memo:
-            return prepared.chain_prefix_memo[key]
-        component = prepared.component
-        config = self.config
-        predicate = component.predicates[level - 1]
-
-        result: tuple[float, int] | None = None
-        if level == 1:
-            assert prepared.validator is not None
-            outcome = prepared.validator.validate(
-                prepared.source,
-                node_id,
-                predicate,
-                prepared.visiting,
-                stop_threshold=1.0,
-            )
-            if outcome.paths_found:
-                result = (
-                    outcome.best_length * math.log(max(outcome.similarity, 1e-12)),
-                    outcome.best_length,
-                )
-        else:
-            required_types = component.hops[level - 2][1]
-            typed_nodes = self._typed_nodes(required_types)
-            matches = best_matches_iterative(
-                self._kg,
-                self._space,
-                predicate,
-                node_id,
-                config.n_bound,
-                targets=typed_nodes,
-                floor=config.similarity_floor,
-                budget_per_level=config.validation_expansions * 5,
-            )
-            best_mean = 0.0
-            for endpoint, match in matches.items():
-                prefix = self._chain_prefix(prepared, level - 1, endpoint)
-                if prefix is None:
-                    continue
-                log_sum = prefix[0] + match.length * math.log(
-                    max(match.similarity, 1e-12)
-                )
-                length = prefix[1] + match.length
-                mean = math.exp(log_sum / length)
-                if mean > best_mean:
-                    best_mean = mean
-                    result = (log_sum, length)
-        prepared.chain_prefix_memo[key] = result
-        return result
-
-    def _chain_similarity(self, prepared: _PreparedComponent, node_id: int) -> float:
-        """Eq. 2 geometric mean over the best chain match ending at ``node_id``."""
-        prefix = self._chain_prefix(
-            prepared, prepared.component.num_hops, node_id
-        )
-        if prefix is None:
-            return 0.0
-        log_sum, length = prefix
-        if length == 0:
-            return 0.0
-        return math.exp(log_sum / length)
-
-    def answer_similarity(self, state_or_components, node_id: int) -> float:
-        """Composite answer similarity: minimum across components."""
-        components = (
-            state_or_components.components
-            if isinstance(state_or_components, _QueryState)
-            else state_or_components
-        )
-        return min(
-            self._component_similarity(prepared, node_id)
-            for prepared in components
-        )
-
-    def _validate_support_entry(self, state: _QueryState, index: int) -> None:
-        """Fill the verdict and value for one support entry."""
-        aggregate_query = state.aggregate_query
-        node_id = int(state.joint.answers[index])
-        node = self._kg.node(node_id)
-
-        correct = True
-        value = 0.0
-        if aggregate_query.function.needs_attribute:
-            attribute_value = node.attribute(aggregate_query.attribute or "")
-            # NaN counts as missing: one NaN draw would poison every
-            # estimator sum and the Eq.-12 sizing arithmetic.
-            if attribute_value is None or math.isnan(attribute_value):
-                correct = False
-            else:
-                value = float(attribute_value)
-        else:
-            value = 1.0
-        if correct and not aggregate_query.passes_filters(node):
-            correct = False
-        if correct and self.config.validate_correctness:
-            similarity = self.answer_similarity(state, node_id)
-            correct = similarity >= self.config.tau
-        state.support_known[index] = True
-        state.support_correct[index] = correct
-        state.support_value[index] = value if correct else 0.0
-
-    def _ensure_validated(self, state: _QueryState) -> None:
-        """Validate every support entry present in the current draws."""
-        drawn = state.distinct_support_indices()
-        pending = drawn[~state.support_known[drawn]]
-        for index in pending:
-            self._validate_support_entry(state, int(index))
-
-    def _estimation_samples(
-        self, state: _QueryState
-    ) -> tuple[list[EstimationSample], EstimationSample]:
-        """Per-little-sample and combined draw slices with validity masks."""
-        self._ensure_validated(state)
-        littles = [
-            EstimationSample(
-                values=state.support_value[indexes],
-                probabilities=state.joint.probabilities[indexes],
-                correct=state.support_correct[indexes],
-            )
-            for indexes in state.little_samples
-        ]
-        return littles, EstimationSample.concatenate(littles)
-
-    # ------------------------------------------------------------------
-    # Main loop (S2 + S3)
-    # ------------------------------------------------------------------
     def _run_rounds(
         self,
         state: _QueryState,
@@ -570,334 +152,4 @@ class ApproximateAggregateEngine:
         *,
         max_rounds: int | None = None,
     ) -> ApproximateResult:
-        config = self.config
-        budget = config.max_rounds if max_rounds is None else max_rounds
-        function = state.aggregate_query.function
-        converged = False
-        point_estimate = 0.0
-        moe = float("inf")
-
-        for loop_index in range(budget):
-            round_index = len(state.rounds) + 1
-            if loop_index > 0:
-                # Theorem 2 failed last round: enlarge S_A first (Alg. 2,
-                # lines 11-13), then re-estimate on the grown sample.
-                self._grow_sample(state, point_estimate, moe, error_bound)
-            with state.timers.measure(STAGE_ESTIMATION):
-                littles, combined = self._estimation_samples(state)
-                if combined.correct_draws > 0:
-                    point_estimate = estimate(function, combined, config.normalization)
-                else:
-                    point_estimate = 0.0
-
-            with state.timers.measure(STAGE_GUARANTEE):
-                if combined.correct_draws > 0:
-                    try:
-                        interval = blb_confidence_interval(
-                            littles,
-                            function,
-                            config.normalization,
-                            estimate=point_estimate,
-                            confidence_level=config.confidence_level,
-                            config=config.blb,
-                            seed=derive_seed(config.seed, "blb", round_index),
-                        )
-                        moe = interval.moe
-                    except EstimationError:
-                        moe = float("inf")
-                else:
-                    moe = float("inf")
-                guard_ok = (
-                    round_index >= config.min_rounds
-                    and combined.correct_draws >= config.min_correct_for_termination
-                )
-                satisfied = (
-                    combined.correct_draws > 0
-                    and guard_ok
-                    and satisfies_error_bound(moe, point_estimate, error_bound)
-                )
-                state.rounds.append(
-                    RoundTrace(
-                        round_index=round_index,
-                        total_draws=state.total_draws,
-                        correct_draws=combined.correct_draws,
-                        estimate=point_estimate,
-                        moe=moe,
-                        satisfied=satisfied,
-                    )
-                )
-                if satisfied:
-                    converged = True
-                    break
-                if state.total_draws >= config.max_sample_size:
-                    break
-
-        return self._finalise(state, point_estimate, moe, converged)
-
-    def _grow_sample(
-        self,
-        state: _QueryState,
-        point_estimate: float,
-        moe: float,
-        error_bound: float,
-    ) -> None:
-        """Extend the little samples per the configured delta strategy."""
-        config = self.config
-        with state.timers.measure(STAGE_SAMPLING):
-            if config.delta_strategy is DeltaStrategy.ERROR_BASED:
-                target = moe_target(point_estimate, error_bound)
-                if math.isinf(moe) or target <= 0.0:
-                    growth = 2.0  # no usable CI yet: double the sample
-                else:
-                    # Eq. 12: N grows by (eps / target)^2, so |S_A| = t N^m
-                    # grows by ratio^(2m) — exactly |dS_A| of the paper.
-                    ratio = max(moe / target, 1.0)
-                    growth = min(ratio * ratio, config.max_growth_factor)
-                    growth = max(growth, 1.1)  # always make visible progress
-                state.desired_n = int(math.ceil(state.desired_n * growth))
-                little_size = config.blb.little_sample_size(state.desired_n)
-                for position, sample in enumerate(state.little_samples):
-                    shortfall = little_size - len(sample)
-                    if shortfall > 0:
-                        state.little_samples[position] = np.concatenate(
-                            [sample, state.collector.collect_indices(shortfall)]
-                        )
-            else:
-                per_sample = max(
-                    1, config.fixed_delta // len(state.little_samples)
-                )
-                for position, sample in enumerate(state.little_samples):
-                    state.little_samples[position] = np.concatenate(
-                        [sample, state.collector.collect_indices(per_sample)]
-                    )
-
-    def _finalise(
-        self,
-        state: _QueryState,
-        point_estimate: float,
-        moe: float,
-        converged: bool,
-    ) -> ApproximateResult:
-        interval = ConfidenceInterval(
-            estimate=point_estimate,
-            moe=moe if not math.isinf(moe) else 0.0,
-            confidence_level=self.config.confidence_level,
-        )
-        correct_draws = state.rounds[-1].correct_draws if state.rounds else 0
-        return ApproximateResult(
-            function=state.aggregate_query.function,
-            interval=interval,
-            converged=converged,
-            rounds=tuple(state.rounds),
-            total_draws=state.total_draws,
-            distinct_answers=int(len(state.distinct_support_indices())),
-            correct_draws=correct_draws,
-            stage_ms=state.timers.as_dict_ms(),
-            walk_iterations=state.walk_iterations,
-            num_candidates=state.num_candidates,
-        )
-
-    # ------------------------------------------------------------------
-    # Extreme functions (MAX/MIN, no guarantee)
-    # ------------------------------------------------------------------
-    def _run_extreme(self, state: _QueryState) -> ApproximateResult:
-        config = self.config
-        function = state.aggregate_query.function
-        value = 0.0
-        moe = 0.0
-        correct_draws = 0
-        combined: EstimationSample | None = None
-        for round_index in range(1, config.extreme_rounds + 1):
-            with state.timers.measure(STAGE_ESTIMATION):
-                _littles, combined = self._estimation_samples(state)
-                if combined.correct_draws:
-                    value = estimate_extreme(combined, function)
-                correct_draws = combined.correct_draws
-            state.rounds.append(
-                RoundTrace(
-                    round_index=round_index,
-                    total_draws=state.total_draws,
-                    correct_draws=correct_draws,
-                    estimate=value,
-                    moe=float("nan"),
-                    satisfied=False,
-                )
-            )
-            if round_index < config.extreme_rounds:
-                with state.timers.measure(STAGE_SAMPLING):
-                    for position, sample in enumerate(state.little_samples):
-                        state.little_samples[position] = np.concatenate(
-                            [sample, state.collector.collect_indices(len(sample))]
-                        )
-        if (
-            config.extreme_method is ExtremeMethod.EVT
-            and combined is not None
-            and combined.correct_draws
-        ):
-            # The future-work extension: extrapolate past the sample
-            # extremum with a POT/GPD tail fit (see estimation.extreme).
-            with state.timers.measure(STAGE_GUARANTEE):
-                evt = estimate_extreme_evt(
-                    combined,
-                    function,
-                    exceedance_quantile=config.evt_exceedance_quantile,
-                    confidence_level=config.confidence_level,
-                    bootstrap_rounds=config.evt_bootstrap_rounds,
-                    seed=derive_seed(config.seed, "evt"),
-                )
-            value = evt.value
-            moe = evt.moe
-        interval = ConfidenceInterval(
-            estimate=value, moe=moe, confidence_level=config.confidence_level
-        )
-        return ApproximateResult(
-            function=function,
-            interval=interval,
-            converged=False,  # extremes carry no guarantee (§IV-B1 remarks)
-            rounds=tuple(state.rounds),
-            total_draws=state.total_draws,
-            distinct_answers=int(len(state.distinct_support_indices())),
-            correct_draws=correct_draws,
-            stage_ms=state.timers.as_dict_ms(),
-            walk_iterations=state.walk_iterations,
-            num_candidates=state.num_candidates,
-        )
-
-    # ------------------------------------------------------------------
-    # GROUP-BY (§V-A)
-    # ------------------------------------------------------------------
-    def _run_grouped(self, state: _QueryState, error_bound: float) -> GroupedResult:
-        config = self.config
-        aggregate_query = state.aggregate_query
-        group_by = aggregate_query.group_by
-        assert group_by is not None
-        function = aggregate_query.function
-
-        groups: dict[float, ApproximateResult] = {}
-        converged = False
-        for loop_index in range(config.max_rounds):
-            if loop_index > 0:
-                self._grow_sample(state, 1.0, float("inf"), error_bound)
-            with state.timers.measure(STAGE_ESTIMATION):
-                grouped_samples = self._grouped_samples(state)
-            with state.timers.measure(STAGE_GUARANTEE):
-                groups, all_satisfied = self._estimate_groups(
-                    state, grouped_samples, error_bound
-                )
-            if all_satisfied and groups:
-                converged = True
-                break
-
-        labels = {key: group_by.label_for(key) for key in groups}
-        return GroupedResult(
-            function=function,
-            groups=groups,
-            labels=labels,
-            converged=converged,
-            total_draws=state.total_draws,
-            stage_ms=state.timers.as_dict_ms(),
-        )
-
-    def _group_keys(self, state: _QueryState) -> np.ndarray:
-        """Per-support group keys (NaN where ungrouped), built lazily."""
-        group_by = state.aggregate_query.group_by
-        assert group_by is not None
-        if state.support_group is None:
-            state.support_group = np.full(
-                state.joint.support_size, np.nan, dtype=np.float64
-            )
-            state.support_group_known = np.zeros(
-                state.joint.support_size, dtype=bool
-            )
-        assert state.support_group_known is not None
-        known = state.support_group_known
-        drawn = state.distinct_support_indices()
-        for index in drawn[~known[drawn]]:
-            known[index] = True
-            if not state.support_correct[index]:
-                continue
-            node = self._kg.node(int(state.joint.answers[index]))
-            key = group_by.key_for(node)
-            if key is not None:
-                state.support_group[index] = key
-        return state.support_group
-
-    def _grouped_samples(self, state: _QueryState) -> dict[float, EstimationSample]:
-        """Per-group samples over the full draw set (masked membership).
-
-        Every group's sample spans all draws so the SAMPLE-normalised
-        estimators keep their |S_A| denominator and the bootstrap sees the
-        group-membership mixture variance.
-        """
-        self._ensure_validated(state)
-        keys = self._group_keys(state)
-        draws = (
-            np.concatenate(state.little_samples)
-            if state.little_samples
-            else np.empty(0, dtype=np.int64)
-        )
-        draw_keys = keys[draws]
-        probabilities = state.joint.probabilities[draws]
-        values = state.support_value[draws]
-
-        grouped: dict[float, EstimationSample] = {}
-        present = np.unique(draw_keys[~np.isnan(draw_keys)])
-        for key in present:
-            mask = draw_keys == key
-            grouped[float(key)] = EstimationSample(
-                values=np.where(mask, values, 0.0),
-                probabilities=probabilities,
-                correct=mask,
-            )
-        return grouped
-
-    def _estimate_groups(
-        self,
-        state: _QueryState,
-        grouped_samples: dict[float, EstimationSample],
-        error_bound: float,
-    ) -> tuple[dict[float, ApproximateResult], bool]:
-        config = self.config
-        function = state.aggregate_query.function
-        results: dict[float, ApproximateResult] = {}
-        all_satisfied = bool(grouped_samples)
-        rng = ensure_rng(derive_seed(config.seed, "group-bootstrap", len(state.rounds)))
-        for key, sample in grouped_samples.items():
-            point_estimate = estimate(function, sample, config.normalization)
-            try:
-                sigma = fast_bootstrap_sigma(
-                    sample,
-                    function,
-                    config.normalization,
-                    num_resamples=config.blb.num_resamples,
-                    resample_size=sample.total_draws,
-                    rng=rng,
-                )
-            except EstimationError:
-                sigma = float("nan")
-            if math.isnan(sigma):
-                interval = ConfidenceInterval(
-                    estimate=point_estimate,
-                    moe=0.0,
-                    confidence_level=config.confidence_level,
-                )
-                satisfied = False
-            else:
-                interval = ConfidenceInterval.from_sigma(
-                    point_estimate, sigma, config.confidence_level
-                )
-                satisfied = satisfies_error_bound(
-                    interval.moe, point_estimate, error_bound
-                )
-            if sample.correct_draws >= config.min_group_draws and not satisfied:
-                all_satisfied = False
-            results[key] = ApproximateResult(
-                function=function,
-                interval=interval,
-                converged=satisfied,
-                rounds=(),
-                total_draws=state.total_draws,
-                distinct_answers=0,
-                correct_draws=sample.correct_draws,
-            )
-        return results, all_satisfied
+        return self._executor.run_rounds(state, error_bound, max_rounds=max_rounds)

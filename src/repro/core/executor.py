@@ -1,0 +1,748 @@
+"""The execution layer: S2 validation + estimation and the S3 loop.
+
+:class:`QueryExecutor` runs Algorithm 2 over ``(QueryPlan, _QueryState)``
+pairs: plans are the immutable S1 artefacts produced by the planning layer
+(:mod:`repro.core.planner`), states hold everything mutable about one query
+execution — draw index arrays, per-support verdicts, round traces, stage
+timers.  The split mirrors the paper's pipeline: the planner owns S1, this
+module owns S2 (validation + Eq. 7-9 estimation) and S3 (BLB confidence,
+Theorem-2 termination, Eq. 12 growth).
+
+Validation is **batched**: each round's pending support entries are
+validated in one :meth:`CorrectnessValidator.validate_batch` pass per
+component over the validator's shared expansion cache, with verdicts
+memoised on the plan — refinement rounds and interactive sessions never
+revalidate an answer.  The per-answer fallback
+(``EngineConfig.batched_validation = False``) keeps the seed's
+entry-at-a-time loop alive for equivalence tests and the validation
+benchmark.  Validation time is attributed to its own ``"validation"``
+stage bucket (the paper's Table XII folds it into S2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import DeltaStrategy, EngineConfig, ExtremeMethod
+from repro.core.plan import QueryPlan
+from repro.core.planner import QueryPlanner
+from repro.core.result import ApproximateResult, GroupedResult, RoundTrace
+from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.errors import EstimationError, QueryError
+from repro.estimation.accuracy import moe_target, satisfies_error_bound
+from repro.estimation.bootstrap import blb_confidence_interval, fast_bootstrap_sigma
+from repro.estimation.confidence import ConfidenceInterval
+from repro.estimation.estimators import EstimationSample, estimate, estimate_extreme
+from repro.estimation.extreme import estimate_extreme_evt
+from repro.kg.graph import KnowledgeGraph
+from repro.query.aggregate import AggregateQuery
+from repro.sampling.collector import AnswerCollector, AnswerDistribution
+from repro.utils.rng import derive_seed, ensure_rng
+from repro.utils.timing import StageTimer
+
+STAGE_SAMPLING = "sampling"
+STAGE_VALIDATION = "validation"
+STAGE_ESTIMATION = "estimation"
+STAGE_GUARANTEE = "guarantee"
+
+
+@dataclass
+class _QueryState:
+    """Mutable state of one query execution (kept alive by sessions)."""
+
+    aggregate_query: AggregateQuery
+    components: list[QueryPlan]
+    joint: AnswerDistribution
+    collector: AnswerCollector
+    #: per-little-sample arrays of support indices
+    little_samples: list[np.ndarray]
+    desired_n: int
+    num_candidates: int
+    walk_iterations: int
+    #: per-support-entry verdicts, filled lazily as entries are first drawn
+    support_known: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+    support_correct: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+    support_value: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: per-support group keys (NaN = not grouped / invalid), built lazily
+    support_group: np.ndarray | None = None
+    support_group_known: np.ndarray | None = None
+    rounds: list[RoundTrace] = field(default_factory=list)
+    timers: StageTimer = field(default_factory=StageTimer)
+
+    @property
+    def total_draws(self) -> int:
+        """Draws collected so far across all little samples."""
+        return int(sum(len(sample) for sample in self.little_samples))
+
+    def distinct_support_indices(self) -> np.ndarray:
+        """Sorted unique support indices present in the draws."""
+        if not self.little_samples:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(self.little_samples))
+
+
+class QueryExecutor:
+    """Runs S2 + S3 of Algorithm 2 over plans produced by the planner."""
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateVectorSpace,
+        config: EngineConfig,
+        planner: QueryPlanner,
+    ) -> None:
+        self._kg = kg
+        self._space = space
+        self.config = config
+        self._planner = planner
+        self._typed_nodes_cache: dict[frozenset[str], frozenset[int]] = {}
+        self._typed_nodes_version = kg.structure_version
+
+    def _typed_nodes(self, types: frozenset[str]) -> frozenset[int]:
+        """All KG nodes carrying any of ``types``.
+
+        Cached per graph structure version: like plans and CSR snapshots,
+        the sets survive attribute writes but follow structural mutation.
+        """
+        if self._typed_nodes_version != self._kg.structure_version:
+            self._typed_nodes_cache.clear()
+            self._typed_nodes_version = self._kg.structure_version
+        cached = self._typed_nodes_cache.get(types)
+        if cached is None:
+            cached = frozenset(self._kg.nodes_with_any_type(types))
+            self._typed_nodes_cache[types] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Initialisation (S1 hand-off)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _joint_distribution(components: list[QueryPlan]) -> AnswerDistribution:
+        """Decomposition-assembly: intersect supports, multiply weights."""
+        if len(components) == 1:
+            return components[0].distribution
+        mappings = [plan.distribution.as_mapping() for plan in components]
+        support = set(mappings[0])
+        for mapping in mappings[1:]:
+            support &= set(mapping)
+        if not support:
+            raise QueryError(
+                "the query components share no candidate answer; the "
+                "composite query has an empty intersection sample"
+            )
+        answers = np.asarray(sorted(support), dtype=np.int64)
+        weights = np.asarray(
+            [
+                math.prod(mapping[int(answer)] for mapping in mappings)
+                for answer in answers
+            ],
+            dtype=np.float64,
+        )
+        weights = weights / weights.sum()
+        return AnswerDistribution(answers=answers, probabilities=weights)
+
+    def initialise(
+        self, aggregate_query: AggregateQuery, seed: int | None
+    ) -> _QueryState:
+        """Plan every component and draw the initial BLB little samples."""
+        config = self.config
+        effective_seed = config.seed if seed is None else seed
+        rng = ensure_rng(derive_seed(effective_seed, "engine"))
+        timers = StageTimer()
+
+        with timers.measure(STAGE_SAMPLING):
+            components = [
+                self._planner.plan_for(component)
+                for component in aggregate_query.query.components
+            ]
+            joint = self._joint_distribution(components)
+            collector = AnswerCollector(joint, seed=rng)
+            num_candidates = max(plan.num_candidates for plan in components)
+            if aggregate_query.function.has_guarantee:
+                ratio = config.sample_ratio
+            else:
+                ratio = config.extreme_sample_ratio
+            desired_n = max(
+                config.min_initial_sample, int(math.ceil(ratio * num_candidates))
+            )
+            little_size = config.blb.little_sample_size(desired_n)
+            little_samples = [
+                collector.collect_indices(little_size)
+                for _ in range(config.blb.num_little_samples)
+            ]
+        support_size = joint.support_size
+        return _QueryState(
+            aggregate_query=aggregate_query,
+            components=components,
+            joint=joint,
+            collector=collector,
+            little_samples=little_samples,
+            desired_n=desired_n,
+            num_candidates=num_candidates,
+            walk_iterations=max(plan.walk_iterations for plan in components),
+            support_known=np.zeros(support_size, dtype=bool),
+            support_correct=np.zeros(support_size, dtype=bool),
+            support_value=np.zeros(support_size, dtype=np.float64),
+            timers=timers,
+        )
+
+    # ------------------------------------------------------------------
+    # Validation (S2, batched)
+    # ------------------------------------------------------------------
+    def _component_similarity(self, plan: QueryPlan, node_id: int) -> float:
+        """Best-match similarity of ``node_id`` for one component (memoised)."""
+        cached = plan.similarity_cache.get(node_id)
+        if cached is not None:
+            return cached
+        if plan.chain is not None:
+            similarity = self._chain_similarity(plan, node_id)
+        else:
+            assert plan.validator is not None
+            outcome = plan.validator.validate(
+                plan.source,
+                node_id,
+                plan.component.predicates[0],
+                plan.visiting,
+                stop_threshold=self.config.tau,
+            )
+            similarity = outcome.similarity
+        plan.similarity_cache[node_id] = similarity
+        return similarity
+
+    def _chain_prefix(
+        self, plan: QueryPlan, level: int, node_id: int
+    ) -> tuple[float, int] | None:
+        """Best (log-similarity sum, edge count) for source ->hops[:level]-> node.
+
+        Level 1 uses the greedy r-path validator on the first hop's
+        stationary map; deeper levels enumerate backwards from ``node_id``
+        with a capped DFS (the answer-side neighbourhood is small) and
+        recurse over typed intermediates, memoised per (level, node).
+        """
+        from repro.semantics.matching import best_matches_iterative
+
+        key = (level, node_id)
+        if key in plan.chain_prefix_memo:
+            return plan.chain_prefix_memo[key]
+        component = plan.component
+        config = self.config
+        predicate = component.predicates[level - 1]
+
+        result: tuple[float, int] | None = None
+        if level == 1:
+            assert plan.validator is not None
+            outcome = plan.validator.validate(
+                plan.source,
+                node_id,
+                predicate,
+                plan.visiting,
+                stop_threshold=1.0,
+            )
+            if outcome.paths_found:
+                result = (
+                    outcome.best_length * math.log(max(outcome.similarity, 1e-12)),
+                    outcome.best_length,
+                )
+        else:
+            required_types = component.hops[level - 2][1]
+            typed_nodes = self._typed_nodes(required_types)
+            matches = best_matches_iterative(
+                self._kg,
+                self._space,
+                predicate,
+                node_id,
+                config.n_bound,
+                targets=typed_nodes,
+                floor=config.similarity_floor,
+                budget_per_level=config.validation_expansions * 5,
+            )
+            best_mean = 0.0
+            for endpoint, match in matches.items():
+                prefix = self._chain_prefix(plan, level - 1, endpoint)
+                if prefix is None:
+                    continue
+                log_sum = prefix[0] + match.length * math.log(
+                    max(match.similarity, 1e-12)
+                )
+                length = prefix[1] + match.length
+                mean = math.exp(log_sum / length)
+                if mean > best_mean:
+                    best_mean = mean
+                    result = (log_sum, length)
+        plan.chain_prefix_memo[key] = result
+        return result
+
+    def _chain_similarity(self, plan: QueryPlan, node_id: int) -> float:
+        """Eq. 2 geometric mean over the best chain match ending at ``node_id``."""
+        prefix = self._chain_prefix(plan, plan.component.num_hops, node_id)
+        if prefix is None:
+            return 0.0
+        log_sum, length = prefix
+        if length == 0:
+            return 0.0
+        return math.exp(log_sum / length)
+
+    def answer_similarity(self, state_or_components, node_id: int) -> float:
+        """Composite answer similarity: minimum across components."""
+        components = (
+            state_or_components.components
+            if isinstance(state_or_components, _QueryState)
+            else state_or_components
+        )
+        return min(
+            self._component_similarity(plan, node_id) for plan in components
+        )
+
+    def _batch_similarities(
+        self, components: list[QueryPlan], node_ids: list[int]
+    ) -> None:
+        """Fill every component's verdict memo for ``node_ids`` in bulk.
+
+        Simple components go through the validation service's batched pass
+        (one shared expansion cache per round); chain components keep their
+        per-answer backwards enumeration, which is already memoised at the
+        prefix level.  With ``batched_validation`` off, everything falls
+        back to the seed's one-answer-at-a-time loop.
+        """
+        batched = self.config.batched_validation
+        for plan in components:
+            missing = [
+                node_id
+                for node_id in dict.fromkeys(node_ids)
+                if node_id not in plan.similarity_cache
+            ]
+            if not missing:
+                continue
+            if plan.chain is None and plan.validator is not None and batched:
+                outcomes = plan.validator.validate_batch(
+                    plan.source,
+                    missing,
+                    plan.component.predicates[0],
+                    plan.visiting,
+                    stop_threshold=self.config.tau,
+                )
+                for node_id, outcome in outcomes.items():
+                    plan.similarity_cache[node_id] = outcome.similarity
+            else:
+                for node_id in missing:
+                    self._component_similarity(plan, node_id)
+
+    def _validate_entries(self, state: _QueryState, pending: np.ndarray) -> None:
+        """Fill verdicts and values for ``pending`` support entries.
+
+        Attribute and filter checks run per entry (they are cheap dict
+        lookups); the expensive correctness searches for everything that
+        survives them are deferred and executed in one batched pass.
+        """
+        aggregate_query = state.aggregate_query
+        config = self.config
+        #: (support index, node id, attribute value) awaiting a verdict
+        deferred: list[tuple[int, int, float]] = []
+        for raw_index in pending:
+            index = int(raw_index)
+            node_id = int(state.joint.answers[index])
+            node = self._kg.node(node_id)
+
+            correct = True
+            value = 0.0
+            if aggregate_query.function.needs_attribute:
+                attribute_value = node.attribute(aggregate_query.attribute or "")
+                # NaN counts as missing: one NaN draw would poison every
+                # estimator sum and the Eq.-12 sizing arithmetic.
+                if attribute_value is None or math.isnan(attribute_value):
+                    correct = False
+                else:
+                    value = float(attribute_value)
+            else:
+                value = 1.0
+            if correct and not aggregate_query.passes_filters(node):
+                correct = False
+            if correct and config.validate_correctness:
+                deferred.append((index, node_id, value))
+                continue
+            state.support_known[index] = True
+            state.support_correct[index] = correct
+            state.support_value[index] = value if correct else 0.0
+
+        if not deferred:
+            return
+        self._batch_similarities(state.components, [entry[1] for entry in deferred])
+        for index, node_id, value in deferred:
+            correct = self.answer_similarity(state, node_id) >= config.tau
+            state.support_known[index] = True
+            state.support_correct[index] = correct
+            state.support_value[index] = value if correct else 0.0
+
+    def _ensure_validated(self, state: _QueryState) -> None:
+        """Validate every support entry present in the current draws."""
+        drawn = state.distinct_support_indices()
+        pending = drawn[~state.support_known[drawn]]
+        if len(pending) == 0:
+            return
+        with state.timers.measure(STAGE_VALIDATION):
+            self._validate_entries(state, pending)
+
+    def _estimation_samples(
+        self, state: _QueryState
+    ) -> tuple[list[EstimationSample], EstimationSample]:
+        """Per-little-sample and combined draw slices with validity masks.
+
+        Callers must have run :meth:`_ensure_validated` first; slicing the
+        verdict arrays is pure numpy fancy-indexing.
+        """
+        littles = [
+            EstimationSample(
+                values=state.support_value[indexes],
+                probabilities=state.joint.probabilities[indexes],
+                correct=state.support_correct[indexes],
+            )
+            for indexes in state.little_samples
+        ]
+        return littles, EstimationSample.concatenate(littles)
+
+    # ------------------------------------------------------------------
+    # Main loop (S2 + S3)
+    # ------------------------------------------------------------------
+    def run_rounds(
+        self,
+        state: _QueryState,
+        error_bound: float,
+        *,
+        max_rounds: int | None = None,
+    ) -> ApproximateResult:
+        config = self.config
+        budget = config.max_rounds if max_rounds is None else max_rounds
+        function = state.aggregate_query.function
+        converged = False
+        point_estimate = 0.0
+        moe = float("inf")
+
+        for loop_index in range(budget):
+            round_index = len(state.rounds) + 1
+            if loop_index > 0:
+                # Theorem 2 failed last round: enlarge S_A first (Alg. 2,
+                # lines 11-13), then re-estimate on the grown sample.
+                self._grow_sample(state, point_estimate, moe, error_bound)
+            self._ensure_validated(state)
+            with state.timers.measure(STAGE_ESTIMATION):
+                littles, combined = self._estimation_samples(state)
+                if combined.correct_draws > 0:
+                    point_estimate = estimate(function, combined, config.normalization)
+                else:
+                    point_estimate = 0.0
+
+            with state.timers.measure(STAGE_GUARANTEE):
+                if combined.correct_draws > 0:
+                    try:
+                        interval = blb_confidence_interval(
+                            littles,
+                            function,
+                            config.normalization,
+                            estimate=point_estimate,
+                            confidence_level=config.confidence_level,
+                            config=config.blb,
+                            seed=derive_seed(config.seed, "blb", round_index),
+                        )
+                        moe = interval.moe
+                    except EstimationError:
+                        moe = float("inf")
+                else:
+                    moe = float("inf")
+                guard_ok = (
+                    round_index >= config.min_rounds
+                    and combined.correct_draws >= config.min_correct_for_termination
+                )
+                satisfied = (
+                    combined.correct_draws > 0
+                    and guard_ok
+                    and satisfies_error_bound(moe, point_estimate, error_bound)
+                )
+                state.rounds.append(
+                    RoundTrace(
+                        round_index=round_index,
+                        total_draws=state.total_draws,
+                        correct_draws=combined.correct_draws,
+                        estimate=point_estimate,
+                        moe=moe,
+                        satisfied=satisfied,
+                    )
+                )
+                if satisfied:
+                    converged = True
+                    break
+                if state.total_draws >= config.max_sample_size:
+                    break
+
+        return self._finalise(state, point_estimate, moe, converged)
+
+    def _grow_sample(
+        self,
+        state: _QueryState,
+        point_estimate: float,
+        moe: float,
+        error_bound: float,
+    ) -> None:
+        """Extend the little samples per the configured delta strategy."""
+        config = self.config
+        with state.timers.measure(STAGE_SAMPLING):
+            if config.delta_strategy is DeltaStrategy.ERROR_BASED:
+                target = moe_target(point_estimate, error_bound)
+                if math.isinf(moe) or target <= 0.0:
+                    growth = 2.0  # no usable CI yet: double the sample
+                else:
+                    # Eq. 12: N grows by (eps / target)^2, so |S_A| = t N^m
+                    # grows by ratio^(2m) — exactly |dS_A| of the paper.
+                    ratio = max(moe / target, 1.0)
+                    growth = min(ratio * ratio, config.max_growth_factor)
+                    growth = max(growth, 1.1)  # always make visible progress
+                state.desired_n = int(math.ceil(state.desired_n * growth))
+                little_size = config.blb.little_sample_size(state.desired_n)
+                for position, sample in enumerate(state.little_samples):
+                    shortfall = little_size - len(sample)
+                    if shortfall > 0:
+                        state.little_samples[position] = np.concatenate(
+                            [sample, state.collector.collect_indices(shortfall)]
+                        )
+            else:
+                per_sample = max(
+                    1, config.fixed_delta // len(state.little_samples)
+                )
+                for position, sample in enumerate(state.little_samples):
+                    state.little_samples[position] = np.concatenate(
+                        [sample, state.collector.collect_indices(per_sample)]
+                    )
+
+    def _finalise(
+        self,
+        state: _QueryState,
+        point_estimate: float,
+        moe: float,
+        converged: bool,
+    ) -> ApproximateResult:
+        interval = ConfidenceInterval(
+            estimate=point_estimate,
+            moe=moe if not math.isinf(moe) else 0.0,
+            confidence_level=self.config.confidence_level,
+        )
+        correct_draws = state.rounds[-1].correct_draws if state.rounds else 0
+        return ApproximateResult(
+            function=state.aggregate_query.function,
+            interval=interval,
+            converged=converged,
+            rounds=tuple(state.rounds),
+            total_draws=state.total_draws,
+            distinct_answers=int(len(state.distinct_support_indices())),
+            correct_draws=correct_draws,
+            stage_ms=state.timers.as_dict_ms(),
+            walk_iterations=state.walk_iterations,
+            num_candidates=state.num_candidates,
+        )
+
+    # ------------------------------------------------------------------
+    # Extreme functions (MAX/MIN, no guarantee)
+    # ------------------------------------------------------------------
+    def run_extreme(self, state: _QueryState) -> ApproximateResult:
+        config = self.config
+        function = state.aggregate_query.function
+        value = 0.0
+        moe = 0.0
+        correct_draws = 0
+        combined: EstimationSample | None = None
+        for round_index in range(1, config.extreme_rounds + 1):
+            self._ensure_validated(state)
+            with state.timers.measure(STAGE_ESTIMATION):
+                _littles, combined = self._estimation_samples(state)
+                if combined.correct_draws:
+                    value = estimate_extreme(combined, function)
+                correct_draws = combined.correct_draws
+            state.rounds.append(
+                RoundTrace(
+                    round_index=round_index,
+                    total_draws=state.total_draws,
+                    correct_draws=correct_draws,
+                    estimate=value,
+                    moe=float("nan"),
+                    satisfied=False,
+                )
+            )
+            if round_index < config.extreme_rounds:
+                with state.timers.measure(STAGE_SAMPLING):
+                    for position, sample in enumerate(state.little_samples):
+                        state.little_samples[position] = np.concatenate(
+                            [sample, state.collector.collect_indices(len(sample))]
+                        )
+        if (
+            config.extreme_method is ExtremeMethod.EVT
+            and combined is not None
+            and combined.correct_draws
+        ):
+            # The future-work extension: extrapolate past the sample
+            # extremum with a POT/GPD tail fit (see estimation.extreme).
+            with state.timers.measure(STAGE_GUARANTEE):
+                evt = estimate_extreme_evt(
+                    combined,
+                    function,
+                    exceedance_quantile=config.evt_exceedance_quantile,
+                    confidence_level=config.confidence_level,
+                    bootstrap_rounds=config.evt_bootstrap_rounds,
+                    seed=derive_seed(config.seed, "evt"),
+                )
+            value = evt.value
+            moe = evt.moe
+        interval = ConfidenceInterval(
+            estimate=value, moe=moe, confidence_level=config.confidence_level
+        )
+        return ApproximateResult(
+            function=function,
+            interval=interval,
+            converged=False,  # extremes carry no guarantee (§IV-B1 remarks)
+            rounds=tuple(state.rounds),
+            total_draws=state.total_draws,
+            distinct_answers=int(len(state.distinct_support_indices())),
+            correct_draws=correct_draws,
+            stage_ms=state.timers.as_dict_ms(),
+            walk_iterations=state.walk_iterations,
+            num_candidates=state.num_candidates,
+        )
+
+    # ------------------------------------------------------------------
+    # GROUP-BY (§V-A)
+    # ------------------------------------------------------------------
+    def run_grouped(self, state: _QueryState, error_bound: float) -> GroupedResult:
+        config = self.config
+        aggregate_query = state.aggregate_query
+        group_by = aggregate_query.group_by
+        assert group_by is not None
+        function = aggregate_query.function
+
+        groups: dict[float, ApproximateResult] = {}
+        converged = False
+        for loop_index in range(config.max_rounds):
+            if loop_index > 0:
+                self._grow_sample(state, 1.0, float("inf"), error_bound)
+            self._ensure_validated(state)
+            with state.timers.measure(STAGE_ESTIMATION):
+                grouped_samples = self._grouped_samples(state)
+            with state.timers.measure(STAGE_GUARANTEE):
+                groups, all_satisfied = self._estimate_groups(
+                    state, grouped_samples, error_bound
+                )
+            if all_satisfied and groups:
+                converged = True
+                break
+
+        labels = {key: group_by.label_for(key) for key in groups}
+        return GroupedResult(
+            function=function,
+            groups=groups,
+            labels=labels,
+            converged=converged,
+            total_draws=state.total_draws,
+            stage_ms=state.timers.as_dict_ms(),
+        )
+
+    def _group_keys(self, state: _QueryState) -> np.ndarray:
+        """Per-support group keys (NaN where ungrouped), built lazily."""
+        group_by = state.aggregate_query.group_by
+        assert group_by is not None
+        if state.support_group is None:
+            state.support_group = np.full(
+                state.joint.support_size, np.nan, dtype=np.float64
+            )
+            state.support_group_known = np.zeros(
+                state.joint.support_size, dtype=bool
+            )
+        assert state.support_group_known is not None
+        known = state.support_group_known
+        drawn = state.distinct_support_indices()
+        for index in drawn[~known[drawn]]:
+            known[index] = True
+            if not state.support_correct[index]:
+                continue
+            node = self._kg.node(int(state.joint.answers[index]))
+            key = group_by.key_for(node)
+            if key is not None:
+                state.support_group[index] = key
+        return state.support_group
+
+    def _grouped_samples(self, state: _QueryState) -> dict[float, EstimationSample]:
+        """Per-group samples over the full draw set (masked membership).
+
+        Every group's sample spans all draws so the SAMPLE-normalised
+        estimators keep their |S_A| denominator and the bootstrap sees the
+        group-membership mixture variance.
+        """
+        keys = self._group_keys(state)
+        draws = (
+            np.concatenate(state.little_samples)
+            if state.little_samples
+            else np.empty(0, dtype=np.int64)
+        )
+        draw_keys = keys[draws]
+        probabilities = state.joint.probabilities[draws]
+        values = state.support_value[draws]
+
+        grouped: dict[float, EstimationSample] = {}
+        present = np.unique(draw_keys[~np.isnan(draw_keys)])
+        for key in present:
+            mask = draw_keys == key
+            grouped[float(key)] = EstimationSample(
+                values=np.where(mask, values, 0.0),
+                probabilities=probabilities,
+                correct=mask,
+            )
+        return grouped
+
+    def _estimate_groups(
+        self,
+        state: _QueryState,
+        grouped_samples: dict[float, EstimationSample],
+        error_bound: float,
+    ) -> tuple[dict[float, ApproximateResult], bool]:
+        config = self.config
+        function = state.aggregate_query.function
+        results: dict[float, ApproximateResult] = {}
+        all_satisfied = bool(grouped_samples)
+        rng = ensure_rng(derive_seed(config.seed, "group-bootstrap", len(state.rounds)))
+        for key, sample in grouped_samples.items():
+            point_estimate = estimate(function, sample, config.normalization)
+            try:
+                sigma = fast_bootstrap_sigma(
+                    sample,
+                    function,
+                    config.normalization,
+                    num_resamples=config.blb.num_resamples,
+                    resample_size=sample.total_draws,
+                    rng=rng,
+                )
+            except EstimationError:
+                sigma = float("nan")
+            if math.isnan(sigma):
+                interval = ConfidenceInterval(
+                    estimate=point_estimate,
+                    moe=0.0,
+                    confidence_level=config.confidence_level,
+                )
+                satisfied = False
+            else:
+                interval = ConfidenceInterval.from_sigma(
+                    point_estimate, sigma, config.confidence_level
+                )
+                satisfied = satisfies_error_bound(
+                    interval.moe, point_estimate, error_bound
+                )
+            if sample.correct_draws >= config.min_group_draws and not satisfied:
+                all_satisfied = False
+            results[key] = ApproximateResult(
+                function=function,
+                interval=interval,
+                converged=satisfied,
+                rounds=(),
+                total_draws=state.total_draws,
+                distinct_answers=0,
+                correct_draws=sample.correct_draws,
+            )
+        return results, all_satisfied

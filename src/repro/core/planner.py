@@ -1,0 +1,188 @@
+"""The planning layer: S1 preparation producing shared :class:`QueryPlan`s.
+
+A :class:`QueryPlanner` turns one query component into its immutable
+sampling artefacts — scope, Eq. 5 transition, Eq. 6 stationary
+distribution, Theorem-1 answer restriction and the greedy validator — and
+publishes the result in the process-wide :class:`~repro.core.plan.PlanCache`
+so that every engine and session over the same graph, predicate space and
+configuration reuses one plan instead of rebuilding it.  The executor
+(:mod:`repro.core.executor`) consumes plans; the engine facade
+(:mod:`repro.core.engine`) only wires the two together.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EngineConfig, SamplerKind
+from repro.core.plan import (
+    PlanCache,
+    QueryPlan,
+    plan_key,
+    shared_plan_cache,
+)
+from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.errors import SamplingError
+from repro.kg.graph import KnowledgeGraph
+from repro.query.graph import PathQuery
+from repro.sampling.chain import ChainSampler
+from repro.sampling.collector import restrict_to_answers
+from repro.sampling.scope import build_scope, resolve_mapping_node
+from repro.sampling.stationary import dense_visiting_array, stationary_distribution
+from repro.sampling.topology import (
+    cnarw_transition_model,
+    node2vec_visit_distribution,
+)
+from repro.sampling.transition import TransitionModel
+from repro.semantics.validation import CorrectnessValidator
+from repro.utils.rng import derive_seed
+
+
+class QueryPlanner:
+    """Builds (or fetches) one immutable plan per query component."""
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateVectorSpace,
+        config: EngineConfig,
+        cache: PlanCache | None = None,
+    ) -> None:
+        self._kg = kg
+        self._space = space
+        self.config = config
+        self._cache = cache if cache is not None else shared_plan_cache()
+        #: engine-local plan view, keyed by component; dropped when the
+        #: graph's structure moves so stale plans never survive a mutation
+        self.plans: dict[PathQuery, QueryPlan] = {}
+        self._planned_structure_version = kg.structure_version
+
+    @property
+    def cache(self) -> PlanCache:
+        """The (usually process-wide) plan cache this planner publishes to."""
+        return self._cache
+
+    def plan_for(self, component: PathQuery) -> QueryPlan:
+        """The component's plan: local view, shared cache, or fresh build."""
+        structure_version = self._kg.structure_version
+        if self._planned_structure_version != structure_version:
+            self.plans.clear()
+            self._planned_structure_version = structure_version
+        local = self.plans.get(component)
+        if local is not None:
+            return local
+        key = plan_key(component, self._space, self.config)
+        plan = self._cache.lookup(self._kg, key)
+        if plan is None:
+            plan = self._build(component)
+            # the version captured before building gates publication: a
+            # structural mutation during the build keeps the plan private
+            plan = self._cache.store(self._kg, key, plan, structure_version)
+        self.plans[component] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # Plan construction (S1)
+    # ------------------------------------------------------------------
+    def _build(self, component: PathQuery) -> QueryPlan:
+        if component.is_simple:
+            return self._build_simple(component)
+        return self._build_chain(component)
+
+    def _validator(self) -> CorrectnessValidator:
+        config = self.config
+        return CorrectnessValidator(
+            self._kg,
+            self._space,
+            repeat_factor=config.repeat_factor,
+            max_length=config.n_bound,
+            floor=config.similarity_floor,
+            expansion_budget=config.validation_expansions,
+        )
+
+    def _build_simple(self, component: PathQuery) -> QueryPlan:
+        config = self.config
+        source = resolve_mapping_node(
+            self._kg, component.specific_name, component.specific_types
+        )
+        predicate, target_types = component.hops[0]
+        scope = build_scope(self._kg, source, config.n_bound, target_types)
+        if scope.num_candidates == 0:
+            raise SamplingError(
+                f"no candidate of types {sorted(target_types)} within "
+                f"{config.n_bound} hops of {component.specific_name!r}"
+            )
+        if config.sampler is SamplerKind.NODE2VEC:
+            probabilities = node2vec_visit_distribution(
+                self._kg, scope, seed=derive_seed(config.seed, "node2vec", source)
+            )
+            iterations = 0
+        else:
+            if config.sampler is SamplerKind.CNARW:
+                transition = cnarw_transition_model(self._kg, scope)
+            else:
+                transition = TransitionModel(
+                    self._kg,
+                    scope,
+                    self._space,
+                    predicate,
+                    self_loop_weight=config.self_loop_weight,
+                    similarity_floor=config.similarity_floor,
+                )
+            stationary = stationary_distribution(transition)
+            probabilities = stationary.probabilities
+            iterations = stationary.iterations
+        distribution = restrict_to_answers(scope, probabilities)
+        visiting = dense_visiting_array(
+            scope.nodes, probabilities, self._kg.num_nodes
+        )
+        return QueryPlan(
+            component=component,
+            source=source,
+            distribution=distribution,
+            visiting=visiting,
+            walk_iterations=iterations,
+            num_candidates=scope.num_candidates,
+            validator=self._validator(),
+        )
+
+    def _build_chain(self, component: PathQuery) -> QueryPlan:
+        config = self.config
+        sampler = ChainSampler(
+            self._kg,
+            self._space,
+            n_bound=config.n_bound,
+            max_intermediates=config.max_intermediates,
+            self_loop_weight=config.self_loop_weight,
+            similarity_floor=config.similarity_floor,
+        )
+        chain = sampler.build(component)
+        source = resolve_mapping_node(
+            self._kg, component.specific_name, component.specific_types
+        )
+        # Chain validation runs lazily per sampled answer (§V-B): the
+        # answer-side legs are enumerated from the answer (whose
+        # neighbourhood is small), while the hub-side leg reuses the greedy
+        # r-path validator guided by the first hop's stationary map.
+        first_predicate, first_types = component.hops[0]
+        first_scope = build_scope(self._kg, source, config.n_bound, first_types)
+        first_transition = TransitionModel(
+            self._kg,
+            first_scope,
+            self._space,
+            first_predicate,
+            self_loop_weight=config.self_loop_weight,
+            similarity_floor=config.similarity_floor,
+        )
+        first_stationary = stationary_distribution(first_transition)
+        visiting = dense_visiting_array(
+            first_scope.nodes, first_stationary.probabilities, self._kg.num_nodes
+        )
+        return QueryPlan(
+            component=component,
+            source=source,
+            distribution=chain.distribution,
+            visiting=visiting,
+            walk_iterations=chain.expanded_intermediates,
+            num_candidates=chain.distribution.support_size,
+            chain=chain,
+            validator=self._validator(),
+        )

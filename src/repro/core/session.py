@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.core.engine import ApproximateAggregateEngine, _QueryState
 from repro.core.result import ApproximateResult
 from repro.errors import QueryError
+from repro.estimation.accuracy import satisfies_error_bound
 from repro.query.aggregate import AggregateQuery
 
 
@@ -68,10 +69,27 @@ class InteractiveSession:
         collected so far; Eq. 12 senses the new bound and sizes only the
         missing increment.
         """
-        if self._last_error_bound is not None and error_bound > self._last_error_bound:
-            # Loosening the bound is free: the current CI already satisfies
-            # it; we still record a zero-cost step for the trace.
-            pass
+        if (
+            self._last_error_bound is not None
+            and error_bound > self._last_error_bound
+            and self._history
+        ):
+            # Loosening the bound is free when the current CI already
+            # satisfies it: record a zero-cost step for the trace — no
+            # re-run, zero additional draws — instead of re-estimating.
+            latest = self._history[-1].result
+            if latest.converged and satisfies_error_bound(
+                latest.moe, latest.value, error_bound
+            ):
+                step = RefinementStep(
+                    error_bound=error_bound,
+                    result=latest,
+                    incremental_seconds=0.0,
+                    additional_draws=0,
+                )
+                self._history.append(step)
+                self._last_error_bound = error_bound
+                return step
         draws_before = self._state.total_draws
         started = time.perf_counter()
         result = self._engine._run_rounds(self._state, error_bound)

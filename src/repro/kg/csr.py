@@ -18,9 +18,11 @@ membership bitmask so candidate filtering (Definition 4's "shares a type
 with the target") becomes a boolean gather instead of a per-node
 ``frozenset`` intersection.
 
-Snapshots are cached on the graph and invalidated by the graph's version
-counter, which every mutator (``add_node`` / ``add_edge`` /
-``set_attribute``) bumps.
+Snapshots are cached on the graph and invalidated by the graph's
+*structure* version counter, which the structural mutators (``add_node`` /
+``add_edge``) bump.  Attribute writes (``set_attribute``) bump a separate
+counter and leave the snapshot untouched — a CSR snapshot holds no
+attribute data, so attribute-streaming workloads never pay a recompile.
 """
 
 from __future__ import annotations
@@ -238,9 +240,12 @@ def build_csr(kg: KnowledgeGraph) -> CSRGraph:
 
 
 def csr_snapshot(kg: KnowledgeGraph) -> CSRGraph:
-    """The cached snapshot of ``kg``'s current version (compiled on miss)."""
+    """The cached snapshot of ``kg``'s current structure (compiled on miss).
+
+    Keyed on ``kg.structure_version`` only: attribute writes do not evict.
+    """
     cached = getattr(kg, _SNAPSHOT_ATTR, None)
-    version = kg.version
+    version = kg.structure_version
     if cached is not None and cached[0] == version:
         return cached[1]
     snapshot = build_csr(kg)

@@ -103,8 +103,13 @@ class KnowledgeGraph:
         self._name_index: dict[str, int] = {}
         self._type_index: dict[str, list[int]] = {}
         self._predicate_edge_index: dict[int, list[int]] = {}
-        # Monotone mutation counter; CSR snapshots key their cache on it.
-        self._version = 0
+        # Monotone mutation counters.  Structure covers nodes, edges and
+        # types — everything a CSR snapshot or a cached query plan depends
+        # on; attributes cover numeric property writes only.  Splitting the
+        # two means attribute streams (``set_attribute``) never recompile
+        # snapshots or evict plans, while structural edits invalidate both.
+        self._structure_version = 0
+        self._attribute_version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -129,7 +134,7 @@ class KnowledgeGraph:
         self._name_index[name] = node_id
         for type_name in type_set:
             self._type_index.setdefault(type_name, []).append(node_id)
-        self._version += 1
+        self._structure_version += 1
         return node_id
 
     def add_edge(self, subject: int, predicate: str, obj: int) -> int:
@@ -143,14 +148,14 @@ class KnowledgeGraph:
         if obj != subject:
             self._adjacency[obj].append((edge_id, subject))
         self._predicate_edge_index.setdefault(predicate_id, []).append(edge_id)
-        self._version += 1
+        self._structure_version += 1
         return edge_id
 
     def set_attribute(self, node_id: int, name: str, value: float) -> None:
         """Set (or overwrite) numeric attribute ``name`` on ``node_id``."""
         self._check_node(node_id)
         self._nodes[node_id].attributes[name] = float(value)
-        self._version += 1
+        self._attribute_version += 1
 
     def intern_predicate(self, predicate: str) -> int:
         """Return the dense id for ``predicate``, creating one if needed."""
@@ -167,8 +172,22 @@ class KnowledgeGraph:
     # ------------------------------------------------------------------
     @property
     def version(self) -> int:
-        """Mutation counter: bumped by every structural or attribute change."""
-        return self._version
+        """Total mutation counter: bumped by every structural or attribute change."""
+        return self._structure_version + self._attribute_version
+
+    @property
+    def structure_version(self) -> int:
+        """Counter of structural mutations (``add_node`` / ``add_edge``).
+
+        CSR snapshots and cached query plans key on this counter only, so
+        attribute writes never invalidate them.
+        """
+        return self._structure_version
+
+    @property
+    def attribute_version(self) -> int:
+        """Counter of attribute writes (``set_attribute``)."""
+        return self._attribute_version
 
     @property
     def num_nodes(self) -> int:

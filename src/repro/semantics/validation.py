@@ -22,6 +22,15 @@ This keeps one validation at O(budget * branch_cap) heap operations even
 around hubs with thousands of neighbours.  Per-edge log-similarities come
 from one dense log-clamped similarity row indexed by predicate id over the
 CSR snapshot's adjacency slices — no per-edge string lookups.
+
+Visiting probabilities are **array-valued**: callers may pass either the
+legacy ``{node_id: probability}`` mapping or a dense float array over node
+ids (zero = outside the scope).  Mappings are densified once per
+(query predicate, visiting) context, so membership tests and probability
+lookups inside the search are numpy fancy-indexing, not dict probes.
+:meth:`CorrectnessValidator.validate_batch` is the engine's batched entry
+point: it validates a whole round's pending answers in one pass over the
+shared expansion cache.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterable, Mapping, Union
 
 import numpy as np
 
@@ -44,6 +53,22 @@ DEFAULT_EXPANSION_BUDGET = 120
 
 #: successors kept per node (probability-ordered beam).
 DEFAULT_BRANCH_CAP = 16
+
+#: visiting probabilities: ``{node_id: probability}`` or a dense array over
+#: node ids where zero marks nodes outside the sampling scope.
+VisitingProbabilities = Union[Mapping[int, float], np.ndarray]
+
+#: one recorded pop of the shared (answer-independent) expansion trace:
+#: ``(node, log_sum, on_path, depth, adjacency, beam_children)``; the last
+#: two are None for depth-capped pops that were counted but not expanded.
+_TracedPop = tuple[
+    int,
+    float,
+    tuple[int, ...],
+    int,
+    "dict[int, float] | None",
+    "frozenset[int] | None",
+]
 
 
 @dataclass(frozen=True)
@@ -89,12 +114,16 @@ class CorrectnessValidator:
         self.floor = floor
         self.expansion_budget = expansion_budget
         self.branch_cap = branch_cap
-        # caches are (query predicate, visiting map) specific; they reset
-        # when the validator is reused for a different context
+        # caches are (query predicate, visiting context) specific; they
+        # reset when the validator is reused for a different context
         self._cache_key: tuple[str, int] | None = None
         self._children: dict[int, list[tuple[float, int, float]]] = {}
+        self._beam_children: dict[int, frozenset[int]] = {}
         self._adjacency: dict[int, dict[int, float]] = {}
         self._log_row: np.ndarray | None = None
+        self._visiting: np.ndarray | None = None
+        #: per-source shared expansion traces (see :meth:`_shared_pops`)
+        self._traces: dict[int, list[_TracedPop]] = {}
 
     # ------------------------------------------------------------------
     def _reset_cache(self, query_predicate: str, visiting_id: int) -> None:
@@ -102,8 +131,40 @@ class CorrectnessValidator:
         if self._cache_key != key:
             self._cache_key = key
             self._children.clear()
+            self._beam_children.clear()
             self._adjacency.clear()
             self._log_row = None
+            self._visiting = None
+            self._traces.clear()
+
+    def _visiting_array(
+        self, visiting_probabilities: VisitingProbabilities
+    ) -> np.ndarray:
+        """Dense per-node probability array for the current context.
+
+        Mappings are densified once per cache context; arrays pass through
+        untouched.  A node participates in the search iff its entry is
+        positive — exactly the legacy mapping's membership semantics, since
+        those mappings only ever held strictly positive probabilities.
+        """
+        if self._visiting is None:
+            if isinstance(visiting_probabilities, np.ndarray):
+                self._visiting = visiting_probabilities
+            else:
+                dense = np.zeros(self._kg.num_nodes, dtype=np.float64)
+                if visiting_probabilities:
+                    nodes = np.fromiter(
+                        visiting_probabilities.keys(),
+                        dtype=np.int64,
+                        count=len(visiting_probabilities),
+                    )
+                    dense[nodes] = np.fromiter(
+                        visiting_probabilities.values(),
+                        dtype=np.float64,
+                        count=len(visiting_probabilities),
+                    )
+                self._visiting = dense
+        return self._visiting
 
     def _log_similarities(self, query_predicate: str) -> np.ndarray:
         """Dense log-clamped similarity per predicate id (cached per query).
@@ -121,10 +182,7 @@ class CorrectnessValidator:
         return self._log_row
 
     def _expand(
-        self,
-        node: int,
-        query_predicate: str,
-        visiting_probabilities: Mapping[int, float],
+        self, node: int, query_predicate: str, visiting: np.ndarray
     ) -> tuple[list[tuple[float, int, float]], dict[int, float]]:
         """Cached ``(sorted successor beam, full adjacency log-sims)``."""
         children = self._children.get(node)
@@ -144,14 +202,19 @@ class CorrectnessValidator:
         best = np.full(len(distinct), -np.inf, dtype=np.float64)
         np.maximum.at(best, inverse, log_similarities)
         adjacency = dict(zip(distinct.tolist(), best.tolist()))
-        beam = sorted(
-            (
-                (-visiting_probabilities[neighbour], neighbour, log_similarity)
-                for neighbour, log_similarity in adjacency.items()
-                if neighbour in visiting_probabilities
-            ),
-        )[: self.branch_cap]
+        # Beam: in-scope successors ordered by (probability desc, id asc).
+        # ``distinct`` is ascending, so a stable sort on the negated
+        # probabilities reproduces the legacy tuple-sort order exactly.
+        probabilities = visiting[distinct]
+        kept = np.flatnonzero(probabilities > 0.0)
+        order = kept[np.argsort(-probabilities[kept], kind="stable")]
+        order = order[: self.branch_cap]
+        beam = [
+            (-float(probabilities[index]), int(distinct[index]), float(best[index]))
+            for index in order
+        ]
         self._children[node] = beam
+        self._beam_children[node] = frozenset(child for _, child, _ in beam)
         self._adjacency[node] = adjacency
         return beam, adjacency
 
@@ -161,7 +224,7 @@ class CorrectnessValidator:
         source: int,
         answer: int,
         query_predicate: str,
-        visiting_probabilities: Mapping[int, float],
+        visiting_probabilities: VisitingProbabilities,
         stop_threshold: float | None = None,
     ) -> ValidationOutcome:
         """Find up to ``repeat_factor`` paths ``source -> answer`` greedily.
@@ -169,7 +232,8 @@ class CorrectnessValidator:
         The frontier is a max-heap on the stationary probability of a
         partial path's endpoint — the paper's "select the node with the
         highest visiting probability" policy.  Only nodes with known
-        probability (i.e. inside the sampling scope) are expanded.
+        (positive) probability, i.e. inside the sampling scope, are
+        expanded.
 
         ``stop_threshold`` enables a sound short-circuit for correctness
         validation: the answer similarity is a max over paths, so once a
@@ -177,16 +241,30 @@ class CorrectnessValidator:
         and the remaining repeat-factor paths are skipped.
         """
         self._reset_cache(query_predicate, id(visiting_probabilities))
+        visiting = self._visiting_array(visiting_probabilities)
+        return self._search(source, answer, query_predicate, visiting, stop_threshold)
+
+    def _search(
+        self,
+        source: int,
+        answer: int,
+        query_predicate: str,
+        visiting: np.ndarray,
+        stop_threshold: float | None,
+    ) -> ValidationOutcome:
+        """One best-first search over the (already normalised) context."""
         best_similarity = 0.0
         best_length = 0
         paths_found = 0
         expansions = 0
         tie_breaker = itertools.count()
 
+        source_probability = float(visiting[source]) if source < len(visiting) else 0.0
+        if source_probability <= 0.0:
+            source_probability = 1.0
         # Heap entries: (-probability, tiebreak, node, log_sim, on_path).
         heap: list[tuple[float, int, int, float, tuple[int, ...]]] = [
-            (-visiting_probabilities.get(source, 1.0), next(tie_breaker), source,
-             0.0, (source,))
+            (-source_probability, next(tie_breaker), source, 0.0, (source,))
         ]
         done = False
         while heap and not done and expansions < self.expansion_budget:
@@ -195,9 +273,7 @@ class CorrectnessValidator:
             expansions += 1
             if depth >= self.max_length:
                 continue
-            beam, adjacency = self._expand(
-                node, query_predicate, visiting_probabilities
-            )
+            beam, adjacency = self._expand(node, query_predicate, visiting)
             # Goal shortcut: a direct edge from the expanded node to the
             # answer completes a path right away.
             goal_log = adjacency.get(answer)
@@ -234,18 +310,162 @@ class CorrectnessValidator:
             best_length=best_length,
         )
 
+    def _shared_pops(
+        self, source: int, query_predicate: str, visiting: np.ndarray
+    ) -> list[_TracedPop]:
+        """The answer-independent expansion trace from ``source`` (cached).
+
+        Runs the best-first search once with *no* goal: no goal shortcut,
+        no answer-push skip, no termination — just the budgeted pop
+        sequence with each pop's partial-path state, adjacency and beam
+        children.  Because a per-answer search only deviates from this
+        sequence where its answer appears in a popped node's beam (the one
+        push the real search skips), the trace is a sound shared prefix for
+        every answer: :meth:`_replay` walks it instead of re-running the
+        heap, and falls back to a private search exactly at the first
+        would-be deviation.
+        """
+        cached = self._traces.get(source)
+        if cached is not None:
+            return cached
+        pops: list[_TracedPop] = []
+        tie_breaker = itertools.count()
+        source_probability = float(visiting[source]) if source < len(visiting) else 0.0
+        if source_probability <= 0.0:
+            source_probability = 1.0
+        heap: list[tuple[float, int, int, float, tuple[int, ...]]] = [
+            (-source_probability, next(tie_breaker), source, 0.0, (source,))
+        ]
+        expansions = 0
+        while heap and expansions < self.expansion_budget:
+            _, _, node, log_sum, on_path = heapq.heappop(heap)
+            depth = len(on_path) - 1
+            expansions += 1
+            if depth >= self.max_length:
+                pops.append((node, log_sum, on_path, depth, None, None))
+                continue
+            beam, adjacency = self._expand(node, query_predicate, visiting)
+            pops.append(
+                (node, log_sum, on_path, depth, adjacency, self._beam_children[node])
+            )
+            for priority, child, log_similarity in beam:
+                if child in on_path:
+                    continue
+                heapq.heappush(
+                    heap,
+                    (
+                        priority,
+                        next(tie_breaker),
+                        child,
+                        log_sum + log_similarity,
+                        on_path + (child,),
+                    ),
+                )
+        self._traces[source] = pops
+        return pops
+
+    def _replay(
+        self,
+        pops: list[_TracedPop],
+        answer: int,
+        stop_threshold: float | None,
+    ) -> ValidationOutcome | None:
+        """Replay the shared trace for one answer; None = must search.
+
+        Mirrors :meth:`_search` pop for pop: the goal shortcut fires off
+        the recorded adjacency, termination counts the same expansions.
+        Returns None at the first pop whose beam contains the answer while
+        the search would continue — from there the real heap (which skips
+        answer pushes) diverges from the shared one, so the caller runs the
+        private search instead.  Every returned outcome is exactly what
+        :meth:`validate` would produce.
+        """
+        best_similarity = 0.0
+        best_length = 0
+        paths_found = 0
+        expansions = 0
+        for node, log_sum, on_path, depth, adjacency, beam_children in pops:
+            expansions += 1
+            if adjacency is None:  # depth-capped pop: counted, not expanded
+                continue
+            goal_log = adjacency.get(answer)
+            answer_on_path = answer in on_path
+            if goal_log is not None and not answer_on_path:
+                similarity = math.exp((log_sum + goal_log) / (depth + 1))
+                paths_found += 1
+                if similarity > best_similarity:
+                    best_similarity = similarity
+                    best_length = depth + 1
+                if paths_found >= self.repeat_factor or (
+                    stop_threshold is not None
+                    and best_similarity >= stop_threshold
+                ):
+                    break
+            assert beam_children is not None
+            if answer in beam_children and not answer_on_path:
+                return None
+        return ValidationOutcome(
+            answer=answer,
+            similarity=best_similarity,
+            paths_found=paths_found,
+            expansions=expansions,
+            best_length=best_length,
+        )
+
+    def validate_batch(
+        self,
+        source: int,
+        answers: Iterable[int],
+        query_predicate: str,
+        visiting_probabilities: VisitingProbabilities,
+        stop_threshold: float | None = None,
+    ) -> dict[int, ValidationOutcome]:
+        """Validate every distinct answer of a round in one shared pass.
+
+        The batched entry point of the validation service: the visiting
+        context is densified once, the log-similarity row is materialised
+        once, and — the actual batching — the budgeted best-first pop
+        sequence is recorded once per context (:meth:`_shared_pops`) and
+        *replayed* per answer with plain dict lookups instead of re-running
+        the heap search, falling back to a private search only for answers
+        whose presence would have altered the frontier.  Outcomes are
+        exactly those of calling :meth:`validate` per answer.
+        """
+        self._reset_cache(query_predicate, id(visiting_probabilities))
+        visiting = self._visiting_array(visiting_probabilities)
+        self._log_similarities(query_predicate)
+        pops = self._shared_pops(source, query_predicate, visiting)
+        outcomes: dict[int, ValidationOutcome] = {}
+        for answer in answers:
+            answer = int(answer)
+            if answer in outcomes:
+                continue
+            outcome = self._replay(pops, answer, stop_threshold)
+            if outcome is None:
+                outcome = self._search(
+                    source, answer, query_predicate, visiting, stop_threshold
+                )
+            outcomes[answer] = outcome
+        return outcomes
+
     def validate_many(
         self,
         source: int,
         answers: list[int],
         query_predicate: str,
-        visiting_probabilities: Mapping[int, float],
+        visiting_probabilities: VisitingProbabilities,
+        stop_threshold: float | None = None,
     ) -> dict[int, ValidationOutcome]:
-        """Validate each distinct answer once; results keyed by answer id."""
-        outcomes: dict[int, ValidationOutcome] = {}
-        for answer in answers:
-            if answer not in outcomes:
-                outcomes[answer] = self.validate(
-                    source, answer, query_predicate, visiting_probabilities
-                )
-        return outcomes
+        """Validate each distinct answer once; results keyed by answer id.
+
+        Delegates to :meth:`validate_batch`; ``stop_threshold`` is routed
+        through so the tau short-circuit that :meth:`validate` supports
+        applies to bulk validation too.
+        """
+        return self.validate_batch(
+            source,
+            answers,
+            query_predicate,
+            visiting_probabilities,
+            stop_threshold=stop_threshold,
+        )

@@ -148,6 +148,12 @@ def toy() -> ToyWorld:
     return build_toy_world()
 
 
+@pytest.fixture
+def toy_world_factory():
+    """Builds fresh toy worlds for tests that mutate the KG or its caches."""
+    return build_toy_world
+
+
 @pytest.fixture(scope="session")
 def fast_config() -> EngineConfig:
     """Engine config tuned for quick, deterministic tests."""

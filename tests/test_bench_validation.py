@@ -1,0 +1,59 @@
+"""Tier-1 smoke run of the S2 validation benchmark.
+
+Runs ``benchmarks/bench_perf_validation.py --smoke`` in-process (the script
+verifies seed-vs-batched outcome equality before timing anything) so
+validation-service regressions — broken equivalence or a vanished batching
+speedup — fail the normal test pass without a separate CI system.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_perf_validation.py"
+
+
+def _load_bench_module():
+    specification = importlib.util.spec_from_file_location(
+        "bench_perf_validation", BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(specification)
+    sys.modules[specification.name] = module
+    specification.loader.exec_module(module)
+    return module
+
+
+def test_smoke_bench_runs_fast_and_reports_speedup(tmp_path):
+    bench = _load_bench_module()
+    output = tmp_path / "validation.json"
+    started = time.perf_counter()
+    exit_code = bench.main(["--smoke", "--output", str(output)])
+    elapsed = time.perf_counter() - started
+    assert exit_code == 0
+    assert elapsed < 60.0, f"smoke bench took {elapsed:.1f}s, budget is 60s"
+
+    report = json.loads(output.read_text())
+    assert report["smoke"] is True
+    assert report["equivalent"] is True
+    assert report["workload_answers"] > 0
+    # Smoke asserts only that the batched pass is not slower (machine load
+    # makes tighter wall-clock floors flaky); the checked-in full run
+    # (BENCH_validation.json) documents the acceptance numbers.
+    assert report["validation"]["speedup"] > 1.0
+
+
+def test_checked_in_report_meets_acceptance():
+    report = json.loads((REPO_ROOT / "BENCH_validation.json").read_text())
+    assert report["smoke"] is False
+    assert report["equivalent"] is True
+    assert report["validation"]["speedup"] >= 2.0
+    engine = report["engine"]
+    assert (
+        engine["batched"]["validation_stage_seconds"]
+        < engine["per_answer"]["validation_stage_seconds"]
+    )

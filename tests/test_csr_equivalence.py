@@ -225,11 +225,17 @@ class TestSnapshotInvalidation:
         assert after is not before
         assert after.num_nodes == before.num_nodes + 1
 
-    def test_set_attribute_invalidates(self):
+    def test_set_attribute_preserves_snapshot(self):
+        # Attribute writes bump the attribute counter only: snapshots hold
+        # no attribute data, so the cached object survives by identity.
         kg, _ = random_world(3)
         before = csr_snapshot(kg)
+        structure_before = kg.structure_version
         kg.set_attribute(0, "value", 1.0)
-        assert csr_snapshot(kg) is not before
+        assert kg.structure_version == structure_before
+        assert kg.attribute_version >= 1
+        assert kg.version > structure_before  # total counter still moves
+        assert csr_snapshot(kg) is before
 
     def test_type_bitmask(self):
         kg, _ = random_world(4)
