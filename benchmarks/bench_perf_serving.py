@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""S4 serving benchmark: concurrent batch vs sequential ``engine.execute``.
+
+The serving redesign's pitch is that a *workload* is cheaper than the sum
+of its queries: :class:`AggregateQueryService` interleaves S2/S3 rounds
+across live queries while all of them draw S1 plans from one
+:class:`PlanCache` (each plan built exactly once, enforced by
+``get_or_build``) and share per-plan verdict memos, with pending
+correctness searches batched *across* queries per round.  This bench
+runs an 8-query workload over one yago2-like graph — three aggregates on
+the Spain chain component (whose backwards chain enumeration is the most
+expensive shared artefact), plus simple aggregates on the Spain, England
+and China hubs — three ways:
+
+* **sequential cold** — one ``engine.execute`` per query with nothing
+  shared between requests (plan cache cleared each time): the pre-serving
+  deployment, where each one-shot request lands on a worker that rebuilds
+  plans and revalidates answers from scratch;
+* **sequential warm** — one long-lived engine executing the queries
+  back-to-back, sharing the process-wide plan cache but still strictly
+  serial (no cross-query round batching);
+* **batch** — ``service.submit_batch`` over the same queries and seeds.
+
+All three paths are verified to return identical estimates, draw counts
+and round traces per query before anything is timed, and the batch path
+must build exactly one plan per distinct (component, config) pair.  The
+headline number is ``sequential cold seconds / batch seconds``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_serving.py [--smoke]
+
+``--smoke`` shrinks the dataset and repeat count so the whole script
+finishes in a few seconds; the tier-1 suite runs it on every test pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import (  # noqa: E402
+    AggregateFunction,
+    AggregateQuery,
+    ApproximateAggregateEngine,
+    AggregateQueryService,
+    EngineConfig,
+    QueryGraph,
+)
+from repro.core.plan import shared_plan_cache  # noqa: E402
+from repro.datasets import yago_like  # noqa: E402
+
+#: number of queries in the concurrent batch (the acceptance workload)
+BATCH_SIZE = 8
+
+
+def _workload() -> list[AggregateQuery]:
+    """The 8-query serving workload over the yago2-like graph.
+
+    Three aggregates share the Spain chain component, two the Spain
+    simple component, two England, one China — 4 distinct plans for 8
+    queries, the shape a per-hub analyst dashboard produces.
+    """
+    chain = QueryGraph.chain(
+        "Spain",
+        ["Country"],
+        [("league", ["League"]), ("playerIn", ["SoccerPlayer"])],
+    )
+    spain = QueryGraph.simple("Spain", ["Country"], "bornIn", ["SoccerPlayer"])
+    england = QueryGraph.simple("England", ["Country"], "locatedIn", ["Museum"])
+    china = QueryGraph.simple("China", ["Country"], "country", ["City"])
+    return [
+        AggregateQuery(query=chain, function=AggregateFunction.COUNT),
+        AggregateQuery(query=chain, function=AggregateFunction.AVG, attribute="age"),
+        AggregateQuery(
+            query=chain, function=AggregateFunction.SUM, attribute="transfer_value"
+        ),
+        AggregateQuery(query=spain, function=AggregateFunction.COUNT),
+        AggregateQuery(query=spain, function=AggregateFunction.AVG, attribute="age"),
+        AggregateQuery(query=england, function=AggregateFunction.COUNT),
+        AggregateQuery(
+            query=england, function=AggregateFunction.AVG, attribute="visitors"
+        ),
+        AggregateQuery(query=china, function=AggregateFunction.COUNT),
+    ]
+
+
+def _fingerprint(result) -> tuple:
+    """Everything value-like about a result (timings excluded)."""
+    return (
+        round(result.value, 10),
+        round(result.moe, 10),
+        result.converged,
+        result.total_draws,
+        result.correct_draws,
+        tuple(
+            (t.round_index, t.total_draws, t.correct_draws, t.estimate, t.moe,
+             t.satisfied)
+            for t in result.rounds
+        ),
+    )
+
+
+def run(scale: float, repeats: int, seed: int) -> dict:
+    """Benchmark one configuration and return the report dict."""
+    bundle = yago_like(seed=seed, scale=scale)
+    kg, embedding = bundle.kg, bundle.embedding
+    config = EngineConfig(seed=seed)
+    queries = _workload()
+    seeds = [seed + 11 + position for position in range(len(queries))]
+    distinct_components = len(
+        {component for query in queries for component in query.query.components}
+    )
+
+    def sequential_cold() -> list:
+        results = []
+        for query, query_seed in zip(queries, seeds):
+            shared_plan_cache().clear()
+            engine = ApproximateAggregateEngine(kg, embedding, config)
+            results.append(engine.execute(query, seed=query_seed))
+        return results
+
+    def sequential_warm() -> list:
+        shared_plan_cache().clear()
+        engine = ApproximateAggregateEngine(kg, embedding, config)
+        return [
+            engine.execute(query, seed=query_seed)
+            for query, query_seed in zip(queries, seeds)
+        ]
+
+    def batch() -> tuple[list, int]:
+        shared_plan_cache().clear()
+        with AggregateQueryService(kg, embedding, config) as service:
+            handles = service.submit_batch(list(zip(queries, seeds)))
+            results = [handle.result() for handle in handles]
+            return results, service.planner.build_count
+
+    # -- equivalence + plan-build gate ---------------------------------
+    cold_results = sequential_cold()
+    warm_results = sequential_warm()
+    batch_results, planner_builds = batch()
+    expected = [_fingerprint(result) for result in cold_results]
+    assert [_fingerprint(r) for r in warm_results] == expected, (
+        "sequential warm diverged from sequential cold"
+    )
+    assert [_fingerprint(r) for r in batch_results] == expected, (
+        "batched serving diverged from sequential execution"
+    )
+    assert planner_builds == distinct_components, (
+        f"planner built {planner_builds} plans for "
+        f"{distinct_components} distinct components"
+    )
+
+    # -- timing --------------------------------------------------------
+    def best_seconds(function) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            function()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    cold_seconds = best_seconds(sequential_cold)
+    warm_seconds = best_seconds(sequential_warm)
+    batch_seconds = best_seconds(batch)
+
+    scheduler_ms = sum(
+        result.stage_ms.get("scheduler", 0.0) for result in batch_results
+    )
+    return {
+        "preset": "yago2-like",
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "kg_nodes": kg.num_nodes,
+        "kg_edges": kg.num_edges,
+        "batch_size": len(queries),
+        "distinct_components": distinct_components,
+        "planner_builds_batch": planner_builds,
+        "serving": {
+            "sequential_cold_seconds": cold_seconds,
+            "sequential_warm_seconds": warm_seconds,
+            "batch_seconds": batch_seconds,
+            "speedup_vs_cold": cold_seconds / batch_seconds,
+            "speedup_vs_warm": warm_seconds / batch_seconds,
+            "scheduler_overhead_ms": scheduler_ms,
+        },
+        "equivalent": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale + few repeats; finishes in a few seconds",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_serving.json",
+        help="where to write the JSON report",
+    )
+    arguments = parser.parse_args(argv)
+    scale = arguments.scale if arguments.scale is not None else (1.0 if arguments.smoke else 3.0)
+    repeats = arguments.repeats if arguments.repeats is not None else (1 if arguments.smoke else 5)
+
+    report = run(scale=scale, repeats=repeats, seed=arguments.seed)
+    report["smoke"] = arguments.smoke
+    arguments.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    serving = report["serving"]
+    print(
+        f"8-query batch over one graph ({report['distinct_components']} distinct "
+        f"components, {report['planner_builds_batch']} plans built):"
+    )
+    print(
+        f"  sequential cold: {serving['sequential_cold_seconds'] * 1e3:8.1f} ms"
+    )
+    print(
+        f"  sequential warm: {serving['sequential_warm_seconds'] * 1e3:8.1f} ms"
+    )
+    print(
+        f"  batched service: {serving['batch_seconds'] * 1e3:8.1f} ms  "
+        f"({serving['speedup_vs_cold']:.1f}x vs cold, "
+        f"{serving['speedup_vs_warm']:.1f}x vs warm)"
+    )
+    print(f"[saved to {arguments.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

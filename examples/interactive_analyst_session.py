@@ -7,7 +7,12 @@ and tightens it step by step to 1%.  Each tightening reuses every draw
 collected so far; Eq. 12 sizes only the missing increment, so later steps
 cost tens of milliseconds instead of a fresh execution.
 
-The session ends by *loosening* the bound back to 3%, which is free.
+Refinement is now handle-native: ``service.submit`` returns a
+:class:`QueryHandle` and every ``handle.refine(eb).result()`` runs one
+incremental Theorem-2 pass over the same live sampling state, with
+``handle.progress()`` exposing the anytime trace across all steps.  The
+legacy :class:`InteractiveSession` wrapper (now a thin shim over exactly
+this handle API) is shown once at the end.
 
 Run it with::
 
@@ -16,9 +21,12 @@ Run it with::
 
 from __future__ import annotations
 
+import time
+
 from repro import (
     AggregateFunction,
     AggregateQuery,
+    AggregateQueryService,
     ApproximateAggregateEngine,
     EngineConfig,
     InteractiveSession,
@@ -30,9 +38,6 @@ from repro.datasets import freebase_like
 
 def main() -> None:
     bundle = freebase_like(seed=3)
-    engine = ApproximateAggregateEngine(
-        bundle.kg, bundle.embedding, config=EngineConfig(seed=3)
-    )
     q6 = AggregateQuery(
         query=QueryGraph.simple(
             "Steven_Spielberg", ["Person"], "director", ["Film"]
@@ -44,29 +49,47 @@ def main() -> None:
     print("query:", q6.describe())
     print(f"tau-GT: {truth.value:,.0f}\n")
 
-    session = InteractiveSession(engine, q6, seed=3)
-    print("eb      estimate             MoE             time (ms)  +draws  error")
-    for error_bound in (0.05, 0.04, 0.03, 0.02, 0.01):
-        step = session.refine(error_bound)
-        result = step.result
-        error = result.relative_error(truth.value)
+    with AggregateQueryService(
+        bundle.kg, bundle.embedding, EngineConfig(seed=3)
+    ) as service:
+        # start=False: S1 + the initial draws run, but no rounds — the
+        # analyst decides each bound interactively via refine()
+        handle = service.submit(q6, seed=3, start=False)
+
+        print("eb      estimate             MoE             time (ms)  +draws  error")
+        for error_bound in (0.05, 0.04, 0.03, 0.02, 0.01):
+            draws_before = handle.total_draws
+            started = time.perf_counter()
+            result = handle.refine(error_bound).result()
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            error = result.relative_error(truth.value)
+            print(
+                f"{error_bound:>4.0%}  {result.value:>18,.0f}  {result.moe:>14,.0f}"
+                f"  {elapsed_ms:>9,.1f}  {handle.total_draws - draws_before:>6}"
+                f"  {error:>6.2%}"
+            )
+
+        final = result
         print(
-            f"{error_bound:>4.0%}  {result.value:>18,.0f}  {result.moe:>14,.0f}"
-            f"  {step.incremental_seconds * 1e3:>9,.1f}  {step.additional_draws:>6}"
-            f"  {error:>6.2%}"
+            f"\nanytime trace: {len(handle.progress())} rounds across all "
+            "refinements (one shared sampling state)"
         )
+        print(f"final: {final.describe()}")
+        print(f"relative error vs tau-GT: {final.relative_error(truth.value):.2%}")
 
-    # Loosening is free: the tight CI already satisfies the looser bound.
-    step = session.refine(0.03)
-    print(
-        f"\nloosen back to 3%: {step.incremental_seconds * 1e3:,.1f} ms, "
-        f"{step.additional_draws} additional draws (state is reused)"
+    # --- legacy API, shown once: the InteractiveSession wrapper drives the
+    # same handle machinery and adds the free-loosening bookkeeping
+    engine = ApproximateAggregateEngine(
+        bundle.kg, bundle.embedding, config=EngineConfig(seed=3)
     )
-
-    final = session.current_result
-    assert final is not None
-    print(f"\nfinal: {final.describe()}")
-    print(f"relative error vs tau-GT: {final.relative_error(truth.value):.2%}")
+    session = InteractiveSession(engine, q6, seed=3)
+    session.refine(0.02)
+    step = session.refine(0.03)  # loosening is free: CI already satisfies it
+    print(
+        f"\nlegacy InteractiveSession: loosen 2% -> 3% cost "
+        f"{step.incremental_seconds * 1e3:,.1f} ms and "
+        f"{step.additional_draws} draws (state is reused)"
+    )
 
 
 if __name__ == "__main__":

@@ -6,8 +6,14 @@ ways on the DBpedia-flavoured synthetic knowledge graph:
 
 1. exactly, with the Semantic Similarity Baseline (SSB, Algorithm 1) —
    slow but it defines the tau-relevant ground truth; and
-2. approximately, with the sampling-estimation engine (Algorithm 2) —
-   fast, with a confidence-interval accuracy guarantee.
+2. approximately, through the serving API (Algorithm 2 behind an
+   :class:`AggregateQueryService`): ``submit`` returns a query *handle*
+   immediately, ``result()`` blocks for the guaranteed answer, and
+   ``progress()`` exposes the anytime estimate + CI per round.
+
+The legacy one-shot call — ``engine.execute(query)`` — is shown once at
+the end; it is now a thin synchronous wrapper over the same service and
+returns byte-identical results for a fixed seed.
 
 Run it with::
 
@@ -21,6 +27,7 @@ import time
 from repro import (
     AggregateFunction,
     AggregateQuery,
+    AggregateQueryService,
     ApproximateAggregateEngine,
     EngineConfig,
     QueryGraph,
@@ -50,22 +57,23 @@ def main() -> None:
     print(f"\nSSB (exact, Algorithm 1): {truth.value:,.2f}")
     print(f"  correct answers: {len(truth.answers)}   time: {ssb_seconds * 1e3:,.1f} ms")
 
-    # --- approximate: semantic-aware sampling + estimation (Algorithm 2)
+    # --- approximate: submit to the serving layer, read the result handle
     config = EngineConfig(error_bound=0.01, confidence_level=0.95, seed=7)
-    engine = ApproximateAggregateEngine(bundle.kg, bundle.embedding, config=config)
     started = time.perf_counter()
-    result = engine.execute(query)
-    engine_seconds = time.perf_counter() - started
-    print(f"\nengine (approximate, Algorithm 2): {result.describe()}")
-    print(f"  time: {engine_seconds * 1e3:,.1f} ms")
+    with AggregateQueryService(bundle.kg, bundle.embedding, config) as service:
+        handle = service.submit(query)  # returns immediately
+        result = handle.result()  # blocks until Theorem 2 holds
+        engine_seconds = time.perf_counter() - started
+        print(f"\nservice (approximate, Algorithm 2): {result.describe()}")
+        print(f"  time: {engine_seconds * 1e3:,.1f} ms   status: {handle.status.value}")
 
-    # --- per-round refinement trace, as in the paper's Table IX case study
-    print("\nround  estimate        MoE        satisfied")
-    for trace in result.rounds:
-        print(
-            f"{trace.round_index:>5}  {trace.estimate:>12,.2f}  {trace.moe:>9,.2f}"
-            f"  {trace.satisfied}"
-        )
+        # --- the anytime view: estimate + CI per round, as in Table IX
+        print("\nround  estimate        MoE        satisfied      ms")
+        for trace in handle.progress():
+            print(
+                f"{trace.round_index:>5}  {trace.estimate:>12,.2f}  {trace.moe:>9,.2f}"
+                f"  {trace.satisfied!s:<9} {trace.seconds * 1e3:>7,.1f}"
+            )
 
     error = result.relative_error(truth.value)
     print(f"\nrelative error vs tau-GT: {error:.2%} (bound was 1%)")
@@ -75,6 +83,12 @@ def main() -> None:
         "(at this toy scale SSB can win; benchmarks/bench_scaling_crossover.py"
         " sweeps graph size and shows where sampling takes over)"
     )
+
+    # --- legacy API: the blocking engine call, unchanged and equivalent
+    engine = ApproximateAggregateEngine(bundle.kg, bundle.embedding, config=config)
+    legacy = engine.execute(query)
+    assert legacy.value == result.value  # same seed -> byte-identical
+    print(f"\nlegacy engine.execute (same seed): {legacy.describe()}")
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ Quickstart::
 from repro.core.config import DeltaStrategy, EngineConfig, SamplerKind
 from repro.core.engine import ApproximateAggregateEngine
 from repro.core.result import ApproximateResult, GroupedResult, RoundTrace
+from repro.core.service import AggregateQueryService, QueryHandle, QueryStatus
 from repro.core.session import InteractiveSession
 from repro.embedding import (
     EmbeddingTrainer,
@@ -67,6 +68,9 @@ __all__ = [
     "GroupedResult",
     "RoundTrace",
     "InteractiveSession",
+    "AggregateQueryService",
+    "QueryHandle",
+    "QueryStatus",
     "KnowledgeGraph",
     "AggregateFunction",
     "AggregateQuery",

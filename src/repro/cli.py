@@ -2,8 +2,12 @@
 
 Commands:
 
-* ``query``      — parse an AQL string and run it on a synthetic dataset,
-  printing the approximate result (and optionally the exact tau-GT).
+* ``query``      — parse AQL string(s) and run them on a synthetic dataset,
+  printing the approximate result (and optionally the exact tau-GT);
+  several queries (or ``--batch``) go through the serving layer, which
+  interleaves their rounds over shared plans.
+* ``serve``      — read AQL queries from stdin and serve them concurrently
+  through :class:`AggregateQueryService`, reporting per-round progress.
 * ``datasets``   — list the bundled synthetic datasets with their sizes.
 * ``experiment`` — regenerate one paper table/figure by name (``--list``
   shows all names; ``--plot`` adds an ASCII chart for figures).
@@ -25,6 +29,7 @@ from repro.bench.plots import Series, line_chart
 from repro.core.config import EngineConfig
 from repro.core.engine import ApproximateAggregateEngine
 from repro.core.result import ApproximateResult, GroupedResult
+from repro.core.service import AggregateQueryService
 from repro.errors import ReproError
 from repro.query.parser import parse_query
 
@@ -68,9 +73,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    query = commands.add_parser("query", help="run an AQL aggregate query")
-    query.add_argument("aql", help='e.g. "AVG(price) MATCH (Germany:Country)'
-                       '-[product]->(x:Automobile)"')
+    query = commands.add_parser("query", help="run AQL aggregate queries")
+    query.add_argument("aql", nargs="+",
+                       help='e.g. "AVG(price) MATCH (Germany:Country)'
+                       '-[product]->(x:Automobile)"; several queries are '
+                       "served as one concurrent batch")
     query.add_argument("--dataset", default="dbpedia-like")
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--scale", type=float, default=1.0)
@@ -78,12 +85,31 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--confidence", type=float, default=0.95)
     query.add_argument("--tau", type=float, default=0.85)
     query.add_argument(
+        "--batch",
+        action="store_true",
+        help="route through the serving layer even for a single query",
+    )
+    query.add_argument(
         "--ground-truth",
         action="store_true",
         help="also compute the exact tau-GT via SSB (slow) and the error",
     )
     query.add_argument(
         "--trace", action="store_true", help="print the per-round refinement trace"
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve AQL queries from stdin concurrently (one per line)",
+    )
+    serve.add_argument("--dataset", default="dbpedia-like")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--scale", type=float, default=1.0)
+    serve.add_argument("--error-bound", type=float, default=0.01)
+    serve.add_argument("--confidence", type=float, default=0.95)
+    serve.add_argument("--tau", type=float, default=0.85)
+    serve.add_argument(
+        "--trace", action="store_true", help="print each query's round trace"
     )
 
     commands.add_parser("datasets", help="list the synthetic datasets")
@@ -130,7 +156,8 @@ def _build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 # Commands
 # ---------------------------------------------------------------------------
-def _cmd_query(args: argparse.Namespace) -> int:
+def _load_bundle(args: argparse.Namespace):
+    """The dataset bundle named by ``args``, or None (error printed)."""
     presets = _dataset_registry()
     if args.dataset not in presets:
         print(
@@ -138,18 +165,41 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"{', '.join(sorted(presets))}",
             file=sys.stderr,
         )
-        return 2
-    aggregate_query = parse_query(args.aql)
-    bundle = presets[args.dataset](seed=args.seed, scale=args.scale)
-    config = EngineConfig(
+        return None
+    return presets[args.dataset](seed=args.seed, scale=args.scale)
+
+
+def _query_config(args: argparse.Namespace) -> EngineConfig:
+    return EngineConfig(
         error_bound=args.error_bound,
         confidence_level=args.confidence,
         tau=args.tau,
         seed=args.seed,
     )
-    engine = ApproximateAggregateEngine(bundle.kg, bundle.embedding, config=config)
+
+
+def _print_round_trace(result: ApproximateResult) -> None:
+    print("\nround  estimate        MoE        satisfied   ms")
+    for trace in result.rounds:
+        print(
+            f"{trace.round_index:>5}  {trace.estimate:>12,.2f}"
+            f"  {trace.moe:>9,.2f}  {trace.satisfied!s:<9}"
+            f" {trace.seconds * 1e3:>6,.1f}"
+        )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    bundle = _load_bundle(args)
+    if bundle is None:
+        return 2
+    queries = [parse_query(aql) for aql in args.aql]
+    config = _query_config(args)
     print(f"dataset: {bundle.name} ({bundle.kg.num_nodes:,} nodes, "
           f"{bundle.kg.num_edges:,} edges)")
+    if len(queries) > 1 or args.batch:
+        return _run_query_batch(bundle, config, queries, args)
+    aggregate_query = queries[0]
+    engine = ApproximateAggregateEngine(bundle.kg, bundle.embedding, config=config)
     print(f"query:   {aggregate_query.describe()}")
     started = time.perf_counter()
     result = engine.execute(aggregate_query)
@@ -159,12 +209,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         print(f"result:  {result.describe()}")
         if args.trace:
-            print("\nround  estimate        MoE        satisfied")
-            for trace in result.rounds:
-                print(
-                    f"{trace.round_index:>5}  {trace.estimate:>12,.2f}"
-                    f"  {trace.moe:>9,.2f}  {trace.satisfied}"
-                )
+            _print_round_trace(result)
     print(f"time:    {elapsed_ms:,.1f} ms")
     if args.ground_truth and isinstance(result, ApproximateResult):
         from repro.baselines.ssb import tau_ground_truth
@@ -174,6 +219,75 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"tau-GT:  {truth.value:,.2f}   "
               f"error: {result.relative_error(truth.value):.2%}")
     return 0
+
+
+def _run_query_batch(bundle, config: EngineConfig, queries, args) -> int:
+    """Serve ``queries`` as one concurrent batch and print each result."""
+    started = time.perf_counter()
+    with AggregateQueryService(bundle.kg, bundle.embedding, config) as service:
+        handles = service.submit_batch(queries)
+        exit_code = 0
+        for position, handle in enumerate(handles):
+            label = f"[{position + 1}/{len(handles)}]"
+            print(f"\n{label} {handle.query.describe()}")
+            try:
+                result = handle.result()
+            except ReproError as exc:
+                print(f"{label} error: {exc}", file=sys.stderr)
+                exit_code = 1
+                continue
+            print(f"{label} {result.describe()}")
+            if args.trace and isinstance(result, ApproximateResult):
+                _print_round_trace(result)
+            if args.ground_truth and isinstance(result, ApproximateResult):
+                from repro.baselines.ssb import tau_ground_truth
+
+                truth = tau_ground_truth(
+                    bundle.kg, bundle.space(), handle.query, tau=args.tau
+                )
+                print(f"{label} tau-GT: {truth.value:,.2f}   "
+                      f"error: {result.relative_error(truth.value):.2%}")
+    elapsed_ms = (time.perf_counter() - started) * 1e3
+    print(f"\nbatch time: {elapsed_ms:,.1f} ms ({len(handles)} queries, "
+          "rounds interleaved over shared plans)")
+    return exit_code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Read AQL lines from stdin and serve them through the service."""
+    bundle = _load_bundle(args)
+    if bundle is None:
+        return 2
+    config = _query_config(args)
+    print(f"serving {bundle.name} ({bundle.kg.num_nodes:,} nodes); "
+          "one AQL query per line, blank/# lines ignored", file=sys.stderr)
+    submitted: list[tuple[int, str, object]] = []
+    exit_code = 0
+    with AggregateQueryService(bundle.kg, bundle.embedding, config) as service:
+        for line_number, raw_line in enumerate(sys.stdin, start=1):
+            aql = raw_line.strip()
+            if not aql or aql.startswith("#"):
+                continue
+            try:
+                handle = service.submit(aql)
+            except ReproError as exc:
+                print(f"[line {line_number}] error: {exc}", file=sys.stderr)
+                exit_code = 1
+                continue
+            submitted.append((line_number, aql, handle))
+            print(f"[line {line_number}] accepted: {aql}")
+        for line_number, aql, handle in submitted:
+            try:
+                result = handle.result()
+            except ReproError as exc:
+                print(f"[line {line_number}] error: {exc}", file=sys.stderr)
+                exit_code = 1
+                continue
+            print(f"[line {line_number}] {result.describe()}")
+            if args.trace and isinstance(result, ApproximateResult):
+                _print_round_trace(result)
+    print(f"served {len(submitted)} queries")
+    return exit_code
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:
@@ -342,6 +456,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "query": _cmd_query,
+    "serve": _cmd_serve,
     "datasets": _cmd_datasets,
     "experiment": _cmd_experiment,
     "workload": _cmd_workload,

@@ -13,10 +13,16 @@ Execution of ``AQ_G = (Q, f_a)`` is a pipeline of three layers:
    (verdicts memoised on the plan) and applies the Eq. 7-9 estimators.
 3. **Guarantee (S3)** — BLB confidence interval, Theorem-2 termination and
    Eq. 12 error-based sample growth, looping back into S2.
+4. **Serving (S4)** — :mod:`repro.core.service` schedules many live
+   queries' rounds cooperatively over shared plans; handles expose
+   progressive results, refinement and cancellation.
 
 :class:`ApproximateAggregateEngine` is the thin facade wiring a planner and
-an executor together behind the unchanged public API: draws live as index
-arrays into the answer distribution's support, validation happens once per
+an executor together behind the unchanged public API: :meth:`execute` is a
+blocking submit-and-wait over the engine's
+:class:`~repro.core.service.AggregateQueryService`, byte-identical for a
+fixed seed to driving the executor directly.  Draws live as index arrays
+into the answer distribution's support, validation happens once per
 support entry, and every per-draw quantity is a numpy fancy-index.
 """
 
@@ -70,6 +76,7 @@ class ApproximateAggregateEngine:
         self.config = config or EngineConfig()
         self._planner = QueryPlanner(kg, self._space, self.config)
         self._executor = QueryExecutor(kg, self._space, self.config, self._planner)
+        self._service: "AggregateQueryService | None" = None
 
     @property
     def kg(self) -> KnowledgeGraph:
@@ -96,6 +103,26 @@ class ApproximateAggregateEngine:
         """The engine-local plan view (legacy name kept for callers)."""
         return self._planner.plans
 
+    @property
+    def service(self) -> "AggregateQueryService":
+        """The engine's serving layer (S4), created on first use.
+
+        Shares the engine's planner and executor, so handles submitted
+        here and blocking :meth:`execute` calls draw from the same plans
+        and verdict memos.
+        """
+        if self._service is None:
+            from repro.core.service import AggregateQueryService
+
+            self._service = AggregateQueryService(
+                self._kg,
+                self._space,
+                self.config,
+                planner=self._planner,
+                executor=self._executor,
+            )
+        return self._service
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -111,19 +138,14 @@ class ApproximateAggregateEngine:
         this execution only.
         """
         aggregate_query = self._coerce_query(aggregate_query)
-        state = self._executor.initialise(aggregate_query, seed)
-        if aggregate_query.group_by is not None:
-            return self._executor.run_grouped(state, self.config.error_bound)
-        if not aggregate_query.function.has_guarantee:
-            return self._executor.run_extreme(state)
-        return self._executor.run_rounds(state, self.config.error_bound)
+        return self.service.submit(aggregate_query, seed=seed).result()
 
     def estimate_once(
         self, aggregate_query: AggregateQuery | str, *, seed: int | None = None
     ) -> ApproximateResult:
         """One sampling-estimation round without refinement (diagnostics)."""
-        state = self._executor.initialise(self._coerce_query(aggregate_query), seed)
-        return self._executor.run_rounds(state, self.config.error_bound, max_rounds=1)
+        aggregate_query = self._coerce_query(aggregate_query)
+        return self.service.submit(aggregate_query, seed=seed, max_rounds=1).result()
 
     def answer_similarity(self, state_or_components, node_id: int) -> float:
         """Composite answer similarity: minimum across components."""

@@ -22,6 +22,7 @@ stage bucket (the paper's Table XII folds it into S2).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,6 +48,9 @@ STAGE_SAMPLING = "sampling"
 STAGE_VALIDATION = "validation"
 STAGE_ESTIMATION = "estimation"
 STAGE_GUARANTEE = "guarantee"
+#: serving overhead (queue management, cohort selection, cross-query
+#: batching bookkeeping) attributed by the AggregateQueryService scheduler
+STAGE_SCHEDULER = "scheduler"
 
 
 @dataclass
@@ -82,6 +86,21 @@ class _QueryState:
         if not self.little_samples:
             return np.empty(0, dtype=np.int64)
         return np.unique(np.concatenate(self.little_samples))
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """One S2/S3 round's verdict: the trace plus the loop-control flags.
+
+    ``satisfied`` means Theorem 2 held this round (the run converged);
+    ``exhausted`` means the sample hit ``max_sample_size`` and further
+    growth is pointless.  Drivers — :meth:`QueryExecutor.run_rounds` and
+    the serving scheduler — stop on either flag or on their round budget.
+    """
+
+    trace: RoundTrace
+    satisfied: bool
+    exhausted: bool
 
 
 class QueryExecutor:
@@ -330,6 +349,58 @@ class QueryExecutor:
                 for node_id in missing:
                     self._component_similarity(plan, node_id)
 
+    @staticmethod
+    def _screen_entry(aggregate_query: AggregateQuery, node) -> tuple[bool, float]:
+        """Cheap attribute/filter screen: ``(passes, attribute value)``.
+
+        A NaN attribute counts as missing: one NaN draw would poison every
+        estimator sum and the Eq.-12 sizing arithmetic.
+        """
+        if aggregate_query.function.needs_attribute:
+            attribute_value = node.attribute(aggregate_query.attribute or "")
+            if attribute_value is None or math.isnan(attribute_value):
+                return False, 0.0
+            value = float(attribute_value)
+        else:
+            value = 1.0
+        if not aggregate_query.passes_filters(node):
+            return False, value
+        return True, value
+
+    def pending_validation_nodes(self, state: _QueryState) -> list[int]:
+        """Node ids the next validation pass will run correctness searches on.
+
+        Read-only preview of :meth:`_validate_entries`' deferred list: the
+        drawn-but-unverdicted support entries that survive the cheap
+        attribute/filter screen.  The serving scheduler unions these across
+        every live query sharing a plan and pre-warms the plan's verdict
+        memo with one cross-query ``validate_batch`` pass.
+        """
+        if not self.config.validate_correctness:
+            return []
+        aggregate_query = state.aggregate_query
+        drawn = state.distinct_support_indices()
+        pending = drawn[~state.support_known[drawn]]
+        nodes: list[int] = []
+        for raw_index in pending:
+            node_id = int(state.joint.answers[int(raw_index)])
+            if self._screen_entry(aggregate_query, self._kg.node(node_id))[0]:
+                nodes.append(node_id)
+        return nodes
+
+    def prewarm_similarities(
+        self, components: list[QueryPlan], node_ids: list[int]
+    ) -> None:
+        """Fill the components' verdict memos for ``node_ids`` in bulk.
+
+        The cross-query batching entry point: validation outcomes are
+        deterministic per answer regardless of batch composition, so
+        pre-warming a shared plan's memo with the union of several queries'
+        pending answers leaves every query's results byte-identical while
+        collapsing their validation into one pass.
+        """
+        self._batch_similarities(components, node_ids)
+
     def _validate_entries(self, state: _QueryState, pending: np.ndarray) -> None:
         """Fill verdicts and values for ``pending`` support entries.
 
@@ -346,20 +417,7 @@ class QueryExecutor:
             node_id = int(state.joint.answers[index])
             node = self._kg.node(node_id)
 
-            correct = True
-            value = 0.0
-            if aggregate_query.function.needs_attribute:
-                attribute_value = node.attribute(aggregate_query.attribute or "")
-                # NaN counts as missing: one NaN draw would poison every
-                # estimator sum and the Eq.-12 sizing arithmetic.
-                if attribute_value is None or math.isnan(attribute_value):
-                    correct = False
-                else:
-                    value = float(attribute_value)
-            else:
-                value = 1.0
-            if correct and not aggregate_query.passes_filters(node):
-                correct = False
+            correct, value = self._screen_entry(aggregate_query, node)
             if correct and config.validate_correctness:
                 deferred.append((index, node_id, value))
                 continue
@@ -404,8 +462,100 @@ class QueryExecutor:
         return littles, EstimationSample.concatenate(littles)
 
     # ------------------------------------------------------------------
-    # Main loop (S2 + S3)
+    # Main loop (S2 + S3), one round at a time
     # ------------------------------------------------------------------
+    def grow(
+        self, state: _QueryState, grow_from: RoundTrace, error_bound: float
+    ) -> None:
+        """Alg. 2 lines 11-13: enlarge S_A after a failed Theorem-2 check.
+
+        Exposed separately from :meth:`step` so the serving scheduler can
+        grow every cohort member first and then batch the cohort's
+        validation across queries; ``step(grow_from=...)`` fuses the two
+        for single-query drivers.  Both paths run the identical
+        ``_grow_sample`` call, so results cannot diverge.
+        """
+        self._grow_sample(state, grow_from.estimate, grow_from.moe, error_bound)
+
+    def step(
+        self,
+        state: _QueryState,
+        error_bound: float,
+        *,
+        grow_from: RoundTrace | None = None,
+        carried_seconds: float = 0.0,
+    ) -> StepOutcome:
+        """Run exactly one S2/S3 round and append its trace.
+
+        ``grow_from`` carries the previous round's estimate and MoE into
+        the Eq.-12 growth step (Alg. 2, lines 11-13); pass ``None`` on the
+        first round of a run, where the freshly drawn (or carried-over)
+        sample is estimated as-is.  A caller that already grew the sample
+        itself (via :meth:`grow`) passes the growth's wall-clock as
+        ``carried_seconds`` so the round trace still reports the full
+        round.  The incremental API exists so the serving scheduler can
+        interleave rounds of many live queries; a :meth:`run_rounds` call
+        is exactly a ``step`` loop, so stepping is byte-identical to the
+        one-shot path for a fixed seed.
+        """
+        config = self.config
+        function = state.aggregate_query.function
+        step_started = time.perf_counter() - carried_seconds
+        round_index = len(state.rounds) + 1
+        if grow_from is not None:
+            # Theorem 2 failed last round: enlarge S_A first (Alg. 2,
+            # lines 11-13), then re-estimate on the grown sample.
+            self._grow_sample(state, grow_from.estimate, grow_from.moe, error_bound)
+        self._ensure_validated(state)
+        with state.timers.measure(STAGE_ESTIMATION):
+            littles, combined = self._estimation_samples(state)
+            if combined.correct_draws > 0:
+                point_estimate = estimate(function, combined, config.normalization)
+            else:
+                point_estimate = 0.0
+
+        with state.timers.measure(STAGE_GUARANTEE):
+            if combined.correct_draws > 0:
+                try:
+                    interval = blb_confidence_interval(
+                        littles,
+                        function,
+                        config.normalization,
+                        estimate=point_estimate,
+                        confidence_level=config.confidence_level,
+                        config=config.blb,
+                        seed=derive_seed(config.seed, "blb", round_index),
+                    )
+                    moe = interval.moe
+                except EstimationError:
+                    moe = float("inf")
+            else:
+                moe = float("inf")
+            guard_ok = (
+                round_index >= config.min_rounds
+                and combined.correct_draws >= config.min_correct_for_termination
+            )
+            satisfied = (
+                combined.correct_draws > 0
+                and guard_ok
+                and satisfies_error_bound(moe, point_estimate, error_bound)
+            )
+            trace = RoundTrace(
+                round_index=round_index,
+                total_draws=state.total_draws,
+                correct_draws=combined.correct_draws,
+                estimate=point_estimate,
+                moe=moe,
+                satisfied=satisfied,
+                seconds=time.perf_counter() - step_started,
+            )
+            state.rounds.append(trace)
+        return StepOutcome(
+            trace=trace,
+            satisfied=satisfied,
+            exhausted=state.total_draws >= config.max_sample_size,
+        )
+
     def run_rounds(
         self,
         state: _QueryState,
@@ -413,69 +563,32 @@ class QueryExecutor:
         *,
         max_rounds: int | None = None,
     ) -> ApproximateResult:
-        config = self.config
-        budget = config.max_rounds if max_rounds is None else max_rounds
-        function = state.aggregate_query.function
+        budget = self.config.max_rounds if max_rounds is None else max_rounds
         converged = False
-        point_estimate = 0.0
-        moe = float("inf")
-
+        last: RoundTrace | None = None
         for loop_index in range(budget):
-            round_index = len(state.rounds) + 1
-            if loop_index > 0:
-                # Theorem 2 failed last round: enlarge S_A first (Alg. 2,
-                # lines 11-13), then re-estimate on the grown sample.
-                self._grow_sample(state, point_estimate, moe, error_bound)
-            self._ensure_validated(state)
-            with state.timers.measure(STAGE_ESTIMATION):
-                littles, combined = self._estimation_samples(state)
-                if combined.correct_draws > 0:
-                    point_estimate = estimate(function, combined, config.normalization)
-                else:
-                    point_estimate = 0.0
+            outcome = self.step(
+                state,
+                error_bound,
+                grow_from=last if loop_index > 0 else None,
+            )
+            last = outcome.trace
+            if outcome.satisfied:
+                converged = True
+                break
+            if outcome.exhausted:
+                break
+        return self.finalise(state, last, converged)
 
-            with state.timers.measure(STAGE_GUARANTEE):
-                if combined.correct_draws > 0:
-                    try:
-                        interval = blb_confidence_interval(
-                            littles,
-                            function,
-                            config.normalization,
-                            estimate=point_estimate,
-                            confidence_level=config.confidence_level,
-                            config=config.blb,
-                            seed=derive_seed(config.seed, "blb", round_index),
-                        )
-                        moe = interval.moe
-                    except EstimationError:
-                        moe = float("inf")
-                else:
-                    moe = float("inf")
-                guard_ok = (
-                    round_index >= config.min_rounds
-                    and combined.correct_draws >= config.min_correct_for_termination
-                )
-                satisfied = (
-                    combined.correct_draws > 0
-                    and guard_ok
-                    and satisfies_error_bound(moe, point_estimate, error_bound)
-                )
-                state.rounds.append(
-                    RoundTrace(
-                        round_index=round_index,
-                        total_draws=state.total_draws,
-                        correct_draws=combined.correct_draws,
-                        estimate=point_estimate,
-                        moe=moe,
-                        satisfied=satisfied,
-                    )
-                )
-                if satisfied:
-                    converged = True
-                    break
-                if state.total_draws >= config.max_sample_size:
-                    break
-
+    def finalise(
+        self,
+        state: _QueryState,
+        last: RoundTrace | None,
+        converged: bool,
+    ) -> ApproximateResult:
+        """Package the current state into a result after a run of steps."""
+        point_estimate = last.estimate if last is not None else 0.0
+        moe = last.moe if last is not None else float("inf")
         return self._finalise(state, point_estimate, moe, converged)
 
     def _grow_sample(

@@ -118,6 +118,8 @@ class _GraphEntry:
 
     structure_version: int
     plans: dict[PlanKey, QueryPlan] = field(default_factory=dict)
+    #: keys currently being built by some thread (see ``get_or_build``)
+    building: dict[PlanKey, threading.Event] = field(default_factory=dict)
 
 
 #: default per-graph plan bound; a plan's dominant payload is its dense
@@ -200,6 +202,55 @@ class PlanCache:
                     continue
                 del entry.plans[oldest]
             return canonical
+
+    def get_or_build(
+        self,
+        kg: KnowledgeGraph,
+        key: PlanKey,
+        builder,
+    ) -> QueryPlan:
+        """The plan for ``key``, building it at most once across threads.
+
+        The naive lookup/build/store dance lets N concurrent engines race
+        to run S1 N times for the same key; here the first thread to miss
+        claims the key (a per-key event under the cache lock), builds
+        outside the lock, and publishes through :meth:`store` —
+        first-writer-wins is preserved.  Concurrent callers wait on the
+        event and adopt the published plan; if the builder raised (the
+        event is set with nothing published), one waiter becomes the next
+        builder.  A structural mutation during a build keeps the stale
+        plan private, exactly like the plain ``store`` path.
+        """
+        while True:
+            with self._lock:
+                entry = self._entry(kg)
+                plan = entry.plans.get(key)
+                if plan is not None:
+                    entry.plans[key] = entry.plans.pop(key)  # LRU touch
+                    return plan
+                event = entry.building.get(key)
+                if event is None:
+                    event = threading.Event()
+                    entry.building[key] = event
+                    structure_version = entry.structure_version
+                    claimed = True
+                else:
+                    claimed = False
+            if claimed:
+                try:
+                    # publish BEFORE releasing the waiters: a waiter woken
+                    # by the event must find the plan already stored, or
+                    # it would claim the key and run S1 a second time
+                    return self.store(kg, key, builder(), structure_version)
+                finally:
+                    with self._lock:
+                        current = self._entries.get(kg)
+                        if current is not None and current.building.get(key) is event:
+                            del current.building[key]
+                    event.set()
+            event.wait()
+            # loop: either the plan is published now, or the builder died
+            # (or the structure moved) and this thread claims the build
 
     def num_plans(self, kg: KnowledgeGraph) -> int:
         """Number of live cached plans for ``kg``'s current structure."""

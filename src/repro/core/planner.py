@@ -54,6 +54,10 @@ class QueryPlanner:
         #: graph's structure moves so stale plans never survive a mutation
         self.plans: dict[PathQuery, QueryPlan] = {}
         self._planned_structure_version = kg.structure_version
+        #: S1 builds actually executed by this planner (cache misses); the
+        #: serving benchmark asserts one build per shared (component,
+        #: config) plan across a whole concurrent batch
+        self.build_count = 0
 
     @property
     def cache(self) -> PlanCache:
@@ -70,14 +74,20 @@ class QueryPlanner:
         if local is not None:
             return local
         key = plan_key(component, self._space, self.config)
-        plan = self._cache.lookup(self._kg, key)
-        if plan is None:
-            plan = self._build(component)
-            # the version captured before building gates publication: a
-            # structural mutation during the build keeps the plan private
-            plan = self._cache.store(self._kg, key, plan, structure_version)
+        # get-or-build coordinates across threads: concurrent planners
+        # (serving scheduler, engines on other threads) run S1 for a key at
+        # most once; everyone else adopts the published plan.  The version
+        # captured before building gates publication: a structural mutation
+        # during the build keeps the plan private.
+        plan = self._cache.get_or_build(
+            self._kg, key, lambda: self._counted_build(component)
+        )
         self.plans[component] = plan
         return plan
+
+    def _counted_build(self, component: PathQuery) -> QueryPlan:
+        self.build_count += 1
+        return self._build(component)
 
     # ------------------------------------------------------------------
     # Plan construction (S1)

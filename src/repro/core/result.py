@@ -19,6 +19,9 @@ class RoundTrace:
     estimate: float
     moe: float
     satisfied: bool
+    #: wall-clock seconds this round took (growth + validation + estimation
+    #: + guarantee); lets serving clients attribute latency per round
+    seconds: float = 0.0
 
     def relative_error(self, ground_truth: float) -> float:
         """|V_hat - V| / V; infinite when the truth is zero but V_hat isn't."""

@@ -1,0 +1,707 @@
+"""The serving layer (S4): an async, batch-first aggregate-query API.
+
+The paper's headline is *online aggregation* — anytime estimates whose
+confidence intervals tighten round by round — but a one-shot blocking
+``execute`` can only surface that to one caller at a time.
+:class:`AggregateQueryService` redesigns the public API around **query
+handles**: :meth:`~AggregateQueryService.submit` returns a
+:class:`QueryHandle` immediately, a cooperative scheduler interleaves
+S2/S3 *rounds* across every live query, and the handle exposes the
+anytime state (:meth:`~QueryHandle.progress`), the final result
+(:meth:`~QueryHandle.result`), interactive tightening
+(:meth:`~QueryHandle.refine`) and :meth:`~QueryHandle.cancel`.
+
+What makes a *batch* cheaper than a loop over ``execute``:
+
+* **Shared plans** — all queries draw S1 plans from the process-wide
+  :class:`~repro.core.plan.PlanCache` through one planner, and
+  :meth:`PlanCache.get_or_build` guarantees each (component, config) plan
+  is built exactly once no matter how many queries need it concurrently.
+* **Cross-query validation batching** — before stepping a cohort, the
+  scheduler unions the pending correctness searches of every query
+  sharing a plan and pre-warms the plan's verdict memo with one
+  ``validate_batch`` pass (:meth:`QueryExecutor.prewarm_similarities`).
+  Outcomes are deterministic per answer, so results stay byte-identical
+  to sequential execution.
+* **Round interleaving** — the scheduler is round-robin with
+  budget-aware priority (queries with the fewest completed rounds step
+  first), so a batch of queries makes even progress and early
+  convergers free their slot immediately.
+
+Everything mutable about one query lives in its
+:class:`~repro.core.executor._QueryState`; the scheduler thread is the
+only thread that touches a state after initialisation, so the service
+needs no per-state locking.  ``ApproximateAggregateEngine.execute`` and
+:class:`InteractiveSession` are thin synchronous wrappers over this
+service.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.config import EngineConfig
+from repro.core.executor import (
+    STAGE_SCHEDULER,
+    STAGE_VALIDATION,
+    QueryExecutor,
+    _QueryState,
+)
+from repro.core.plan import QueryPlan
+from repro.core.planner import QueryPlanner
+from repro.core.result import ApproximateResult, GroupedResult, RoundTrace
+from repro.embedding.base import PredicateEmbedding
+from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.errors import (
+    QueryCancelledError,
+    ResultTimeoutError,
+    ServiceError,
+)
+from repro.kg.graph import KnowledgeGraph
+from repro.query.aggregate import AggregateQuery
+from repro.utils.timing import Timer
+
+__all__ = ["AggregateQueryService", "QueryHandle", "QueryStatus"]
+
+
+class QueryStatus(enum.Enum):
+    """Lifecycle of a submitted query."""
+
+    PENDING = "pending"  # submitted, S1 not run yet
+    READY = "ready"  # initialised, waiting for a run (deferred handles)
+    RUNNING = "running"  # a run is active or queued
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """True once no further scheduler work can change the status."""
+        return self in _TERMINAL
+
+
+_TERMINAL = frozenset(
+    {QueryStatus.SUCCEEDED, QueryStatus.FAILED, QueryStatus.CANCELLED}
+)
+
+#: how a record's result is produced
+_KIND_ROUNDS = "rounds"  # guaranteed aggregates: interleavable step loop
+_KIND_GROUPED = "grouped"  # GROUP-BY: one atomic run_grouped slot
+_KIND_EXTREME = "extreme"  # MAX/MIN: one atomic run_extreme slot
+
+
+@dataclass
+class _Run:
+    """One Theorem-2 run over a record's state (execute or refine)."""
+
+    error_bound: float
+    max_rounds: int | None = None
+    steps_taken: int = 0
+    last: RoundTrace | None = None
+
+
+@dataclass(eq=False)  # identity semantics: records live in the scheduler list
+class _QueryRecord:
+    """Everything the scheduler tracks about one submitted query."""
+
+    sequence: int
+    aggregate_query: AggregateQuery
+    seed: int | None
+    executor: QueryExecutor
+    kind: str
+    status: QueryStatus = QueryStatus.PENDING
+    state: _QueryState | None = None
+    queued_runs: deque[_Run] = field(default_factory=deque)
+    active_run: _Run | None = None
+    result: ApproximateResult | GroupedResult | None = None
+    exception: BaseException | None = None
+    cancel_requested: bool = False
+
+
+class QueryHandle:
+    """A live reference to one submitted query.
+
+    Handles are cheap views over the service's record: every method is
+    safe to call from any thread, and a handle stays valid after its
+    query finishes (``result()`` keeps returning the stored result).
+    """
+
+    def __init__(self, service: "AggregateQueryService", record: _QueryRecord):
+        self._service = service
+        self._record = record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryHandle(#{self._record.sequence}, "
+            f"{self._record.status.value})"
+        )
+
+    @property
+    def query(self) -> AggregateQuery:
+        """The aggregate query behind this handle."""
+        return self._record.aggregate_query
+
+    @property
+    def status(self) -> QueryStatus:
+        """The query's current lifecycle status."""
+        return self._record.status
+
+    @property
+    def total_draws(self) -> int:
+        """Draws collected so far (0 before initialisation)."""
+        state = self._record.state
+        return state.total_draws if state is not None else 0
+
+    def progress(self) -> tuple[RoundTrace, ...]:
+        """The anytime trace: one estimate + CI per completed round.
+
+        Each :class:`RoundTrace` carries the round's point estimate, MoE
+        (CI half-width), draw counts, Theorem-2 verdict and wall-clock
+        seconds — the online-aggregation view of a running query.  Empty
+        before the first round completes.
+        """
+        state = self._record.state
+        return tuple(state.rounds) if state is not None else ()
+
+    def result(
+        self, timeout: float | None = None
+    ) -> ApproximateResult | GroupedResult:
+        """Block until every queued run finished and return the result.
+
+        Raises :class:`ResultTimeoutError` when ``timeout`` (seconds)
+        expires first, :class:`QueryCancelledError` for cancelled queries,
+        and re-raises the original error for failed ones.  A deferred
+        handle (``start=False``) with no run ever queued raises
+        :class:`ServiceError` instead of blocking forever.
+        """
+        record = self._record
+
+        def _settled() -> bool:
+            if record.status in _TERMINAL:
+                return True
+            # deferred and idle: no scheduler work will ever finish this
+            return (
+                record.active_run is None
+                and not record.queued_runs
+                and record.status
+                in (QueryStatus.PENDING, QueryStatus.READY)
+            )
+
+        with self._service._condition:
+            finished = self._service._condition.wait_for(_settled, timeout)
+            if finished and record.status not in _TERMINAL:
+                raise ServiceError(
+                    f"query #{record.sequence} has no run queued; call "
+                    "refine(error_bound) to start one"
+                )
+        if not finished:
+            raise ResultTimeoutError(
+                f"query #{record.sequence} produced no result within "
+                f"{timeout:.3f}s (status: {record.status.value})"
+            )
+        if record.status is QueryStatus.CANCELLED:
+            raise QueryCancelledError(
+                f"query #{record.sequence} was cancelled"
+            )
+        if record.status is QueryStatus.FAILED:
+            assert record.exception is not None
+            raise record.exception
+        assert record.result is not None
+        return record.result
+
+    def refine(self, error_bound: float) -> "QueryHandle":
+        """Queue another Theorem-2 run against ``error_bound``.
+
+        All draws and verdicts collected so far are reused — tightening
+        the bound only costs the incremental sampling Eq. 12 asks for,
+        exactly the paper's interactive-refinement behaviour.  Returns
+        ``self`` so ``handle.refine(0.01).result()`` reads naturally.
+        """
+        return self._service._queue_run(self._record, error_bound, None)
+
+    def cancel(self) -> bool:
+        """Request cancellation; True unless the query already finished.
+
+        Pending/deferred queries are cancelled immediately; a running
+        query stops cooperatively at its next round boundary (its partial
+        progress stays readable via :meth:`progress`).
+        """
+        return self._service._cancel(self._record)
+
+
+class AggregateQueryService:
+    """Async, batch-first serving facade over the plan/execute split.
+
+    One service owns one scheduler thread; :meth:`submit` and
+    :meth:`submit_batch` enqueue queries from any thread and return
+    handles immediately.  Construct with ``autostart=False`` to hold all
+    submissions until :meth:`start` — useful for assembling a batch (or
+    testing pending-state semantics) before any work begins.
+    """
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        embedding: PredicateEmbedding | PredicateVectorSpace,
+        config: EngineConfig | None = None,
+        *,
+        planner: QueryPlanner | None = None,
+        executor: QueryExecutor | None = None,
+        autostart: bool = True,
+    ) -> None:
+        self._kg = kg
+        self._space = (
+            embedding
+            if isinstance(embedding, PredicateVectorSpace)
+            else PredicateVectorSpace(embedding)
+        )
+        self.config = config or EngineConfig()
+        self._planner = (
+            planner
+            if planner is not None
+            else QueryPlanner(kg, self._space, self.config)
+        )
+        self._executor = (
+            executor
+            if executor is not None
+            else QueryExecutor(kg, self._space, self.config, self._planner)
+        )
+        self._condition = threading.Condition()
+        self._records: list[_QueryRecord] = []
+        self._sequence = 0
+        self._thread: threading.Thread | None = None
+        self._autostart = autostart
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def planner(self) -> QueryPlanner:
+        """The planning layer every submitted query draws plans from."""
+        return self._planner
+
+    def submit(
+        self,
+        aggregate_query: AggregateQuery | str,
+        *,
+        error_bound: float | None = None,
+        confidence: float | None = None,
+        seed: int | None = None,
+        max_rounds: int | None = None,
+        start: bool = True,
+    ) -> QueryHandle:
+        """Register a query and return its handle immediately.
+
+        ``error_bound`` / ``confidence`` default to the service config;
+        ``seed`` overrides the config seed for this query only.  With
+        ``start=False`` the query is initialised (S1 + initial sample)
+        but no rounds run until :meth:`QueryHandle.refine` — the hook
+        interactive sessions hang off.
+        """
+        aggregate_query = self._coerce(aggregate_query)
+        executor = self._executor_for(confidence)
+        if aggregate_query.group_by is not None:
+            kind = _KIND_GROUPED
+        elif not aggregate_query.function.has_guarantee:
+            kind = _KIND_EXTREME
+        else:
+            kind = _KIND_ROUNDS
+        with self._condition:
+            if self._shutdown:
+                raise ServiceError("the query service has been closed")
+            record = _QueryRecord(
+                sequence=self._sequence,
+                aggregate_query=aggregate_query,
+                seed=seed,
+                executor=executor,
+                kind=kind,
+            )
+            self._sequence += 1
+            self._records.append(record)
+            if start:
+                record.queued_runs.append(
+                    _Run(
+                        error_bound=(
+                            self.config.error_bound
+                            if error_bound is None
+                            else error_bound
+                        ),
+                        max_rounds=max_rounds,
+                    )
+                )
+            self._condition.notify_all()
+        self._ensure_scheduler()
+        return QueryHandle(self, record)
+
+    def submit_batch(
+        self,
+        queries,
+        *,
+        error_bound: float | None = None,
+        confidence: float | None = None,
+        seed: int | None = None,
+    ) -> list[QueryHandle]:
+        """Submit several queries at once; the scheduler interleaves them.
+
+        ``queries`` is an iterable of :class:`AggregateQuery` (or AQL
+        strings, or ``(query, seed)`` pairs to give each its own seed).
+        """
+        handles = []
+        for entry in queries:
+            query, query_seed = (
+                entry if isinstance(entry, tuple) else (entry, seed)
+            )
+            handles.append(
+                self.submit(
+                    query,
+                    error_bound=error_bound,
+                    confidence=confidence,
+                    seed=query_seed,
+                )
+            )
+        return handles
+
+    def start(self) -> None:
+        """Release a service constructed with ``autostart=False``."""
+        self._autostart = True
+        self._ensure_scheduler()
+
+    def close(self) -> None:
+        """Stop the scheduler; unfinished queries are cancelled."""
+        with self._condition:
+            self._shutdown = True
+            for record in self._records:
+                if record.status not in _TERMINAL:
+                    self._finish_cancelled_locked(record)
+            self._condition.notify_all()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "AggregateQueryService":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals shared with handles
+    # ------------------------------------------------------------------
+    def _coerce(self, aggregate_query: AggregateQuery | str) -> AggregateQuery:
+        if isinstance(aggregate_query, str):
+            from repro.query.parser import parse_query
+
+            return parse_query(aggregate_query)
+        return aggregate_query
+
+    def _executor_for(self, confidence: float | None) -> QueryExecutor:
+        """The default executor, or one with a per-query confidence level.
+
+        Confidence only affects the BLB interval (S3), never S1, so the
+        override executor still shares the service's planner — and with
+        it every cached plan and verdict memo.
+        """
+        if confidence is None or confidence == self.config.confidence_level:
+            return self._executor
+        return QueryExecutor(
+            self._kg,
+            self._space,
+            self.config.with_(confidence_level=confidence),
+            self._planner,
+        )
+
+    def _queue_run(
+        self,
+        record: _QueryRecord,
+        error_bound: float,
+        max_rounds: int | None,
+    ) -> QueryHandle:
+        if record.kind is not _KIND_ROUNDS:
+            raise ServiceError(
+                "refine() needs a guaranteed ungrouped aggregate "
+                "(COUNT, SUM or AVG without GROUP BY)"
+            )
+        with self._condition:
+            if self._shutdown:
+                raise ServiceError("the query service has been closed")
+            if record.status in (QueryStatus.FAILED, QueryStatus.CANCELLED):
+                raise ServiceError(
+                    f"cannot refine a {record.status.value} query"
+                )
+            record.queued_runs.append(
+                _Run(error_bound=error_bound, max_rounds=max_rounds)
+            )
+            if record.status is QueryStatus.SUCCEEDED:
+                record.status = QueryStatus.RUNNING
+            if record not in self._records:
+                # the scheduler pruned this record after it finished;
+                # refining resurrects it into the live set
+                self._records.append(record)
+            self._condition.notify_all()
+        self._ensure_scheduler()
+        return QueryHandle(self, record)
+
+    def _cancel(self, record: _QueryRecord) -> bool:
+        with self._condition:
+            if record.status in _TERMINAL:
+                return False
+            record.cancel_requested = True
+            if record.active_run is None and record.status in (
+                QueryStatus.PENDING,
+                QueryStatus.READY,
+            ):
+                # nothing is mid-flight: cancel right here, no scheduler
+                # round-trip (works even on a not-yet-started service)
+                self._finish_cancelled_locked(record)
+            self._condition.notify_all()
+        return True
+
+    def _finish_cancelled_locked(self, record: _QueryRecord) -> None:
+        record.cancel_requested = True
+        record.queued_runs.clear()
+        record.active_run = None
+        record.status = QueryStatus.CANCELLED
+        self._condition.notify_all()
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _ensure_scheduler(self) -> None:
+        if not self._autostart or self._shutdown:
+            return
+        with self._condition:
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._loop,
+                    name=f"repro-query-service-{id(self):x}",
+                    daemon=True,
+                )
+                self._thread.start()
+
+    def _has_work_locked(self) -> bool:
+        for record in self._records:
+            if record.status in _TERMINAL:
+                continue
+            if record.cancel_requested or record.state is None:
+                return True
+            if record.active_run is not None or record.queued_runs:
+                return True
+        return False
+
+    def _loop(self) -> None:
+        while True:
+            with self._condition:
+                while not self._shutdown and not self._has_work_locked():
+                    self._condition.wait()
+                if self._shutdown:
+                    return
+            try:
+                self._tick()
+            except BaseException as exc:  # pragma: no cover - defensive
+                # A scheduler bug must never strand blocked result()
+                # callers: fail every live query loudly and keep serving.
+                with self._condition:
+                    for record in self._records:
+                        if record.status not in _TERMINAL:
+                            self._finish_failed_locked(record, exc)
+
+    def _finish_failed_locked(
+        self, record: _QueryRecord, exc: BaseException
+    ) -> None:
+        record.exception = exc
+        record.queued_runs.clear()
+        record.active_run = None
+        record.status = QueryStatus.FAILED
+        self._condition.notify_all()
+
+    def _tick(self) -> None:
+        """One scheduler pass: cancellations, inits, one step per cohort member."""
+        with self._condition:
+            live = [r for r in self._records if r.status not in _TERMINAL]
+            for record in live:
+                if record.cancel_requested:
+                    self._finish_cancelled_locked(record)
+            live = [r for r in live if r.status not in _TERMINAL]
+            # prune finished records: handles keep their record alive for
+            # result()/progress(), but the scheduler must not retain every
+            # query state ever served (engine.execute submits one per
+            # call) nor rescan them each pass; refine() re-registers
+            self._records = list(live)
+            for record in live:
+                if record.active_run is None and record.queued_runs:
+                    record.active_run = record.queued_runs.popleft()
+                    record.status = QueryStatus.RUNNING
+            to_init = [r for r in live if r.state is None]
+
+        for record in to_init:
+            self._initialise(record)
+
+        # the overhead clock starts after initialisation: S1 + initial
+        # draws are already timed inside each state's own stage buckets
+        overhead_timer = time.perf_counter()
+        with self._condition:
+            cohort = [
+                r
+                for r in self._records
+                if r.status is QueryStatus.RUNNING
+                and r.active_run is not None
+                and r.state is not None
+                and not r.cancel_requested
+            ]
+            # Budget-aware round-robin: the query with the fewest
+            # completed rounds steps first; submission order breaks ties.
+            cohort.sort(key=lambda r: (len(r.state.rounds), r.sequence))
+
+        prewarm_seconds = self._prewarm_cohort(cohort)
+        if cohort:
+            overhead = time.perf_counter() - overhead_timer - prewarm_seconds
+            for record in cohort:
+                self._attribute_stage(
+                    record.state, STAGE_SCHEDULER, overhead / len(cohort)
+                )
+
+        for record in cohort:
+            try:
+                self._step_record(record)
+            except BaseException as exc:
+                with self._condition:
+                    self._finish_failed_locked(record, exc)
+
+    def _initialise(self, record: _QueryRecord) -> None:
+        """Run S1 + the initial BLB draws for one record."""
+        try:
+            state = record.executor.initialise(
+                record.aggregate_query, record.seed
+            )
+        except BaseException as exc:
+            with self._condition:
+                self._finish_failed_locked(record, exc)
+            return
+        # make serving overhead attributable from the very first result
+        state.timers.stages.setdefault(STAGE_SCHEDULER, Timer())
+        with self._condition:
+            record.state = state
+            if record.active_run is None and not record.queued_runs:
+                record.status = QueryStatus.READY
+            self._condition.notify_all()
+
+    def _prewarm_cohort(self, cohort: list[_QueryRecord]) -> float:
+        """Cross-query validation batching: one pass per shared plan.
+
+        Unions the pending correctness searches of every cohort member
+        sharing a plan and fills the plan's verdict memo in one
+        ``validate_batch`` call; the members' own validation passes then
+        hit the memo.  Only plans shared by >= 2 queries are pre-warmed —
+        a lone query's batch inside :meth:`QueryExecutor.step` is already
+        one pass.  Returns the wall-clock seconds spent (attributed to
+        the participants' ``validation`` stage, split evenly).
+        """
+        candidates = [r for r in cohort if r.kind is _KIND_ROUNDS]
+        if len(candidates) < 2:
+            return 0.0
+        # find plans shared by >= 2 queries first — the common single-query
+        # and disjoint-batch cases must not pay the pending-entry screen
+        # twice (it reruns inside each step's validation pass anyway)
+        members: dict[int, tuple[QueryPlan, list[_QueryRecord]]] = {}
+        for record in candidates:
+            assert record.state is not None
+            for plan in record.state.components:
+                members.setdefault(id(plan), (plan, []))[1].append(record)
+        shared = {
+            plan_id: (plan, records)
+            for plan_id, (plan, records) in members.items()
+            if len(records) >= 2
+        }
+        if not shared:
+            return 0.0
+        pending_by_record: dict[int, list[int]] = {}
+        for _plan, records in shared.values():
+            for record in records:
+                if id(record) not in pending_by_record:
+                    pending_by_record[id(record)] = (
+                        record.executor.pending_validation_nodes(record.state)
+                    )
+        total_seconds = 0.0
+        for plan, records in shared.values():
+            nodes: list[int] = []
+            states = []
+            for record in records:
+                pending = pending_by_record[id(record)]
+                if pending:
+                    nodes.extend(pending)
+                    states.append(record.state)
+            if not nodes:
+                continue
+            started = time.perf_counter()
+            records[0].executor.prewarm_similarities([plan], nodes)
+            elapsed = time.perf_counter() - started
+            total_seconds += elapsed
+            for state in states:
+                self._attribute_stage(
+                    state, STAGE_VALIDATION, elapsed / len(states)
+                )
+        return total_seconds
+
+    @staticmethod
+    def _attribute_stage(state, stage: str, seconds: float) -> None:
+        """Credit scheduler-side work to a state's stage bucket."""
+        state.timers.stages.setdefault(stage, Timer()).elapsed += seconds
+
+    def _step_record(self, record: _QueryRecord) -> None:
+        """Advance one record by one scheduler slot."""
+        with self._condition:
+            # re-check under the lock: a cancel/close may have landed
+            # between cohort selection and this slot
+            run = record.active_run
+            state = record.state
+            if run is None or state is None or record.cancel_requested:
+                return
+        executor = record.executor
+        if record.kind is _KIND_GROUPED:
+            result = executor.run_grouped(state, run.error_bound)
+            self._complete_run(record, result)
+            return
+        if record.kind is _KIND_EXTREME:
+            result = executor.run_extreme(state)
+            self._complete_run(record, result)
+            return
+
+        grow_seconds = 0.0
+        if run.steps_taken > 0:
+            assert run.last is not None
+            grow_started = time.perf_counter()
+            executor.grow(state, run.last, run.error_bound)
+            grow_seconds = time.perf_counter() - grow_started
+        outcome = executor.step(
+            state, run.error_bound, carried_seconds=grow_seconds
+        )
+        run.steps_taken += 1
+        run.last = outcome.trace
+        budget = (
+            self.config.max_rounds
+            if run.max_rounds is None
+            else run.max_rounds
+        )
+        if outcome.satisfied:
+            self._complete_run(
+                record, executor.finalise(state, run.last, converged=True)
+            )
+        elif outcome.exhausted or run.steps_taken >= budget:
+            self._complete_run(
+                record, executor.finalise(state, run.last, converged=False)
+            )
+
+    def _complete_run(self, record: _QueryRecord, result) -> None:
+        with self._condition:
+            if record.status in _TERMINAL:
+                return
+            record.result = result
+            record.active_run = None
+            if not record.queued_runs and not record.cancel_requested:
+                record.status = QueryStatus.SUCCEEDED
+            self._condition.notify_all()

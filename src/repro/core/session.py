@@ -1,10 +1,18 @@
 """Interactive error-bound refinement (paper §IV-C, Fig. 6(a)).
 
-A session keeps the engine's query state alive between requests so that
+A session keeps one query's sampling state alive between requests so that
 tightening the error bound only costs the *incremental* sampling needed to
 re-satisfy Theorem 2 — the paper's "interactive refinement of eb"
 behaviour, where dropping from eb = 5% to 4% costs tens of milliseconds
 instead of a fresh execution.
+
+Since the serving redesign this is a thin synchronous wrapper over the
+engine's :class:`~repro.core.service.AggregateQueryService`: the session
+holds a deferred :class:`~repro.core.service.QueryHandle` and each
+:meth:`InteractiveSession.refine` call queues one run on it and blocks for
+the result.  Results are byte-identical to driving the executor directly
+for a fixed seed; handle-native callers get the same behaviour from
+``handle.refine(eb).result()`` without this class.
 """
 
 from __future__ import annotations
@@ -12,8 +20,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.engine import ApproximateAggregateEngine, _QueryState
+from repro.core.engine import ApproximateAggregateEngine
 from repro.core.result import ApproximateResult
+from repro.core.service import QueryHandle
 from repro.errors import QueryError
 from repro.estimation.accuracy import satisfies_error_bound
 from repro.query.aggregate import AggregateQuery
@@ -48,9 +57,31 @@ class InteractiveSession:
             )
         self._engine = engine
         self._aggregate_query = aggregate_query
-        self._state: _QueryState = engine._initialise(aggregate_query, seed)
+        # a deferred handle: S1 + the initial draws run now (so planning
+        # and sampling errors surface here, as the eager API always did),
+        # but no rounds start until the first refine()
+        self._handle: QueryHandle = engine.service.submit(
+            aggregate_query, seed=seed, start=False
+        )
+        self._wait_initialised()
         self._history: list[RefinementStep] = []
         self._last_error_bound: float | None = None
+
+    def _wait_initialised(self) -> None:
+        """Block until S1 ran; re-raise initialisation errors here."""
+        service = self._handle._service
+        record = self._handle._record
+        with service._condition:
+            service._condition.wait_for(
+                lambda: record.state is not None or record.status.terminal
+            )
+        if record.exception is not None:
+            raise record.exception
+
+    @property
+    def handle(self) -> QueryHandle:
+        """The underlying service handle (for async/batch interop)."""
+        return self._handle
 
     @property
     def history(self) -> tuple[RefinementStep, ...]:
@@ -90,15 +121,16 @@ class InteractiveSession:
                 self._history.append(step)
                 self._last_error_bound = error_bound
                 return step
-        draws_before = self._state.total_draws
+        draws_before = self._handle.total_draws
         started = time.perf_counter()
-        result = self._engine._run_rounds(self._state, error_bound)
+        result = self._handle.refine(error_bound).result()
         elapsed = time.perf_counter() - started
+        assert isinstance(result, ApproximateResult)
         step = RefinementStep(
             error_bound=error_bound,
             result=result,
             incremental_seconds=elapsed,
-            additional_draws=self._state.total_draws - draws_before,
+            additional_draws=self._handle.total_draws - draws_before,
         )
         self._history.append(step)
         self._last_error_bound = error_bound

@@ -54,3 +54,15 @@ class ConvergenceError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset generator was given inconsistent parameters."""
+
+
+class ServiceError(ReproError):
+    """A query-serving operation was invalid (closed service, bad handle op)."""
+
+
+class QueryCancelledError(ServiceError):
+    """The query behind a handle was cancelled before producing a result."""
+
+
+class ResultTimeoutError(ServiceError, TimeoutError):
+    """``QueryHandle.result(timeout=...)`` expired before the run finished."""

@@ -1,0 +1,295 @@
+"""The serving layer (S4): handles, scheduler, cancellation, batching.
+
+Covers the architectural contracts of :class:`AggregateQueryService`:
+
+* handles resolve to results byte-identical to blocking ``engine.execute``
+  for the same seeds, and the engine itself routes through the service
+  (``scheduler`` stage bucket present);
+* progressive results: the anytime trace grows round by round, draws never
+  shrink, and for a fixed seed the CI width is non-increasing;
+* cancellation and ``result(timeout=...)`` expiry semantics;
+* N concurrent queries over one component build its plan exactly once —
+  both through the service scheduler and through raw planner threads
+  hammering one :class:`PlanCache`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import (
+    AggregateFunction,
+    AggregateQuery,
+    AggregateQueryService,
+    ApproximateAggregateEngine,
+    EngineConfig,
+    QueryGraph,
+    QueryStatus,
+)
+from repro.core.plan import PlanCache, shared_plan_cache
+from repro.core.planner import QueryPlanner
+from repro.errors import (
+    QueryCancelledError,
+    ResultTimeoutError,
+    ServiceError,
+)
+
+
+@pytest.fixture
+def world(toy_world_factory):
+    """A fresh toy world per test: isolates the process-wide plan cache."""
+    return toy_world_factory()
+
+
+def _service(world, *, autostart=True, **overrides) -> AggregateQueryService:
+    config = EngineConfig(**{"seed": 7, "max_rounds": 8, **overrides})
+    return AggregateQueryService(
+        world.kg, world.embedding, config, autostart=autostart
+    )
+
+
+class TestHandleResults:
+    def test_submit_matches_engine_execute(self, world):
+        with _service(world) as service:
+            handle = service.submit(world.avg_query(), seed=5)
+            served = handle.result()
+        shared_plan_cache().clear()
+        engine = ApproximateAggregateEngine(
+            world.kg, world.embedding, EngineConfig(seed=7, max_rounds=8)
+        )
+        direct = engine.execute(world.avg_query(), seed=5)
+        assert served.value == direct.value
+        assert served.total_draws == direct.total_draws
+        assert [t.estimate for t in served.rounds] == [
+            t.estimate for t in direct.rounds
+        ]
+
+    def test_submit_accepts_aql_strings(self, world):
+        with _service(world) as service:
+            result = service.submit(
+                "COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)"
+            ).result()
+        assert result.value > 0
+
+    def test_batch_interleaves_and_matches_sequential(self, world):
+        queries = [
+            (world.count_query(), 3),
+            (world.avg_query(), 4),
+            (world.sum_query(), 5),
+        ]
+        with _service(world) as service:
+            handles = service.submit_batch(queries)
+            batched = [handle.result() for handle in handles]
+            assert all(
+                handle.status is QueryStatus.SUCCEEDED for handle in handles
+            )
+        shared_plan_cache().clear()
+        engine = ApproximateAggregateEngine(
+            world.kg, world.embedding, EngineConfig(seed=7, max_rounds=8)
+        )
+        sequential = [engine.execute(query, seed=seed) for query, seed in queries]
+        for served, direct in zip(batched, sequential):
+            assert served.value == direct.value
+            assert served.total_draws == direct.total_draws
+
+    def test_engine_results_carry_scheduler_stage(self, world):
+        engine = ApproximateAggregateEngine(
+            world.kg, world.embedding, EngineConfig(seed=7, max_rounds=8)
+        )
+        result = engine.execute(world.count_query())
+        assert "scheduler" in result.stage_ms
+        assert result.stage_ms["scheduler"] >= 0.0
+
+    def test_per_query_error_bound_and_confidence(self, world):
+        with _service(world, error_bound=0.01) as service:
+            loose = service.submit(
+                world.avg_query(), error_bound=0.10, seed=5
+            ).result()
+            tight = service.submit(
+                world.avg_query(), error_bound=0.01, seed=5
+            ).result()
+            wide = service.submit(
+                world.avg_query(), error_bound=0.10, confidence=0.99, seed=5
+            ).result()
+        assert loose.total_draws <= tight.total_draws
+        assert wide.interval.confidence_level == 0.99
+
+    def test_failed_query_reraises_from_result(self, world):
+        from repro.errors import ReproError
+
+        missing = AggregateQuery(
+            query=QueryGraph.simple("Nobody", ["Country"], "product", ["Automobile"]),
+            function=AggregateFunction.COUNT,
+        )
+        with _service(world) as service:
+            handle = service.submit(missing)
+            with pytest.raises(ReproError):
+                handle.result()
+            assert handle.status is QueryStatus.FAILED
+
+
+class TestProgressiveResults:
+    def test_progress_trace_is_monotone_for_fixed_seed(self, world):
+        with _service(world, error_bound=0.01) as service:
+            handle = service.submit(world.avg_query(), seed=11)
+            handle.result()
+            progress = handle.progress()
+        assert len(progress) >= 2
+        rounds = [trace.round_index for trace in progress]
+        assert rounds == sorted(rounds)
+        draws = [trace.total_draws for trace in progress]
+        assert draws == sorted(draws)  # the sample only ever grows
+        moes = [trace.moe for trace in progress]
+        assert all(
+            later <= earlier for earlier, later in zip(moes, moes[1:])
+        ), f"CI width widened across rounds: {moes}"
+        assert all(trace.seconds >= 0.0 for trace in progress)
+
+    def test_refine_reuses_draws(self, world):
+        with _service(world, error_bound=0.05) as service:
+            handle = service.submit(world.avg_query(), seed=3)
+            first = handle.result()
+            second = handle.refine(0.02).result()
+            assert second.total_draws >= first.total_draws
+            assert second.moe <= first.moe or second.converged
+            # the anytime trace spans both runs
+            assert len(handle.progress()) >= len(first.rounds)
+
+    def test_result_on_idle_deferred_handle_raises(self, world):
+        with _service(world) as service:
+            handle = service.submit(world.avg_query(), seed=5, start=False)
+            with pytest.raises(ServiceError):
+                handle.result(timeout=5.0)
+            # queueing a run via refine() makes result() meaningful
+            assert handle.refine(0.05).result().total_draws > 0
+
+    def test_finished_records_are_pruned_and_refine_resurrects(self, world):
+        with _service(world, error_bound=0.05) as service:
+            first = service.submit(world.avg_query(), seed=3)
+            first.result()
+            # new work triggers a scheduler pass, which prunes `first`
+            service.submit(world.count_query(), seed=4).result()
+            with service._condition:
+                assert all(
+                    record is not first._record for record in service._records
+                )
+            # the handle outlives the pruning: state, result and refine work
+            assert first.status is QueryStatus.SUCCEEDED
+            refined = first.refine(0.02).result()
+            assert refined.converged
+            assert refined.total_draws >= first.progress()[0].total_draws
+
+    def test_refine_rejected_for_extreme_queries(self, world):
+        extreme = AggregateQuery(
+            query=QueryGraph.simple("Germany", ["Country"], "product", ["Automobile"]),
+            function=AggregateFunction.MAX,
+            attribute="price",
+        )
+        with _service(world) as service:
+            handle = service.submit(extreme)
+            handle.result()
+            with pytest.raises(ServiceError):
+                handle.refine(0.01)
+
+
+class TestCancellationAndTimeout:
+    def test_cancel_pending_query(self, world):
+        service = _service(world, autostart=False)
+        handle = service.submit(world.count_query())
+        assert handle.status is QueryStatus.PENDING
+        assert handle.cancel() is True
+        assert handle.status is QueryStatus.CANCELLED
+        with pytest.raises(QueryCancelledError):
+            handle.result()
+        assert handle.progress() == ()
+        service.close()
+
+    def test_cancel_after_completion_is_noop(self, world):
+        with _service(world) as service:
+            handle = service.submit(world.count_query())
+            result = handle.result()
+            assert handle.cancel() is False
+            assert handle.status is QueryStatus.SUCCEEDED
+            assert handle.result() is result
+
+    def test_cancelled_peer_does_not_disturb_batch(self, world):
+        service = _service(world, autostart=False)
+        keep = service.submit(world.avg_query(), seed=5)
+        drop = service.submit(world.count_query(), seed=6)
+        drop.cancel()
+        service.start()
+        result = keep.result()
+        assert result.converged
+        with pytest.raises(QueryCancelledError):
+            drop.result()
+
+    def test_result_timeout_expires(self, world):
+        service = _service(world, autostart=False)
+        handle = service.submit(world.count_query())
+        with pytest.raises(ResultTimeoutError):
+            handle.result(timeout=0.05)
+        # the query is untouched: releasing the scheduler completes it
+        service.start()
+        assert handle.result(timeout=10.0).total_draws > 0
+        service.close()
+
+    def test_close_cancels_unfinished_queries(self, world):
+        service = _service(world, autostart=False)
+        handle = service.submit(world.count_query())
+        service.close()
+        with pytest.raises(QueryCancelledError):
+            handle.result()
+        with pytest.raises(ServiceError):
+            service.submit(world.count_query())
+
+
+class TestSharedPlanBuilds:
+    def test_batch_builds_each_shared_plan_once(self, world):
+        queries = [
+            (world.count_query(), 3),
+            (world.avg_query(), 4),
+            (world.sum_query(), 5),
+            (world.count_query(), 6),
+            (world.avg_query(), 7),
+            (world.count_query(), 8),
+        ]
+        with _service(world) as service:
+            handles = service.submit_batch(queries)
+            for handle in handles:
+                handle.result()
+            # six queries, one shared component: S1 ran exactly once
+            assert service.planner.build_count == 1
+
+    def test_concurrent_planners_build_once(self, world):
+        """Regression: racing get-or-build runs the S1 builder exactly once."""
+        cache = PlanCache()
+        config = EngineConfig(seed=7)
+        component = world.count_query().query.components[0]
+        num_threads = 8
+        barrier = threading.Barrier(num_threads)
+        planners: list[QueryPlanner] = []
+        plans: list = []
+        errors: list[BaseException] = []
+
+        def race() -> None:
+            planner = QueryPlanner(world.kg, world.space, config, cache=cache)
+            planners.append(planner)
+            barrier.wait()
+            try:
+                plans.append(planner.plan_for(component))
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=race) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(plans) == num_threads
+        assert all(plan is plans[0] for plan in plans), (
+            "concurrent planners resolved different plan objects"
+        )
+        assert sum(planner.build_count for planner in planners) == 1
