@@ -1,0 +1,308 @@
+#!/usr/bin/env python
+"""S5 store + parallel-backend benchmark: multi-process serving and
+mmap snapshot loading.
+
+Two claims of the ``repro.store`` subsystem are measured on the same
+8-query yago2-like workload as ``bench_perf_serving.py``:
+
+* **Parallel backends** — the batch is served three times, with
+  ``backend="cooperative"`` (the single-threaded scheduler),
+  ``backend="threads"`` and ``backend="processes"`` (worker processes
+  attached to the shared snapshot store).  All three must return
+  byte-identical results per query (hard equivalence gate) before
+  anything is timed; the headline is cooperative seconds / backend
+  seconds.  Worker-pool startup (fork + shared-memory publication) is
+  reported separately from steady-batch time.  NOTE: the speedup scales
+  with physical cores — ``cpu_count`` is recorded in the report so a
+  single-core CI host's ~1.0x is read as what it is.
+
+* **Store cold-load vs mmap-load** — compiling the CSR snapshot and the
+  workload's S1 plans from scratch vs memory-mapping them back from a
+  :class:`SnapshotCatalog`.  The reload path must run zero ``build_csr``
+  compilations and zero planner builds (asserted), making warm process
+  start O(header-read) instead of O(graph).
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_parallel.py [--smoke]
+
+``--smoke`` shrinks the dataset, repeats and worker count so the whole
+script finishes in well under a minute; CI runs it on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import (  # noqa: E402
+    AggregateFunction,
+    AggregateQuery,
+    AggregateQueryService,
+    EngineConfig,
+    QueryGraph,
+)
+from repro.core.plan import PlanCache, shared_plan_cache  # noqa: E402
+from repro.core.planner import QueryPlanner  # noqa: E402
+from repro.datasets import yago_like  # noqa: E402
+from repro.kg.csr import build_call_count, build_csr  # noqa: E402
+from repro.store import SnapshotCatalog  # noqa: E402
+
+#: number of queries in the concurrent batch (matches bench_perf_serving)
+BATCH_SIZE = 8
+
+BACKENDS = ("cooperative", "threads", "processes")
+
+
+def _workload() -> list[AggregateQuery]:
+    """The 8-query serving workload over the yago2-like graph."""
+    chain = QueryGraph.chain(
+        "Spain",
+        ["Country"],
+        [("league", ["League"]), ("playerIn", ["SoccerPlayer"])],
+    )
+    spain = QueryGraph.simple("Spain", ["Country"], "bornIn", ["SoccerPlayer"])
+    england = QueryGraph.simple("England", ["Country"], "locatedIn", ["Museum"])
+    china = QueryGraph.simple("China", ["Country"], "country", ["City"])
+    return [
+        AggregateQuery(query=chain, function=AggregateFunction.COUNT),
+        AggregateQuery(query=chain, function=AggregateFunction.AVG, attribute="age"),
+        AggregateQuery(
+            query=chain, function=AggregateFunction.SUM, attribute="transfer_value"
+        ),
+        AggregateQuery(query=spain, function=AggregateFunction.COUNT),
+        AggregateQuery(query=spain, function=AggregateFunction.AVG, attribute="age"),
+        AggregateQuery(query=england, function=AggregateFunction.COUNT),
+        AggregateQuery(
+            query=england, function=AggregateFunction.AVG, attribute="visitors"
+        ),
+        AggregateQuery(query=china, function=AggregateFunction.COUNT),
+    ]
+
+
+def _fingerprint(result) -> tuple:
+    """Everything value-like about a result (timings excluded)."""
+    return (
+        round(result.value, 10),
+        round(result.moe, 10),
+        result.converged,
+        result.total_draws,
+        result.correct_draws,
+        tuple(
+            (t.round_index, t.total_draws, t.correct_draws, t.estimate, t.moe,
+             t.satisfied)
+            for t in result.rounds
+        ),
+    )
+
+
+def _serve_once(kg, embedding, config, queries, seeds, backend, workers):
+    """One cold serve: fresh plans, fresh service (pool startup timed apart)."""
+    shared_plan_cache().clear()
+    started = time.perf_counter()
+    service = AggregateQueryService(
+        kg, embedding, config, backend=backend, workers=workers
+    )
+    startup_seconds = time.perf_counter() - started
+    try:
+        started = time.perf_counter()
+        handles = service.submit_batch(list(zip(queries, seeds)))
+        results = [handle.result() for handle in handles]
+        batch_seconds = time.perf_counter() - started
+    finally:
+        service.close()
+    return results, startup_seconds, batch_seconds
+
+
+def _time_store(kg_factory, queries, config) -> dict:
+    """Cold compile vs catalog mmap reload of snapshot + workload plans."""
+    components = list(
+        dict.fromkeys(
+            component for query in queries for component in query.query.components
+        )
+    )
+
+    # -- cold: compile everything from the mutable store ----------------
+    cold_bundle = kg_factory()
+    started = time.perf_counter()
+    build_csr(cold_bundle.kg)
+    build_csr_seconds = time.perf_counter() - started
+    cold_planner = QueryPlanner(
+        cold_bundle.kg, cold_bundle.space(), config, cache=PlanCache()
+    )
+    started = time.perf_counter()
+    for component in components:
+        cold_planner.plan_for(component)
+    plan_build_seconds = time.perf_counter() - started
+    assert cold_planner.build_count == len(components)
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
+        catalog = SnapshotCatalog(tmp)
+        catalog.save_snapshot(cold_bundle.kg)
+        save_planner = QueryPlanner(
+            cold_bundle.kg, cold_bundle.space(), config,
+            cache=PlanCache(), catalog=catalog,
+        )
+        for component in components:
+            save_planner.plan_for(component)
+
+        # -- warm: a "new process" (fresh graph object) mmap-loads ------
+        warm_bundle = kg_factory()
+        builds_before = build_call_count()
+        started = time.perf_counter()
+        catalog.load_snapshot(warm_bundle.kg)
+        mmap_load_seconds = time.perf_counter() - started
+        csr_builds_on_reload = build_call_count() - builds_before
+
+        warm_planner = QueryPlanner(
+            warm_bundle.kg, warm_bundle.space(), config,
+            cache=PlanCache(), catalog=catalog,
+        )
+        started = time.perf_counter()
+        for component in components:
+            warm_planner.plan_for(component)
+        plan_reload_seconds = time.perf_counter() - started
+
+    assert csr_builds_on_reload == 0, "mmap load must skip build_csr"
+    assert warm_planner.build_count == 0, "catalog reload must skip S1"
+    assert warm_planner.catalog_hits == len(components)
+    return {
+        "distinct_components": len(components),
+        "build_csr_seconds": build_csr_seconds,
+        "mmap_load_seconds": mmap_load_seconds,
+        "snapshot_load_speedup": build_csr_seconds / mmap_load_seconds,
+        "csr_builds_on_reload": csr_builds_on_reload,
+        "plan_build_seconds": plan_build_seconds,
+        "plan_reload_seconds": plan_reload_seconds,
+        "plan_load_speedup": plan_build_seconds / plan_reload_seconds,
+        "planner_builds_on_reload": warm_planner.build_count,
+    }
+
+
+def run(scale: float, repeats: int, seed: int, workers: int) -> dict:
+    """Benchmark one configuration and return the report dict."""
+    bundle = yago_like(seed=seed, scale=scale)
+    kg, embedding = bundle.kg, bundle.embedding
+    config = EngineConfig(seed=seed)
+    queries = _workload()
+    seeds = [seed + 11 + position for position in range(len(queries))]
+
+    # -- equivalence gate: every backend, byte-identical per query ------
+    expected = None
+    for backend in BACKENDS:
+        results, _, _ = _serve_once(
+            kg, embedding, config, queries, seeds, backend, workers
+        )
+        fingerprints = [_fingerprint(result) for result in results]
+        if expected is None:
+            expected = fingerprints
+        else:
+            assert fingerprints == expected, (
+                f"backend {backend!r} diverged from the cooperative scheduler"
+            )
+
+    # -- timing ---------------------------------------------------------
+    backends_report: dict[str, dict] = {}
+    for backend in BACKENDS:
+        best_batch = float("inf")
+        best_startup = float("inf")
+        for _ in range(repeats):
+            _, startup_seconds, batch_seconds = _serve_once(
+                kg, embedding, config, queries, seeds, backend, workers
+            )
+            best_batch = min(best_batch, batch_seconds)
+            best_startup = min(best_startup, startup_seconds)
+        backends_report[backend] = {
+            "startup_seconds": best_startup,
+            "batch_seconds": best_batch,
+        }
+    cooperative_seconds = backends_report["cooperative"]["batch_seconds"]
+    for backend in BACKENDS:
+        backends_report[backend]["speedup_vs_cooperative"] = (
+            cooperative_seconds / backends_report[backend]["batch_seconds"]
+        )
+
+    store_report = _time_store(
+        lambda: yago_like(seed=seed, scale=scale), queries, config
+    )
+
+    return {
+        "preset": "yago2-like",
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "kg_nodes": kg.num_nodes,
+        "kg_edges": kg.num_edges,
+        "batch_size": len(queries),
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "backends": backends_report,
+        "store": store_report,
+        "equivalent": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale + few repeats; finishes in well under a minute",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--workers", type=int, default=None, help="pool size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_parallel.json",
+        help="where to write the JSON report",
+    )
+    arguments = parser.parse_args(argv)
+    scale = arguments.scale if arguments.scale is not None else (1.0 if arguments.smoke else 3.0)
+    repeats = arguments.repeats if arguments.repeats is not None else (1 if arguments.smoke else 3)
+    workers = arguments.workers if arguments.workers is not None else (
+        2 if arguments.smoke else max(2, os.cpu_count() or 1)
+    )
+
+    report = run(scale=scale, repeats=repeats, seed=arguments.seed, workers=workers)
+    report["smoke"] = arguments.smoke
+    arguments.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"8-query batch, {workers} workers on a {report['cpu_count']}-core host "
+        "(results byte-identical across backends):"
+    )
+    for backend, numbers in report["backends"].items():
+        print(
+            f"  {backend:<12} {numbers['batch_seconds'] * 1e3:8.1f} ms batch "
+            f"(+{numbers['startup_seconds'] * 1e3:6.1f} ms startup, "
+            f"{numbers['speedup_vs_cooperative']:.2f}x vs cooperative)"
+        )
+    store = report["store"]
+    print("store reload (new process, same graph):")
+    print(
+        f"  snapshot: build_csr {store['build_csr_seconds'] * 1e3:7.2f} ms  ->  "
+        f"mmap load {store['mmap_load_seconds'] * 1e3:7.2f} ms "
+        f"({store['snapshot_load_speedup']:.1f}x, {store['csr_builds_on_reload']} rebuilds)"
+    )
+    print(
+        f"  plans:    S1 build {store['plan_build_seconds'] * 1e3:7.1f} ms  ->  "
+        f"catalog load {store['plan_reload_seconds'] * 1e3:7.2f} ms "
+        f"({store['plan_load_speedup']:.1f}x, {store['planner_builds_on_reload']} rebuilds)"
+    )
+    print(f"[saved to {arguments.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,12 @@ Quickstart::
 from repro.core.config import DeltaStrategy, EngineConfig, SamplerKind
 from repro.core.engine import ApproximateAggregateEngine
 from repro.core.result import ApproximateResult, GroupedResult, RoundTrace
-from repro.core.service import AggregateQueryService, QueryHandle, QueryStatus
+from repro.core.service import (
+    AggregateQueryService,
+    ExecutionBackend,
+    QueryHandle,
+    QueryStatus,
+)
 from repro.core.session import InteractiveSession
 from repro.embedding import (
     EmbeddingTrainer,
@@ -69,6 +74,7 @@ __all__ = [
     "RoundTrace",
     "InteractiveSession",
     "AggregateQueryService",
+    "ExecutionBackend",
     "QueryHandle",
     "QueryStatus",
     "KnowledgeGraph",

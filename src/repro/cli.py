@@ -7,7 +7,11 @@ Commands:
   several queries (or ``--batch``) go through the serving layer, which
   interleaves their rounds over shared plans.
 * ``serve``      — read AQL queries from stdin and serve them concurrently
-  through :class:`AggregateQueryService`, reporting per-round progress.
+  through :class:`AggregateQueryService`, reporting per-round progress;
+  ``--backend threads|processes --workers N`` fans rounds out to a pool.
+* ``snapshot``   — save/load a dataset's CSR snapshot (and optionally plan
+  artifacts) through a :class:`repro.store.SnapshotCatalog`, so later
+  invocations memory-map S1 instead of recompiling it.
 * ``datasets``   — list the bundled synthetic datasets with their sizes.
 * ``experiment`` — regenerate one paper table/figure by name (``--list``
   shows all names; ``--plot`` adds an ASCII chart for figures).
@@ -65,6 +69,24 @@ def _dataset_registry() -> dict[str, Callable]:
     return dict(ALL_PRESETS)
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """Execution-backend flags shared by the serving commands."""
+    parser.add_argument(
+        "--backend",
+        choices=["cooperative", "threads", "processes"],
+        default="cooperative",
+        help="how scheduler slots execute: the scheduler thread itself "
+        "(default), a thread pool, or worker processes attached to the "
+        "shared snapshot store",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size for the threads/processes backends (default: CPU count)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -89,6 +111,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="route through the serving layer even for a single query",
     )
+    _add_backend_arguments(query)
     query.add_argument(
         "--ground-truth",
         action="store_true",
@@ -110,6 +133,30 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--tau", type=float, default=0.85)
     serve.add_argument(
         "--trace", action="store_true", help="print each query's round trace"
+    )
+    _add_backend_arguments(serve)
+
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="save/load CSR snapshots + plan artifacts through a catalog",
+    )
+    snapshot.add_argument("action", choices=["save", "load"])
+    snapshot.add_argument("path", help="catalog root directory")
+    snapshot.add_argument("--dataset", default="dbpedia-like")
+    snapshot.add_argument("--seed", type=int, default=0)
+    snapshot.add_argument("--scale", type=float, default=1.0)
+    snapshot.add_argument(
+        "--plan",
+        action="append",
+        default=[],
+        metavar="AQL",
+        help="also save/load the S1 plan artifacts of this AQL query "
+        "(repeatable)",
+    )
+    snapshot.add_argument(
+        "--verify-fingerprint",
+        action="store_true",
+        help="on load: additionally check the graph content hash",
     )
 
     commands.add_parser("datasets", help="list the synthetic datasets")
@@ -196,7 +243,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
     config = _query_config(args)
     print(f"dataset: {bundle.name} ({bundle.kg.num_nodes:,} nodes, "
           f"{bundle.kg.num_edges:,} edges)")
-    if len(queries) > 1 or args.batch:
+    if (
+        len(queries) > 1
+        or args.batch
+        or args.backend != "cooperative"
+        or args.workers is not None
+    ):
+        # a requested execution backend always routes through the serving
+        # layer — silently ignoring --backend/--workers for a lone query
+        # would run the wrong execution mode
         return _run_query_batch(bundle, config, queries, args)
     aggregate_query = queries[0]
     engine = ApproximateAggregateEngine(bundle.kg, bundle.embedding, config=config)
@@ -224,7 +279,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _run_query_batch(bundle, config: EngineConfig, queries, args) -> int:
     """Serve ``queries`` as one concurrent batch and print each result."""
     started = time.perf_counter()
-    with AggregateQueryService(bundle.kg, bundle.embedding, config) as service:
+    with AggregateQueryService(
+        bundle.kg,
+        bundle.embedding,
+        config,
+        backend=getattr(args, "backend", "cooperative"),
+        workers=getattr(args, "workers", None),
+    ) as service:
         handles = service.submit_batch(queries)
         exit_code = 0
         for position, handle in enumerate(handles):
@@ -263,7 +324,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           "one AQL query per line, blank/# lines ignored", file=sys.stderr)
     submitted: list[tuple[int, str, object]] = []
     exit_code = 0
-    with AggregateQueryService(bundle.kg, bundle.embedding, config) as service:
+    with AggregateQueryService(
+        bundle.kg,
+        bundle.embedding,
+        config,
+        backend=args.backend,
+        workers=args.workers,
+    ) as service:
         for line_number, raw_line in enumerate(sys.stdin, start=1):
             aql = raw_line.strip()
             if not aql or aql.startswith("#"):
@@ -288,6 +355,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 _print_round_trace(result)
     print(f"served {len(submitted)} queries")
     return exit_code
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """Save or load a dataset's snapshot (+ plan artifacts) via a catalog."""
+    from repro.core.plan import PlanCache
+    from repro.core.planner import QueryPlanner
+    from repro.kg.csr import build_call_count
+    from repro.store import SnapshotCatalog, load_snapshot
+
+    bundle = _load_bundle(args)
+    if bundle is None:
+        return 2
+    kg = bundle.kg
+    config = EngineConfig(seed=args.seed)
+    catalog = SnapshotCatalog(args.path)
+    components = [
+        component
+        for aql in args.plan
+        for component in parse_query(aql).query.components
+    ]
+
+    if args.action == "save":
+        started = time.perf_counter()
+        path = catalog.save_snapshot(kg)
+        snapshot_ms = (time.perf_counter() - started) * 1e3
+        print(
+            f"snapshot: {kg.num_nodes:,} nodes / {kg.num_edges:,} edges -> "
+            f"{path} ({path.stat().st_size:,} bytes, {snapshot_ms:,.1f} ms)"
+        )
+        if components:
+            planner = QueryPlanner(
+                kg, bundle.space(), config, cache=PlanCache(), catalog=catalog
+            )
+            started = time.perf_counter()
+            for component in components:
+                planner.plan_for(component)
+            plans_ms = (time.perf_counter() - started) * 1e3
+            print(
+                f"plans:    {planner.build_count} built, "
+                f"{planner.catalog_hits} already stored ({plans_ms:,.1f} ms)"
+            )
+        return 0
+
+    # load: memory-map the stored artefacts and prove nothing recompiles
+    builds_before = build_call_count()
+    started = time.perf_counter()
+    load_snapshot(
+        catalog.snapshot_path(kg),
+        kg,
+        verify_fingerprint=args.verify_fingerprint,
+    )
+    load_ms = (time.perf_counter() - started) * 1e3
+    print(
+        f"snapshot: mmap-loaded {kg.num_nodes:,} nodes / {kg.num_edges:,} "
+        f"edges in {load_ms:,.2f} ms "
+        f"(build_csr calls: {build_call_count() - builds_before})"
+    )
+    if components:
+        planner = QueryPlanner(
+            kg, bundle.space(), config, cache=PlanCache(), catalog=catalog
+        )
+        started = time.perf_counter()
+        for component in components:
+            planner.plan_for(component)
+        plans_ms = (time.perf_counter() - started) * 1e3
+        print(
+            f"plans:    {planner.catalog_hits} loaded from the catalog, "
+            f"{planner.build_count} S1 builds ({plans_ms:,.1f} ms)"
+        )
+    return 0
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:
@@ -457,6 +594,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "query": _cmd_query,
     "serve": _cmd_serve,
+    "snapshot": _cmd_snapshot,
     "datasets": _cmd_datasets,
     "experiment": _cmd_experiment,
     "workload": _cmd_workload,

@@ -42,7 +42,7 @@ from repro.kg.graph import KnowledgeGraph
 from repro.query.aggregate import AggregateQuery
 from repro.sampling.collector import AnswerCollector, AnswerDistribution
 from repro.utils.rng import derive_seed, ensure_rng
-from repro.utils.timing import StageTimer
+from repro.utils.timing import StageTimer, Timer
 
 STAGE_SAMPLING = "sampling"
 STAGE_VALIDATION = "validation"
@@ -101,6 +101,259 @@ class StepOutcome:
     trace: RoundTrace
     satisfied: bool
     exhausted: bool
+
+
+@dataclass(frozen=True)
+class RoundWorkItem:
+    """One S2/S3 round as a picklable work item for a worker process.
+
+    Captures only what changes round to round: the draw index arrays and
+    the verdicts of the support entries drawn so far (compacted to
+    ``support_indices`` — the undrawn tail of the support is all-false
+    and never shipped).  The heavy immutable payloads — the plan
+    artefacts *and* the query's joint answer distribution — travel as
+    shared-memory tickets alongside the item, attached once per worker
+    (see :mod:`repro.store.workers`), never pickled per round.  The memo
+    snapshots let the worker skip answers the shared plan has already
+    validated, exactly like the in-process path.  Sampling (RNG) never
+    crosses the process boundary: growth runs in the parent before the
+    item is exported, so fixed-seed draw sequences are identical no
+    matter which backend executes the round.
+    """
+
+    config: EngineConfig
+    aggregate_query: AggregateQuery
+    error_bound: float
+    carried_seconds: float
+    #: per-component snapshot of ``plan.similarity_cache``
+    memos: tuple[dict, ...]
+    #: per-component snapshot of ``plan.chain_prefix_memo``
+    chain_memos: tuple[dict, ...]
+    little_samples: tuple[np.ndarray, ...]
+    #: the distinct support indices drawn so far; the verdict arrays
+    #: below are compacted to exactly these positions
+    support_indices: np.ndarray
+    support_known: np.ndarray
+    support_correct: np.ndarray
+    support_value: np.ndarray
+    desired_n: int
+    num_candidates: int
+    walk_iterations: int
+    prior_rounds: tuple[RoundTrace, ...]
+
+
+@dataclass(frozen=True)
+class RoundWorkResult:
+    """What a worker sends back: the trace plus the state/memo deltas."""
+
+    trace: RoundTrace
+    satisfied: bool
+    exhausted: bool
+    #: support indices whose verdict was decided this round
+    updated_indices: np.ndarray
+    updated_correct: np.ndarray
+    updated_value: np.ndarray
+    #: per-component new ``similarity_cache`` entries
+    memo_updates: tuple[dict, ...]
+    #: per-component new ``chain_prefix_memo`` entries
+    chain_memo_updates: tuple[dict, ...]
+    #: seconds per stage bucket measured in the worker
+    stage_seconds: dict
+
+
+@dataclass(frozen=True)
+class PrewarmWorkItem:
+    """A cross-query validation batch for one shared plan, picklable.
+
+    The plan itself travels as a shared-memory ticket next to the item.
+    """
+
+    config: EngineConfig
+    memo: dict
+    chain_memo: dict
+    node_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PrewarmWorkResult:
+    """New verdict-memo entries computed by a prewarm item."""
+
+    memo_updates: dict
+    chain_memo_updates: dict
+    seconds: float
+
+
+def export_round_item(
+    state: _QueryState,
+    error_bound: float,
+    carried_seconds: float,
+    config: EngineConfig,
+) -> RoundWorkItem:
+    """Snapshot ``state`` into a :class:`RoundWorkItem` (parent side)."""
+    indices = state.distinct_support_indices()
+    return RoundWorkItem(
+        config=config,
+        aggregate_query=state.aggregate_query,
+        error_bound=error_bound,
+        carried_seconds=carried_seconds,
+        memos=tuple(dict(plan.similarity_cache) for plan in state.components),
+        chain_memos=tuple(dict(plan.chain_prefix_memo) for plan in state.components),
+        little_samples=tuple(state.little_samples),
+        support_indices=indices,
+        support_known=state.support_known[indices],
+        support_correct=state.support_correct[indices],
+        support_value=state.support_value[indices],
+        desired_n=state.desired_n,
+        num_candidates=state.num_candidates,
+        walk_iterations=state.walk_iterations,
+        prior_rounds=tuple(state.rounds),
+    )
+
+
+def execute_round_item(
+    item: RoundWorkItem,
+    plans: list[QueryPlan],
+    joint: AnswerDistribution,
+    executor: "QueryExecutor",
+) -> RoundWorkResult:
+    """Run one exported round in this process (worker side).
+
+    ``plans`` are the worker's replicas of the state's components and
+    ``joint`` the query's answer distribution, both resolved from shared
+    segments; the plans' memos are overlaid with the item's snapshots so
+    the worker validates exactly the answers the parent would have.  The
+    replica state is rebuilt (the compacted verdicts scattered back over
+    the full support — undrawn entries are all-false by construction),
+    stepped once, and diffed against the shipped arrays — validation
+    verdicts are deterministic, so the returned deltas are byte-identical
+    to what an in-process step would have written.
+    """
+    for plan, memo, chain_memo in zip(plans, item.memos, item.chain_memos):
+        plan.similarity_cache.clear()
+        plan.similarity_cache.update(memo)
+        plan.chain_prefix_memo.clear()
+        plan.chain_prefix_memo.update(chain_memo)
+    support_size = joint.support_size
+    indices = np.asarray(item.support_indices, dtype=np.int64)
+    shipped_known = np.zeros(support_size, dtype=bool)
+    shipped_known[indices] = item.support_known
+    support_correct = np.zeros(support_size, dtype=bool)
+    support_correct[indices] = item.support_correct
+    support_value = np.zeros(support_size, dtype=np.float64)
+    support_value[indices] = item.support_value
+    state = _QueryState(
+        aggregate_query=item.aggregate_query,
+        components=list(plans),
+        joint=joint,
+        collector=None,  # growth never runs in a worker
+        little_samples=[
+            np.asarray(sample, dtype=np.int64) for sample in item.little_samples
+        ],
+        desired_n=item.desired_n,
+        num_candidates=item.num_candidates,
+        walk_iterations=item.walk_iterations,
+        support_known=shipped_known.copy(),
+        support_correct=support_correct,
+        support_value=support_value,
+        rounds=list(item.prior_rounds),
+    )
+    outcome = executor.step(
+        state, item.error_bound, carried_seconds=item.carried_seconds
+    )
+    updated = np.flatnonzero(state.support_known & ~shipped_known)
+    memo_updates = tuple(
+        {
+            node: value
+            for node, value in plan.similarity_cache.items()
+            if node not in memo
+        }
+        for plan, memo in zip(plans, item.memos)
+    )
+    chain_memo_updates = tuple(
+        {
+            key: value
+            for key, value in plan.chain_prefix_memo.items()
+            if key not in chain_memo
+        }
+        for plan, chain_memo in zip(plans, item.chain_memos)
+    )
+    return RoundWorkResult(
+        trace=outcome.trace,
+        satisfied=outcome.satisfied,
+        exhausted=outcome.exhausted,
+        updated_indices=updated,
+        updated_correct=state.support_correct[updated],
+        updated_value=state.support_value[updated],
+        memo_updates=memo_updates,
+        chain_memo_updates=chain_memo_updates,
+        stage_seconds={
+            name: timer.elapsed for name, timer in state.timers.stages.items()
+        },
+    )
+
+
+def apply_round_result(state: _QueryState, result: RoundWorkResult) -> StepOutcome:
+    """Merge a worker's :class:`RoundWorkResult` back into the live state.
+
+    Verdict deltas land in the state's support arrays, memo deltas in the
+    *shared* plans (``setdefault``: concurrent workers can only ever
+    compute identical values for one answer), the trace is appended and
+    the worker's stage seconds are credited to the state's timers.
+    Returns the same :class:`StepOutcome` an in-process step would have.
+    """
+    indices = np.asarray(result.updated_indices, dtype=np.int64)
+    state.support_known[indices] = True
+    state.support_correct[indices] = result.updated_correct
+    state.support_value[indices] = result.updated_value
+    for plan, memo_update, chain_update in zip(
+        state.components, result.memo_updates, result.chain_memo_updates
+    ):
+        for node, value in memo_update.items():
+            plan.similarity_cache.setdefault(node, value)
+        for key, value in chain_update.items():
+            plan.chain_prefix_memo.setdefault(key, value)
+    state.rounds.append(result.trace)
+    for stage, seconds in result.stage_seconds.items():
+        state.timers.stages.setdefault(stage, Timer()).elapsed += seconds
+    return StepOutcome(
+        trace=result.trace,
+        satisfied=result.satisfied,
+        exhausted=result.exhausted,
+    )
+
+
+def execute_prewarm_item(
+    item: PrewarmWorkItem, plan: QueryPlan, executor: "QueryExecutor"
+) -> PrewarmWorkResult:
+    """Run one cross-query validation batch in this process (worker side)."""
+    plan.similarity_cache.clear()
+    plan.similarity_cache.update(item.memo)
+    plan.chain_prefix_memo.clear()
+    plan.chain_prefix_memo.update(item.chain_memo)
+    started = time.perf_counter()
+    executor.prewarm_similarities([plan], list(item.node_ids))
+    seconds = time.perf_counter() - started
+    return PrewarmWorkResult(
+        memo_updates={
+            node: value
+            for node, value in plan.similarity_cache.items()
+            if node not in item.memo
+        },
+        chain_memo_updates={
+            key: value
+            for key, value in plan.chain_prefix_memo.items()
+            if key not in item.chain_memo
+        },
+        seconds=seconds,
+    )
+
+
+def apply_prewarm_result(plan: QueryPlan, result: PrewarmWorkResult) -> None:
+    """Merge a prewarm delta into the live shared plan (parent side)."""
+    for node, value in result.memo_updates.items():
+        plan.similarity_cache.setdefault(node, value)
+    for key, value in result.chain_memo_updates.items():
+        plan.chain_prefix_memo.setdefault(key, value)
 
 
 class QueryExecutor:

@@ -70,6 +70,89 @@ class QueryPlan:
     )
 
 
+@dataclass(frozen=True)
+class PlanArtifacts:
+    """The persistable/picklable payload of one :class:`QueryPlan`.
+
+    Everything S1 computed, with the runtime-only handles stripped: the
+    validator (cheap to rebuild from ``(kg, space, config)``) and the
+    memo dicts (append-only caches, shipped separately where needed).
+    This is the unit the store writes to disk, publishes through shared
+    memory, and ships to worker processes — the arrays are the dominant
+    payload and stay zero-copy end to end.
+    """
+
+    component: PathQuery
+    source: int
+    answers: np.ndarray
+    probabilities: np.ndarray
+    visiting: np.ndarray
+    walk_iterations: int
+    num_candidates: int
+    is_chain: bool
+    #: per-answer route decomposition of a chain plan ({} for simple plans)
+    chain_routes: dict = field(default_factory=dict)
+    chain_truncated: bool = False
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The array segments, keyed the way the store formats them."""
+        return {
+            "answers": self.answers,
+            "probabilities": self.probabilities,
+            "visiting": self.visiting,
+        }
+
+
+def extract_artifacts(plan: QueryPlan) -> PlanArtifacts:
+    """Strip ``plan`` down to its persistable artefacts (no copies)."""
+    return PlanArtifacts(
+        component=plan.component,
+        source=plan.source,
+        answers=plan.distribution.answers,
+        probabilities=plan.distribution.probabilities,
+        visiting=plan.visiting,
+        walk_iterations=plan.walk_iterations,
+        num_candidates=plan.num_candidates,
+        is_chain=plan.chain is not None,
+        chain_routes=plan.chain.routes if plan.chain is not None else {},
+        chain_truncated=plan.chain.truncated if plan.chain is not None else False,
+    )
+
+
+def plan_from_artifacts(
+    artifacts: PlanArtifacts, validator: CorrectnessValidator | None
+) -> QueryPlan:
+    """Rebuild a live :class:`QueryPlan` around stored/shared artefacts.
+
+    The arrays are adopted as-is (memory-mapped or shared segments stay
+    zero-copy); the validator is a fresh instance bound to the caller's
+    graph and configuration, and the memo dicts start empty — verdicts
+    are deterministic, so a rebuilt plan converges to the same memo
+    content as the original.
+    """
+    distribution = AnswerDistribution(
+        answers=artifacts.answers, probabilities=artifacts.probabilities
+    )
+    chain = None
+    if artifacts.is_chain:
+        chain = ChainDistribution(
+            distribution=distribution,
+            routes=dict(artifacts.chain_routes),
+            expanded_intermediates=artifacts.walk_iterations,
+            truncated=artifacts.chain_truncated,
+        )
+    return QueryPlan(
+        component=artifacts.component,
+        source=artifacts.source,
+        distribution=distribution,
+        visiting=artifacts.visiting,
+        walk_iterations=artifacts.walk_iterations,
+        num_candidates=artifacts.num_candidates,
+        chain=chain,
+        validator=validator,
+    )
+
+
 def plan_fingerprint(config: EngineConfig) -> tuple:
     """The configuration facets a plan's content depends on.
 

@@ -20,7 +20,7 @@ from repro.core.plan import (
     shared_plan_cache,
 )
 from repro.embedding.predicate_space import PredicateVectorSpace
-from repro.errors import SamplingError
+from repro.errors import SamplingError, StoreError
 from repro.kg.graph import KnowledgeGraph
 from repro.query.graph import PathQuery
 from repro.sampling.chain import ChainSampler
@@ -36,8 +36,34 @@ from repro.semantics.validation import CorrectnessValidator
 from repro.utils.rng import derive_seed
 
 
+def build_validator(
+    kg: KnowledgeGraph, space: PredicateVectorSpace, config: EngineConfig
+) -> CorrectnessValidator:
+    """A fresh greedy validator wired the way plans expect.
+
+    Module-level so plan reconstruction sites — the snapshot catalog and
+    the worker processes of the parallel backends — rebuild validators
+    identically to :class:`QueryPlanner`'s own S1 builds.
+    """
+    return CorrectnessValidator(
+        kg,
+        space,
+        repeat_factor=config.repeat_factor,
+        max_length=config.n_bound,
+        floor=config.similarity_floor,
+        expansion_budget=config.validation_expansions,
+    )
+
+
 class QueryPlanner:
-    """Builds (or fetches) one immutable plan per query component."""
+    """Builds (or fetches) one immutable plan per query component.
+
+    Resolution order: engine-local view, process-wide :class:`PlanCache`,
+    then — when a :class:`~repro.store.catalog.SnapshotCatalog` is wired
+    in — the on-disk catalog, and only on a full miss an actual S1 build
+    (counted in :attr:`build_count`; catalog hits are not builds).  Fresh
+    builds are saved back to the catalog so the next process skips S1.
+    """
 
     def __init__(
         self,
@@ -45,19 +71,26 @@ class QueryPlanner:
         space: PredicateVectorSpace,
         config: EngineConfig,
         cache: PlanCache | None = None,
+        catalog=None,
     ) -> None:
         self._kg = kg
         self._space = space
         self.config = config
         self._cache = cache if cache is not None else shared_plan_cache()
+        self._catalog = catalog
         #: engine-local plan view, keyed by component; dropped when the
         #: graph's structure moves so stale plans never survive a mutation
         self.plans: dict[PathQuery, QueryPlan] = {}
         self._planned_structure_version = kg.structure_version
         #: S1 builds actually executed by this planner (cache misses); the
         #: serving benchmark asserts one build per shared (component,
-        #: config) plan across a whole concurrent batch
+        #: config) plan across a whole concurrent batch, and the store
+        #: tests assert catalog reloads leave it untouched
         self.build_count = 0
+        #: plans adopted from the catalog instead of being built
+        self.catalog_hits = 0
+        #: unreadable catalog entries encountered (rebuilt + overwritten)
+        self.catalog_errors = 0
 
     @property
     def cache(self) -> PlanCache:
@@ -80,9 +113,45 @@ class QueryPlanner:
         # captured before building gates publication: a structural mutation
         # during the build keeps the plan private.
         plan = self._cache.get_or_build(
-            self._kg, key, lambda: self._counted_build(component)
+            self._kg, key, lambda: self._build_or_load(component)
         )
         self.plans[component] = plan
+        return plan
+
+    def _build_or_load(self, component: PathQuery) -> QueryPlan:
+        """Catalog-aware builder run under ``PlanCache.get_or_build``.
+
+        A catalog hit reconstructs the plan around the memory-mapped
+        artefacts (fresh validator, empty memos) without counting as an
+        S1 build; a miss builds normally and saves the artefacts back.
+        An *unreadable* catalog entry (format-version bump, corruption)
+        must never take queries down: it is counted in
+        :attr:`catalog_errors` and rebuilt — the fresh save overwrites
+        the bad file, self-healing the catalog.
+        """
+        if self._catalog is not None:
+            try:
+                plan = self._catalog.try_load_plan(
+                    self._kg,
+                    self._space,
+                    self.config,
+                    component,
+                    validator=self._validator(),
+                )
+            except (StoreError, OSError):
+                plan = None
+                self.catalog_errors += 1
+            if plan is not None:
+                self.catalog_hits += 1
+                return plan
+        plan = self._counted_build(component)
+        if self._catalog is not None:
+            try:
+                self._catalog.save_plan(self._kg, self._space, self.config, plan)
+            except (StoreError, OSError):
+                # a full disk / read-only catalog must not fail the query
+                # the plan was just successfully built for
+                self.catalog_errors += 1
         return plan
 
     def _counted_build(self, component: PathQuery) -> QueryPlan:
@@ -98,15 +167,7 @@ class QueryPlanner:
         return self._build_chain(component)
 
     def _validator(self) -> CorrectnessValidator:
-        config = self.config
-        return CorrectnessValidator(
-            self._kg,
-            self._space,
-            repeat_factor=config.repeat_factor,
-            max_length=config.n_bound,
-            floor=config.similarity_floor,
-            expansion_budget=config.validation_expansions,
-        )
+        return build_validator(self._kg, self._space, self.config)
 
     def _build_simple(self, component: PathQuery) -> QueryPlan:
         config = self.config

@@ -29,10 +29,29 @@ What makes a *batch* cheaper than a loop over ``execute``:
   convergers free their slot immediately.
 
 Everything mutable about one query lives in its
-:class:`~repro.core.executor._QueryState`; the scheduler thread is the
-only thread that touches a state after initialisation, so the service
-needs no per-state locking.  ``ApproximateAggregateEngine.execute`` and
-:class:`InteractiveSession` are thin synchronous wrappers over this
+:class:`~repro.core.executor._QueryState`; exactly one execution slot
+touches a state at a time, so states need no locking regardless of which
+**execution backend** runs the slots.  The backend is pluggable:
+
+* ``backend="cooperative"`` (default) — the scheduler thread itself steps
+  every cohort member, today's single-threaded behaviour;
+* ``backend="threads"`` — cohort slots and cross-query validation
+  batches fan out to a thread pool (numpy releases the GIL in the BLB
+  and estimation kernels);
+* ``backend="processes"`` — whole S2/S3 rounds are exported as picklable
+  work items (:class:`~repro.core.executor.RoundWorkItem`) and executed
+  by worker processes holding the shared CSR snapshot and plan artefacts
+  through :class:`~repro.store.shared.SharedSnapshotStore` — no graph or
+  plan arrays are pickled per round.
+
+Growth (the only RNG) always runs in the slot that owns the state — the
+scheduler thread for the cooperative and processes backends, the
+record's single pool task for the threads backend; exactly one slot
+touches a state per pass, each state owns its RNG, and
+validation/estimation/guarantee are deterministic, so for a fixed seed
+every backend produces byte-identical results to the cooperative path
+(asserted by the equivalence tests and the parallel benchmark's gate).  ``ApproximateAggregateEngine.execute``
+and :class:`InteractiveSession` are thin synchronous wrappers over this
 service.
 """
 
@@ -42,6 +61,7 @@ import enum
 import threading
 import time
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.config import EngineConfig
@@ -65,7 +85,15 @@ from repro.kg.graph import KnowledgeGraph
 from repro.query.aggregate import AggregateQuery
 from repro.utils.timing import Timer
 
-__all__ = ["AggregateQueryService", "QueryHandle", "QueryStatus"]
+__all__ = [
+    "AggregateQueryService",
+    "ExecutionBackend",
+    "QueryHandle",
+    "QueryStatus",
+]
+
+#: recognised execution backend names
+BACKENDS = ("cooperative", "threads", "processes")
 
 
 class QueryStatus(enum.Enum):
@@ -233,6 +261,118 @@ class QueryHandle:
         return self._service._cancel(self._record)
 
 
+@dataclass(eq=False)
+class _PrewarmJob:
+    """One shared plan's cross-query validation batch."""
+
+    plan: QueryPlan
+    executor: QueryExecutor
+    nodes: list[int]
+    states: list
+
+    def run(self) -> float:
+        """Execute the batch in-process; returns its wall-clock seconds."""
+        started = time.perf_counter()
+        self.executor.prewarm_similarities([self.plan], self.nodes)
+        return time.perf_counter() - started
+
+
+class ExecutionBackend:
+    """The cooperative backend and the interface the parallel ones extend.
+
+    A backend owns *how* a scheduler pass's slots execute — in the
+    scheduler thread, in a thread pool, or in worker processes — never
+    *what* they compute: cohort selection, growth (the only RNG) and
+    completion bookkeeping stay in the service, which is what keeps every
+    backend's results byte-identical for a fixed seed.
+    """
+
+    name = "cooperative"
+
+    def run_cohort(self, service: "AggregateQueryService", cohort) -> None:
+        """Advance every cohort record by one slot."""
+        for record in cohort:
+            service._step_record_safely(record)
+
+    def run_prewarm(self, service: "AggregateQueryService", jobs) -> list[float]:
+        """Execute the cross-query validation batches; seconds per job."""
+        return [job.run() for job in jobs]
+
+    def close(self) -> None:
+        """Release backend resources (pools, shared segments)."""
+
+
+class _ThreadBackend(ExecutionBackend):
+    """``backend="threads"``: slots fan out to a thread pool.
+
+    Sound because each record's state is touched by exactly one task per
+    pass, and everything shared across tasks — plan verdict memos, the
+    validator expansion caches, the typed-node sets — only ever receives
+    idempotent writes of deterministic values (dict stores are atomic
+    under the GIL).  The numpy-heavy stages (BLB bootstrap, estimation
+    gathers) release the GIL, which is where the parallelism pays.
+    """
+
+    name = "threads"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ServiceError("a thread backend needs at least one worker")
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-query-worker"
+        )
+
+    def run_cohort(self, service: "AggregateQueryService", cohort) -> None:
+        futures = [
+            self._pool.submit(service._step_record_safely, record)
+            for record in cohort
+        ]
+        for future in futures:
+            future.result()
+
+    def run_prewarm(self, service: "AggregateQueryService", jobs) -> list[float]:
+        futures = [self._pool.submit(job.run) for job in jobs]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        # wait=False: an in-flight atomic slot (run_grouped/run_extreme)
+        # never checks cancellation mid-loop, so waiting here would make
+        # close() unbounded; records are already settled by the service,
+        # the straggler task just finishes into a pruned record
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _make_backend(
+    backend: "str | ExecutionBackend",
+    kg: KnowledgeGraph,
+    space: PredicateVectorSpace,
+    config: EngineConfig,
+    workers: int | None,
+    start_method: str | None,
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass a ready-made backend through)."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend == "cooperative":
+        return ExecutionBackend()
+    if backend == "threads":
+        from repro.store.workers import default_worker_count
+
+        return _ThreadBackend(
+            workers if workers is not None else default_worker_count()
+        )
+    if backend == "processes":
+        from repro.store.workers import ProcessBackend
+
+        return ProcessBackend(
+            kg, space, config, workers=workers, start_method=start_method
+        )
+    raise ServiceError(
+        f"unknown execution backend {backend!r}; choose from {BACKENDS}"
+    )
+
+
 class AggregateQueryService:
     """Async, batch-first serving facade over the plan/execute split.
 
@@ -241,6 +381,13 @@ class AggregateQueryService:
     handles immediately.  Construct with ``autostart=False`` to hold all
     submissions until :meth:`start` — useful for assembling a batch (or
     testing pending-state semantics) before any work begins.
+
+    ``backend`` selects how scheduler slots execute (``"cooperative"``,
+    ``"threads"`` or ``"processes"``; see the module docstring) and
+    ``workers`` its parallelism; ``planner``/``executor`` share an
+    engine's layers.  A worker-process pool is created eagerly here, in
+    the constructing thread, so passing ``backend="processes"`` is also
+    the moment the graph snapshot is published to shared memory.
     """
 
     def __init__(
@@ -252,6 +399,9 @@ class AggregateQueryService:
         planner: QueryPlanner | None = None,
         executor: QueryExecutor | None = None,
         autostart: bool = True,
+        backend: "str | ExecutionBackend" = "cooperative",
+        workers: int | None = None,
+        start_method: str | None = None,
     ) -> None:
         self._kg = kg
         self._space = (
@@ -270,6 +420,9 @@ class AggregateQueryService:
             if executor is not None
             else QueryExecutor(kg, self._space, self.config, self._planner)
         )
+        self._backend = _make_backend(
+            backend, kg, self._space, self.config, workers, start_method
+        )
         self._condition = threading.Condition()
         self._records: list[_QueryRecord] = []
         self._sequence = 0
@@ -284,6 +437,11 @@ class AggregateQueryService:
     def planner(self) -> QueryPlanner:
         """The planning layer every submitted query draws plans from."""
         return self._planner
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend running this service's scheduler slots."""
+        return self._backend
 
     def submit(
         self,
@@ -372,7 +530,17 @@ class AggregateQueryService:
         self._ensure_scheduler()
 
     def close(self) -> None:
-        """Stop the scheduler; unfinished queries are cancelled."""
+        """Stop the scheduler; unfinished queries are cancelled.
+
+        Shutdown ordering guarantees every live :class:`QueryHandle`
+        settles: first all non-terminal records are cancelled (waking
+        blocked ``result()`` callers), then the scheduler thread is
+        joined, then a final sweep cancels anything a racing scheduler
+        pass re-activated mid-close, and only then is the execution
+        backend (thread/process pools, shared segments) torn down — a
+        handle can end up ``SUCCEEDED`` (its round finished first) or
+        ``CANCELLED``, but never stuck ``RUNNING``.
+        """
         with self._condition:
             self._shutdown = True
             for record in self._records:
@@ -382,6 +550,12 @@ class AggregateQueryService:
         thread = self._thread
         if thread is not None and thread.is_alive():
             thread.join(timeout=5.0)
+        with self._condition:
+            for record in self._records:
+                if record.status not in _TERMINAL:
+                    self._finish_cancelled_locked(record)
+            self._condition.notify_all()
+        self._backend.close()
 
     def __enter__(self) -> "AggregateQueryService":
         return self
@@ -557,7 +731,9 @@ class AggregateQueryService:
             # completed rounds steps first; submission order breaks ties.
             cohort.sort(key=lambda r: (len(r.state.rounds), r.sequence))
 
-        prewarm_seconds = self._prewarm_cohort(cohort)
+        prewarm_started = time.perf_counter()
+        self._prewarm_cohort(cohort)
+        prewarm_seconds = time.perf_counter() - prewarm_started
         if cohort:
             overhead = time.perf_counter() - overhead_timer - prewarm_seconds
             for record in cohort:
@@ -565,12 +741,7 @@ class AggregateQueryService:
                     record.state, STAGE_SCHEDULER, overhead / len(cohort)
                 )
 
-        for record in cohort:
-            try:
-                self._step_record(record)
-            except BaseException as exc:
-                with self._condition:
-                    self._finish_failed_locked(record, exc)
+        self._backend.run_cohort(self, cohort)
 
     def _initialise(self, record: _QueryRecord) -> None:
         """Run S1 + the initial BLB draws for one record."""
@@ -580,17 +751,23 @@ class AggregateQueryService:
             )
         except BaseException as exc:
             with self._condition:
-                self._finish_failed_locked(record, exc)
+                if record.status not in _TERMINAL:
+                    self._finish_failed_locked(record, exc)
             return
         # make serving overhead attributable from the very first result
         state.timers.stages.setdefault(STAGE_SCHEDULER, Timer())
         with self._condition:
+            if record.status in _TERMINAL:
+                # a cancel (or service close) landed while S1 ran: keep
+                # the terminal status — resurrecting the record here left
+                # handles stranded in READY/RUNNING forever
+                return
             record.state = state
             if record.active_run is None and not record.queued_runs:
                 record.status = QueryStatus.READY
             self._condition.notify_all()
 
-    def _prewarm_cohort(self, cohort: list[_QueryRecord]) -> float:
+    def _prewarm_cohort(self, cohort: list[_QueryRecord]) -> None:
         """Cross-query validation batching: one pass per shared plan.
 
         Unions the pending correctness searches of every cohort member
@@ -598,12 +775,14 @@ class AggregateQueryService:
         ``validate_batch`` call; the members' own validation passes then
         hit the memo.  Only plans shared by >= 2 queries are pre-warmed —
         a lone query's batch inside :meth:`QueryExecutor.step` is already
-        one pass.  Returns the wall-clock seconds spent (attributed to
-        the participants' ``validation`` stage, split evenly).
+        one pass.  The batches of distinct plans are independent, so they
+        are handed to the execution backend as jobs (the parallel
+        backends run them concurrently); each job's seconds are
+        attributed to its participants' ``validation`` stage.
         """
         candidates = [r for r in cohort if r.kind is _KIND_ROUNDS]
         if len(candidates) < 2:
-            return 0.0
+            return
         # find plans shared by >= 2 queries first — the common single-query
         # and disjoint-batch cases must not pay the pending-entry screen
         # twice (it reruns inside each step's validation pass anyway)
@@ -618,7 +797,7 @@ class AggregateQueryService:
             if len(records) >= 2
         }
         if not shared:
-            return 0.0
+            return
         pending_by_record: dict[int, list[int]] = {}
         for _plan, records in shared.values():
             for record in records:
@@ -626,7 +805,7 @@ class AggregateQueryService:
                     pending_by_record[id(record)] = (
                         record.executor.pending_validation_nodes(record.state)
                     )
-        total_seconds = 0.0
+        jobs: list[_PrewarmJob] = []
         for plan, records in shared.values():
             nodes: list[int] = []
             states = []
@@ -637,30 +816,97 @@ class AggregateQueryService:
                     states.append(record.state)
             if not nodes:
                 continue
-            started = time.perf_counter()
-            records[0].executor.prewarm_similarities([plan], nodes)
-            elapsed = time.perf_counter() - started
-            total_seconds += elapsed
-            for state in states:
-                self._attribute_stage(
-                    state, STAGE_VALIDATION, elapsed / len(states)
+            jobs.append(
+                _PrewarmJob(
+                    plan=plan,
+                    executor=records[0].executor,
+                    nodes=nodes,
+                    states=states,
                 )
-        return total_seconds
+            )
+        if not jobs:
+            return
+        for job, elapsed in zip(jobs, self._backend.run_prewarm(self, jobs)):
+            for state in job.states:
+                self._attribute_stage(
+                    state, STAGE_VALIDATION, elapsed / len(job.states)
+                )
 
     @staticmethod
     def _attribute_stage(state, stage: str, seconds: float) -> None:
         """Credit scheduler-side work to a state's stage bucket."""
         state.timers.stages.setdefault(stage, Timer()).elapsed += seconds
 
-    def _step_record(self, record: _QueryRecord) -> None:
-        """Advance one record by one scheduler slot."""
+    # -- slot primitives shared with the execution backends -------------
+    def _begin_slot(self, record: _QueryRecord):
+        """``(run, state)`` for a record about to be stepped, or ``None``.
+
+        Re-checked under the lock: a cancel/close may have landed between
+        cohort selection and this slot.
+        """
         with self._condition:
-            # re-check under the lock: a cancel/close may have landed
-            # between cohort selection and this slot
             run = record.active_run
             state = record.state
             if run is None or state is None or record.cancel_requested:
-                return
+                return None
+            return run, state
+
+    def _grow_for_run(self, record: _QueryRecord, run: _Run, state) -> float:
+        """Alg.-2 growth before a non-first round; returns its seconds.
+
+        Growth draws from the state's own RNG.  It always runs in the
+        parent process, in whichever slot owns the state this pass —
+        worker *processes* receive the already-grown sample, which is
+        what keeps fixed-seed draw sequences identical across backends.
+        """
+        if run.steps_taken == 0:
+            return 0.0
+        assert run.last is not None
+        grow_started = time.perf_counter()
+        record.executor.grow(state, run.last, run.error_bound)
+        return time.perf_counter() - grow_started
+
+    def _finish_rounds_slot(
+        self, record: _QueryRecord, run: _Run, state, outcome
+    ) -> None:
+        """Apply one round's outcome to the run's completion bookkeeping."""
+        run.steps_taken += 1
+        run.last = outcome.trace
+        budget = (
+            self.config.max_rounds
+            if run.max_rounds is None
+            else run.max_rounds
+        )
+        if outcome.satisfied:
+            self._complete_run(
+                record,
+                record.executor.finalise(state, run.last, converged=True),
+            )
+        elif outcome.exhausted or run.steps_taken >= budget:
+            self._complete_run(
+                record,
+                record.executor.finalise(state, run.last, converged=False),
+            )
+
+    def _fail_record(self, record: _QueryRecord, exc: BaseException) -> None:
+        """Fail one record (backend-facing wrapper taking the lock)."""
+        with self._condition:
+            if record.status not in _TERMINAL:
+                self._finish_failed_locked(record, exc)
+
+    def _step_record_safely(self, record: _QueryRecord) -> None:
+        """One slot with failures contained to the record (backend entry)."""
+        try:
+            self._step_record(record)
+        except BaseException as exc:
+            self._fail_record(record, exc)
+
+    def _step_record(self, record: _QueryRecord) -> None:
+        """Advance one record by one scheduler slot, in this thread."""
+        slot = self._begin_slot(record)
+        if slot is None:
+            return
+        run, state = slot
         executor = record.executor
         if record.kind is _KIND_GROUPED:
             result = executor.run_grouped(state, run.error_bound)
@@ -671,30 +917,11 @@ class AggregateQueryService:
             self._complete_run(record, result)
             return
 
-        grow_seconds = 0.0
-        if run.steps_taken > 0:
-            assert run.last is not None
-            grow_started = time.perf_counter()
-            executor.grow(state, run.last, run.error_bound)
-            grow_seconds = time.perf_counter() - grow_started
+        grow_seconds = self._grow_for_run(record, run, state)
         outcome = executor.step(
             state, run.error_bound, carried_seconds=grow_seconds
         )
-        run.steps_taken += 1
-        run.last = outcome.trace
-        budget = (
-            self.config.max_rounds
-            if run.max_rounds is None
-            else run.max_rounds
-        )
-        if outcome.satisfied:
-            self._complete_run(
-                record, executor.finalise(state, run.last, converged=True)
-            )
-        elif outcome.exhausted or run.steps_taken >= budget:
-            self._complete_run(
-                record, executor.finalise(state, run.last, converged=False)
-            )
+        self._finish_rounds_slot(record, run, state, outcome)
 
     def _complete_run(self, record: _QueryRecord, result) -> None:
         with self._condition:

@@ -56,6 +56,10 @@ class DatasetError(ReproError):
     """A synthetic dataset generator was given inconsistent parameters."""
 
 
+class StoreError(ReproError):
+    """A snapshot/plan store operation failed (bad format, stale key...)."""
+
+
 class ServiceError(ReproError):
     """A query-serving operation was invalid (closed service, bad handle op)."""
 

@@ -7,10 +7,22 @@ walk and subgraph matches move along paths regardless of triple direction)
 while the triple orientation is preserved for the SPARQL-style baseline.
 """
 
-from repro.kg.csr import CSRGraph, build_csr, csr_snapshot
+from repro.kg.csr import (
+    CSRGraph,
+    build_csr,
+    csr_from_arrays,
+    csr_snapshot,
+    install_snapshot,
+)
 from repro.kg.graph import Edge, KnowledgeGraph, Node
 from repro.kg.interop import from_networkx, to_networkx
-from repro.kg.io import load_json, load_triples, save_json, save_triples
+from repro.kg.io import (
+    graph_fingerprint,
+    load_json,
+    load_triples,
+    save_json,
+    save_triples,
+)
 from repro.kg.statistics import GraphStatistics, compute_statistics
 from repro.kg.traversal import (
     bounded_node_set,
@@ -25,7 +37,10 @@ __all__ = [
     "KnowledgeGraph",
     "Node",
     "build_csr",
+    "csr_from_arrays",
     "csr_snapshot",
+    "graph_fingerprint",
+    "install_snapshot",
     "GraphStatistics",
     "compute_statistics",
     "bounded_node_set",

@@ -169,9 +169,105 @@ class CSRGraph:
         return np.unique(np.concatenate(parts))
 
     # ------------------------------------------------------------------
+    # Store hooks (repro.store)
+    # ------------------------------------------------------------------
+    def export_arrays(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """``(metadata, arrays)`` capturing this snapshot for persistence.
+
+        The arrays are exactly the snapshot's own (read-only) buffers —
+        no copy is made here; the store layer decides whether to write
+        them to disk or publish them through shared memory.
+        ``nodes_by_type`` is *not* exported: it is derivable column by
+        column from ``type_matrix`` (see :func:`csr_from_arrays`).
+        """
+        metadata = {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "type_names": list(self.type_names),
+        }
+        arrays = {
+            "indptr": self.indptr,
+            "neighbor_ids": self.neighbor_ids,
+            "edge_ids": self.edge_ids,
+            "edge_predicate_ids": self.edge_predicate_ids,
+            "type_matrix": self.type_matrix,
+        }
+        return metadata, arrays
+
+    # ------------------------------------------------------------------
     def _check_node(self, node_id: int) -> None:
         if not 0 <= node_id < self.num_nodes:
             raise NodeNotFoundError(f"node id {node_id} out of range")
+
+
+def csr_from_arrays(metadata: Mapping, arrays: Mapping[str, np.ndarray]) -> CSRGraph:
+    """Rebuild a :class:`CSRGraph` from :meth:`CSRGraph.export_arrays` output.
+
+    The arrays are adopted as-is (zero-copy: memory-mapped or shared
+    segments stay memory-mapped or shared); only the small per-type id
+    lists are materialised, by reading ``type_matrix`` columns — the
+    column's ascending node ids equal ``build_csr``'s per-type arrays
+    because type membership is recorded in node-insertion order.
+    """
+    from repro.errors import StoreError
+
+    required = ("indptr", "neighbor_ids", "edge_ids", "edge_predicate_ids",
+                "type_matrix")
+    missing = [name for name in required if name not in arrays]
+    if missing:
+        raise StoreError(f"snapshot arrays missing segments: {missing}")
+    type_names = tuple(metadata["type_names"])
+    type_matrix = arrays["type_matrix"]
+    type_index = {name: column for column, name in enumerate(type_names)}
+    nodes_by_type: dict[str, np.ndarray] = {}
+    for name, column in type_index.items():
+        typed = np.flatnonzero(type_matrix[:, column]).astype(np.int64)
+        typed.setflags(write=False)
+        nodes_by_type[name] = typed
+    return CSRGraph(
+        num_nodes=int(metadata["num_nodes"]),
+        num_edges=int(metadata["num_edges"]),
+        indptr=arrays["indptr"],
+        neighbor_ids=arrays["neighbor_ids"],
+        edge_ids=arrays["edge_ids"],
+        edge_predicate_ids=arrays["edge_predicate_ids"],
+        type_names=type_names,
+        type_index=type_index,
+        type_matrix=type_matrix,
+        nodes_by_type=nodes_by_type,
+    )
+
+
+def install_snapshot(kg: KnowledgeGraph, snapshot: CSRGraph) -> CSRGraph:
+    """Seed ``kg``'s snapshot cache with an externally loaded snapshot.
+
+    After installation :func:`csr_snapshot` returns ``snapshot`` without
+    running :func:`build_csr` — the point of loading a memory-mapped
+    snapshot from the store.  The snapshot must describe the graph's
+    *current* structure; size mismatches are rejected here, version/key
+    validation happens in the store layer before this call.
+    """
+    from repro.errors import StoreError
+
+    if snapshot.num_nodes != kg.num_nodes or snapshot.num_edges != kg.num_edges:
+        raise StoreError(
+            f"snapshot shape ({snapshot.num_nodes} nodes, {snapshot.num_edges} "
+            f"edges) does not match the graph ({kg.num_nodes} nodes, "
+            f"{kg.num_edges} edges)"
+        )
+    setattr(kg, _SNAPSHOT_ATTR, (kg.structure_version, snapshot))
+    return snapshot
+
+
+#: number of full ``build_csr`` compilations this process has run; the
+#: store tests and the parallel benchmark assert that a memory-mapped
+#: snapshot load leaves this counter untouched
+_BUILD_CALLS = 0
+
+
+def build_call_count() -> int:
+    """How many times :func:`build_csr` has actually compiled a snapshot."""
+    return _BUILD_CALLS
 
 
 def build_csr(kg: KnowledgeGraph) -> CSRGraph:
@@ -182,6 +278,8 @@ def build_csr(kg: KnowledgeGraph) -> CSRGraph:
     entry, per edge) so that the per-node order matches the append order of
     ``KnowledgeGraph.add_edge`` exactly.
     """
+    global _BUILD_CALLS
+    _BUILD_CALLS += 1
     num_nodes = kg.num_nodes
     num_edges = kg.num_edges
     if num_edges:

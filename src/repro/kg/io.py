@@ -10,6 +10,7 @@ Two formats are supported:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -17,6 +18,38 @@ from repro.errors import DatasetError
 from repro.kg.graph import KnowledgeGraph
 
 _FORMAT_VERSION = 1
+
+
+def graph_fingerprint(kg: KnowledgeGraph) -> str:
+    """A stable content hash of ``kg``'s *structure* (sha256 hex digest).
+
+    Covers node names, type sets and the full triple list — everything a
+    CSR snapshot or a cached plan depends on — but not numeric attributes,
+    mirroring the ``structure_version`` / ``attribute_version`` split.
+    Unlike ``structure_version`` (a process-local mutation counter), the
+    fingerprint survives serialisation: a graph saved with
+    :func:`save_json` and reloaded elsewhere hashes identically, which is
+    what lets the snapshot store validate an on-disk artefact against a
+    freshly loaded graph.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro-kg-v1\x00")
+    for node_id in kg.nodes():
+        node = kg.node(node_id)
+        digest.update(node.name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update("|".join(sorted(node.types)).encode("utf-8"))
+        digest.update(b"\x01")
+    digest.update(b"\x02")
+    for predicate in kg.predicates:
+        digest.update(predicate.encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(b"\x03")
+    for subject, predicate_id, obj in kg.triples():
+        digest.update(subject.to_bytes(8, "little", signed=True))
+        digest.update(predicate_id.to_bytes(8, "little", signed=True))
+        digest.update(obj.to_bytes(8, "little", signed=True))
+    return digest.hexdigest()
 
 
 def save_json(kg: KnowledgeGraph, path: str | Path) -> None:

@@ -213,9 +213,15 @@ class CorrectnessValidator:
             (-float(probabilities[index]), int(distinct[index]), float(best[index]))
             for index in order
         ]
-        self._children[node] = beam
-        self._beam_children[node] = frozenset(child for _, child, _ in beam)
+        # Publication order matters when a shared validator is driven by
+        # the serving layer's thread backend: concurrent callers treat a
+        # ``_children`` hit as "this node is fully cached" (the read path
+        # at the top of this method and ``_shared_pops``), so the sibling
+        # dicts must be visible before ``_children`` is — writes of
+        # identical deterministic values are otherwise benign.
         self._adjacency[node] = adjacency
+        self._beam_children[node] = frozenset(child for _, child, _ in beam)
+        self._children[node] = beam
         return beam, adjacency
 
     # ------------------------------------------------------------------

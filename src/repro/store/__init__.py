@@ -1,0 +1,53 @@
+"""``repro.store`` — persistence and cross-process sharing of S1 artefacts.
+
+The engine's expensive preparation — the CSR graph snapshot and each
+component's :class:`~repro.core.plan.QueryPlan` artefacts — is amortised
+in-process by the snapshot cache and the
+:class:`~repro.core.plan.PlanCache`, but dies with the process.  This
+package makes those artefacts durable and shareable:
+
+* :mod:`repro.store.format` — a versioned zero-copy container: JSON
+  header + raw 64-byte-aligned numpy segments, ``np.memmap``-loadable;
+* :mod:`repro.store.snapshot` / :mod:`repro.store.plans` — save/load of
+  CSR snapshots and plan artefacts, keyed and validated by
+  ``(graph fingerprint, structure_version, embedding fingerprint,
+  config fingerprint)``;
+* :class:`SnapshotCatalog` — a directory of both, pluggable into
+  :class:`~repro.core.planner.QueryPlanner` so plan-cache misses fall
+  through to disk before running S1;
+* :class:`SharedSnapshotStore` — the same segments published through
+  ``multiprocessing.shared_memory`` so worker processes attach without
+  copying or re-pickling the graph;
+* :mod:`repro.store.workers` — the :class:`WorkerPool` and
+  ``backend="processes"`` execution backend the serving layer fans
+  whole S2/S3 rounds out to.
+"""
+
+from repro.store.catalog import SnapshotCatalog
+from repro.store.format import pack_arrays, read_arrays, unpack_arrays, write_arrays
+from repro.store.plans import (
+    embedding_fingerprint,
+    load_plan_artifacts,
+    save_plan_artifacts,
+)
+from repro.store.shared import AttachedSegments, SharedSnapshotStore
+from repro.store.snapshot import load_snapshot, save_snapshot
+from repro.store.workers import ProcessBackend, WorkerPool, default_worker_count
+
+__all__ = [
+    "AttachedSegments",
+    "ProcessBackend",
+    "SharedSnapshotStore",
+    "SnapshotCatalog",
+    "WorkerPool",
+    "default_worker_count",
+    "embedding_fingerprint",
+    "load_plan_artifacts",
+    "load_snapshot",
+    "pack_arrays",
+    "read_arrays",
+    "save_plan_artifacts",
+    "save_snapshot",
+    "unpack_arrays",
+    "write_arrays",
+]

@@ -1,0 +1,166 @@
+"""Cross-process snapshot publication over ``multiprocessing.shared_memory``.
+
+:class:`SharedSnapshotStore` packs ``(metadata, arrays)`` bundles with the
+exact on-disk segment layout (:mod:`repro.store.format`) into named
+POSIX shared-memory blocks.  A worker process attaches by *name* — a few
+dozen bytes of manifest travel over the work queue — and unpacks
+zero-copy array views over the shared pages: the graph snapshot and every
+plan's visiting/distribution arrays exist once in physical memory no
+matter how many workers execute rounds against them, and nothing is
+pickled per round.
+
+Ownership is explicit: the publishing process is the only one that
+unlinks; attachers merely close their mapping and never take over unlink
+responsibility (``track=False`` on CPython >= 3.13; on older versions the
+attach-side re-registration is a harmless set no-op in the shared
+resource-tracker process — see :func:`_open_untracked`).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.store.format import pack_into, packed_size, unpack_arrays
+
+#: manifest schema version, checked on attach
+MANIFEST_VERSION = 1
+
+
+def _open_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to ``name`` without taking over unlink responsibility.
+
+    On Python >= 3.13 the ``track=False`` opt-out says exactly that.  On
+    older versions attaching re-registers the name with the resource
+    tracker — harmless, because publisher and workers share one tracker
+    process and its cache is a set: the duplicate registration is a
+    no-op, and the publisher's ``unlink`` deregisters the single entry.
+    (Explicitly *unregistering* here would strip the publisher's own
+    registration from the shared tracker — do not.)
+    """
+    try:  # Python >= 3.13 has first-class opt-out
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+class AttachedSegments:
+    """One attached shared block: metadata + zero-copy array views.
+
+    Keep this object alive as long as the arrays are in use; ``close()``
+    drops the local mapping (never the shared block itself).
+    """
+
+    def __init__(self, manifest: Mapping) -> None:
+        if manifest.get("manifest_version") != MANIFEST_VERSION:
+            raise StoreError(
+                f"unsupported shared-store manifest: {manifest!r}"
+            )
+        try:
+            self._block = _open_untracked(manifest["shm_name"])
+        except FileNotFoundError as exc:
+            raise StoreError(
+                f"shared segment {manifest.get('shm_name')!r} is gone "
+                "(publisher closed its store?)"
+            ) from exc
+        self.key = manifest.get("key")
+        self.metadata, self.arrays = unpack_arrays(self._block.buf)
+
+    def close(self) -> None:
+        """Release the local mapping (arrays must no longer be used)."""
+        self.metadata, self.arrays = {}, {}
+        try:
+            self._block.close()
+        except BufferError:  # pragma: no cover - caller kept array refs
+            pass
+
+    def __enter__(self) -> "AttachedSegments":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
+class SharedSnapshotStore:
+    """Publisher side: owns the shared blocks and their lifetimes."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[str, shared_memory.SharedMemory] = {}
+        self._manifests: dict[str, dict] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        key: str,
+        metadata: Mapping[str, object],
+        arrays: Mapping[str, np.ndarray],
+    ) -> dict:
+        """Pack ``(metadata, arrays)`` into a shared block under ``key``.
+
+        Republishing an existing key returns the existing manifest (the
+        payloads the store carries — snapshots, plan artefacts — are
+        immutable per key by construction).
+        """
+        if self._closed:
+            raise StoreError("the shared snapshot store has been closed")
+        existing = self._manifests.get(key)
+        if existing is not None:
+            return existing
+        total = packed_size(metadata, arrays)
+        block = shared_memory.SharedMemory(create=True, size=max(1, total))
+        # pack straight into the shared pages: one copy, no staging buffer
+        pack_into(block.buf, metadata, arrays)
+        manifest = {
+            "manifest_version": MANIFEST_VERSION,
+            "key": key,
+            "shm_name": block.name,
+            "nbytes": total,
+        }
+        self._blocks[key] = block
+        self._manifests[key] = manifest
+        return manifest
+
+    def manifest(self, key: str) -> dict | None:
+        """The manifest published under ``key``, if any."""
+        return self._manifests.get(key)
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """All currently published keys."""
+        return tuple(self._manifests)
+
+    @staticmethod
+    def attach(manifest: Mapping) -> AttachedSegments:
+        """Open a published block by manifest (any process)."""
+        return AttachedSegments(manifest)
+
+    # ------------------------------------------------------------------
+    def unpublish(self, key: str) -> None:
+        """Drop + unlink one published block."""
+        block = self._blocks.pop(key, None)
+        self._manifests.pop(key, None)
+        if block is not None:
+            block.close()
+            block.unlink()
+
+    def close(self) -> None:
+        """Unlink every published block; attachers' mappings go stale."""
+        self._closed = True
+        for key in list(self._blocks):
+            self.unpublish(key)
+
+    def __enter__(self) -> "SharedSnapshotStore":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

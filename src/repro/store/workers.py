@@ -1,0 +1,504 @@
+"""Multi-process execution for the serving layer.
+
+:class:`WorkerPool` owns N long-lived worker processes plus one
+:class:`~repro.store.shared.SharedSnapshotStore`.  The CSR snapshot is
+published through shared memory before the pool starts (workers install
+it instead of compiling their own), and every :class:`QueryPlan` a round
+references is published once as artefact segments — workers attach by
+name and rebuild a plan replica around the shared arrays, so neither the
+graph arrays nor any plan artefact is pickled per round.  Only the small
+:class:`~repro.core.executor.RoundWorkItem` payloads travel the queue.
+
+Determinism: sampling (the only RNG) runs in the parent before export;
+validation, estimation and the BLB guarantee are deterministic functions
+of the item plus the shared artefacts, so a worker's
+:class:`~repro.core.executor.RoundWorkResult` is byte-identical to what
+the cooperative scheduler would have computed in-process — the
+equivalence tests and the parallel benchmark's gate assert exactly that.
+
+With the ``fork`` start method (Linux) workers inherit the graph and
+embedding copy-on-write at pool creation; with ``spawn`` they receive one
+pickled copy at startup.  Either way, a graph mutated (structurally *or*
+attribute-wise) after pool creation makes the workers stale:
+:meth:`WorkerPool.fresh` reports this and the process backend falls back
+to in-process execution for correctness.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.core.config import EngineConfig
+from repro.core.executor import (
+    PrewarmWorkItem,
+    QueryExecutor,
+    RoundWorkItem,
+    apply_prewarm_result,
+    apply_round_result,
+    execute_prewarm_item,
+    execute_round_item,
+    export_round_item,
+)
+from repro.core.plan import PlanArtifacts, QueryPlan, extract_artifacts, plan_from_artifacts
+from repro.core.planner import build_validator
+from repro.core.service import _KIND_ROUNDS, ExecutionBackend
+from repro.embedding.predicate_space import PredicateVectorSpace
+from repro.errors import ServiceError, StoreError
+from repro.kg.csr import csr_from_arrays, csr_snapshot, install_snapshot
+from repro.kg.graph import KnowledgeGraph
+from repro.store.shared import SharedSnapshotStore
+
+__all__ = ["WorkerPool", "ProcessBackend", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """Worker processes/threads to use when the caller does not say."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _pickle_spec(plan: QueryPlan) -> dict:
+    """The small picklable facet of a plan (arrays travel via shm)."""
+    artifacts = extract_artifacts(plan)
+    return {
+        "component": artifacts.component,
+        "source": artifacts.source,
+        "walk_iterations": artifacts.walk_iterations,
+        "num_candidates": artifacts.num_candidates,
+        "is_chain": artifacts.is_chain,
+        "chain_truncated": artifacts.chain_truncated,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side
+# ---------------------------------------------------------------------------
+class _WorkerContext:
+    """Per-process state: the graph, plan replicas, attached segments."""
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateVectorSpace,
+        config: EngineConfig,
+    ) -> None:
+        self.kg = kg
+        self.space = space
+        self.config = config
+        self._executors: dict[str, QueryExecutor] = {}
+        self._plans: dict[str, QueryPlan] = {}
+        #: token -> (joint, attached segment); LRU-bounded, see resolve_joint
+        self._joints: dict[str, tuple] = {}
+        self._attached: list = []
+
+    def executor_for(self, config: EngineConfig) -> QueryExecutor:
+        """One executor per distinct config (per-query confidence overrides)."""
+        key = repr(config)
+        executor = self._executors.get(key)
+        if executor is None:
+            executor = QueryExecutor(self.kg, self.space, config, planner=None)
+            self._executors[key] = executor
+        return executor
+
+    #: attached per-query joints kept per worker; tokens are never
+    #: reused, so this is a plain bounded cache — old entries belong to
+    #: finished (parent-side released) queries and can be dropped
+    JOINT_CACHE_LIMIT = 64
+
+    def resolve_joint(self, ticket: dict):
+        """The (cached) shared joint distribution for one query state."""
+        from repro.sampling.collector import AnswerDistribution
+
+        token = ticket["token"]
+        cached = self._joints.get(token)
+        if cached is not None:
+            self._joints[token] = self._joints.pop(token)  # LRU touch
+            return cached[0]
+        attached = SharedSnapshotStore.attach(ticket["manifest"])
+        joint = AnswerDistribution(
+            answers=attached.arrays["answers"],
+            probabilities=attached.arrays["probabilities"],
+        )
+        self._joints[token] = (joint, attached)
+        while len(self._joints) > self.JOINT_CACHE_LIMIT:
+            oldest = next(iter(self._joints))  # dicts iterate oldest-first
+            _old_joint, old_attached = self._joints.pop(oldest)
+            old_attached.close()
+        return joint
+
+    def resolve_plan(self, ticket: dict) -> QueryPlan:
+        """The replica for one plan ticket, attaching its segments once."""
+        token = ticket["token"]
+        plan = self._plans.get(token)
+        if plan is not None:
+            return plan
+        attached = SharedSnapshotStore.attach(ticket["manifest"])
+        self._attached.append(attached)
+        spec = ticket["spec"]
+        artifacts = PlanArtifacts(
+            component=spec["component"],
+            source=spec["source"],
+            answers=attached.arrays["answers"],
+            probabilities=attached.arrays["probabilities"],
+            visiting=attached.arrays["visiting"],
+            walk_iterations=spec["walk_iterations"],
+            num_candidates=spec["num_candidates"],
+            is_chain=spec["is_chain"],
+            chain_routes={},  # routes are sampling-side; workers only validate
+            chain_truncated=spec["chain_truncated"],
+        )
+        plan = plan_from_artifacts(
+            artifacts, build_validator(self.kg, self.space, self.config)
+        )
+        self._plans[token] = plan
+        return plan
+
+
+#: the per-process context, set by the pool initializer
+_CONTEXT: _WorkerContext | None = None
+
+
+def _worker_init(
+    kg: KnowledgeGraph,
+    space: PredicateVectorSpace,
+    config: EngineConfig,
+    snapshot_manifest: dict | None,
+) -> None:
+    global _CONTEXT
+    _CONTEXT = _WorkerContext(kg, space, config)
+    if snapshot_manifest is not None:
+        attached = SharedSnapshotStore.attach(snapshot_manifest)
+        _CONTEXT._attached.append(attached)
+        snapshot = csr_from_arrays(attached.metadata, attached.arrays)
+        # spawn-started workers get the shared CSR instead of compiling
+        # their own; fork-started workers inherited the parent's anyway
+        install_snapshot(kg, snapshot)
+
+
+def _require_context() -> _WorkerContext:
+    if _CONTEXT is None:  # pragma: no cover - initializer always runs
+        raise ServiceError("worker context missing: pool initializer did not run")
+    return _CONTEXT
+
+
+def _worker_round(payload: tuple[RoundWorkItem, tuple[dict, ...], dict]):
+    """Pool target: execute one exported round against shared segments."""
+    item, tickets, joint_ticket = payload
+    context = _require_context()
+    plans = [context.resolve_plan(ticket) for ticket in tickets]
+    joint = context.resolve_joint(joint_ticket)
+    executor = context.executor_for(item.config)
+    return execute_round_item(item, plans, joint, executor)
+
+
+def _worker_prewarm(payload: tuple[PrewarmWorkItem, dict]):
+    """Pool target: one cross-query validation batch for a shared plan."""
+    item, ticket = payload
+    context = _require_context()
+    plan = context.resolve_plan(ticket)
+    executor = context.executor_for(item.config)
+    return execute_prewarm_item(item, plan, executor)
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+class WorkerPool:
+    """N worker processes sharing one published snapshot + plan store."""
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateVectorSpace,
+        config: EngineConfig,
+        *,
+        workers: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        self.workers = workers if workers is not None else default_worker_count()
+        if self.workers < 1:
+            raise ServiceError("a worker pool needs at least one worker")
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        elif start_method not in methods:
+            raise ServiceError(
+                f"start method {start_method!r} unavailable (have {methods})"
+            )
+        self.start_method = start_method
+        self._kg = kg
+        self._graph_version = kg.version
+        self._store = SharedSnapshotStore()
+        #: id(plan) -> (plan, ticket).  The *strong* plan reference is
+        #: load-bearing: it pins the id for the pool's lifetime, so a
+        #: PlanCache-evicted plan can never be garbage-collected and have
+        #: its address reused by a different plan that would then resolve
+        #: to the old plan's shared segments.  Published segments live
+        #: until :meth:`close` — the shm footprint tracks published plans
+        #: exactly, like the tickets themselves.
+        self._tickets: dict[int, tuple[QueryPlan, dict]] = {}
+        #: id(state) -> (state, ticket) for per-query joint distributions,
+        #: pinned for the same id-reuse reason as ``_tickets``
+        self._joints: dict[int, tuple[object, dict]] = {}
+        self._token_counter = 0
+        self._closed = False
+
+        # Publish the CSR snapshot before any worker exists: fork-started
+        # workers inherit the compiled snapshot copy-on-write, spawn-started
+        # ones install the shared segments instead of compiling their own.
+        snapshot = csr_snapshot(kg)
+        metadata, arrays = snapshot.export_arrays()
+        snapshot_manifest = self._store.publish("csr-snapshot", metadata, arrays)
+        context = multiprocessing.get_context(start_method)
+        # a classic Pool forks/spawns all workers eagerly, *here*, in the
+        # caller's thread — not lazily from the scheduler thread later
+        self._pool = context.Pool(
+            processes=self.workers,
+            initializer=_worker_init,
+            initargs=(kg, space, config, snapshot_manifest),
+        )
+
+    # ------------------------------------------------------------------
+    def fresh(self) -> bool:
+        """True while the workers' graph copy matches the live graph.
+
+        Keys on ``version`` (structure *and* attributes): workers screen
+        attribute filters themselves, so even attribute-only writes make
+        their inherited copy stale.
+        """
+        return self._kg.version == self._graph_version
+
+    def ticket_for(self, plan: QueryPlan) -> dict:
+        """The (cached) shm ticket for ``plan``, publishing on first use."""
+        cached = self._tickets.get(id(plan))
+        if cached is not None:
+            return cached[1]
+        if self._closed:
+            raise StoreError("the worker pool has been closed")
+        token = f"plan-{self._token_counter}"
+        self._token_counter += 1
+        artifacts = extract_artifacts(plan)
+        manifest = self._store.publish(token, {"token": token}, artifacts.arrays())
+        ticket = {
+            "token": token,
+            "manifest": manifest,
+            "spec": _pickle_spec(plan),
+        }
+        self._tickets[id(plan)] = (plan, ticket)
+        return ticket
+
+    def joint_ticket_for(self, state) -> dict:
+        """The shm ticket for a query state's (immutable) joint distribution.
+
+        Published once per state and pinned like plan tickets (same
+        id-reuse hazard): every later round of the query ships a few
+        bytes of manifest instead of the num_candidates-sized answer and
+        probability arrays.
+        """
+        cached = self._joints.get(id(state))
+        if cached is not None:
+            return cached[1]
+        if self._closed:
+            raise StoreError("the worker pool has been closed")
+        token = f"joint-{self._token_counter}"
+        self._token_counter += 1
+        manifest = self._store.publish(
+            token,
+            {"token": token},
+            {
+                "answers": state.joint.answers,
+                "probabilities": state.joint.probabilities,
+            },
+        )
+        ticket = {"token": token, "manifest": manifest}
+        self._joints[id(state)] = (state, ticket)
+        return ticket
+
+    def release_state(self, state) -> None:
+        """Drop a query state's pin + shared segment (run finished).
+
+        Keeps a long-lived service bounded: without this, every query
+        ever served would stay pinned (state, support arrays, shm block)
+        until :meth:`close`.  A later ``refine()`` on the same state
+        simply republishes under a fresh token.  Workers that attached
+        the old segment hold their mapping open, so an in-flight round
+        racing this release still reads valid pages.
+        """
+        entry = self._joints.pop(id(state), None)
+        if entry is not None and not self._closed:
+            self._store.unpublish(entry[1]["token"])
+
+    def dispatch_round(self, item: RoundWorkItem, plans: list[QueryPlan], state):
+        """Submit one round; returns the pool's async result handle."""
+        tickets = tuple(self.ticket_for(plan) for plan in plans)
+        if len(plans) == 1 and state.joint is plans[0].distribution:
+            # the common single-component case: the joint IS the plan's
+            # answer distribution, whose segment (answers/probabilities)
+            # is already published — alias it instead of copying it into
+            # a second per-query block
+            joint_ticket = {
+                "token": f"{tickets[0]['token']}:joint",
+                "manifest": tickets[0]["manifest"],
+            }
+        else:
+            joint_ticket = self.joint_ticket_for(state)
+        return self._pool.apply_async(
+            _worker_round, ((item, tickets, joint_ticket),)
+        )
+
+    def dispatch_prewarm(self, item: PrewarmWorkItem, plan: QueryPlan):
+        """Submit one cross-query validation batch."""
+        ticket = self.ticket_for(plan)
+        return self._pool.apply_async(_worker_prewarm, ((item, ticket),))
+
+    def close(self) -> None:
+        """Terminate the workers and unlink every shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.terminate()
+        self._pool.join()
+        self._store.close()
+        self._tickets.clear()
+        self._joints.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
+class ProcessBackend(ExecutionBackend):
+    """``backend="processes"``: whole rounds fan out to a WorkerPool.
+
+    Guaranteed-aggregate rounds and cohort pre-warm batches execute in
+    worker processes; GROUP-BY / MAX-MIN slots (atomic, RNG-bearing) and
+    any work against a mutated graph stay in-process.  Merging is
+    deterministic — see :func:`repro.core.executor.apply_round_result`.
+    """
+
+    name = "processes"
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        space: PredicateVectorSpace,
+        config: EngineConfig,
+        *,
+        workers: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        self._pool = WorkerPool(
+            kg, space, config, workers=workers, start_method=start_method
+        )
+
+    @property
+    def workers(self) -> int:
+        """Number of worker processes."""
+        return self._pool.workers
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The underlying worker pool (teardown tests)."""
+        return self._pool
+
+    # -- ExecutionBackend interface ------------------------------------
+    def run_cohort(self, service, cohort) -> None:
+        parallel = []
+        local = []
+        usable = self._pool.fresh()
+        for record in cohort:
+            if usable and record.kind is _KIND_ROUNDS:
+                parallel.append(record)
+            else:
+                local.append(record)
+
+        pending = []
+        for record in parallel:
+            slot = service._begin_slot(record)
+            if slot is None:
+                continue
+            run, state = slot
+            try:
+                grow_seconds = service._grow_for_run(record, run, state)
+                item = export_round_item(
+                    state, run.error_bound, grow_seconds, record.executor.config
+                )
+                handle = self._pool.dispatch_round(item, state.components, state)
+            except BaseException as exc:
+                service._fail_record(record, exc)
+                continue
+            pending.append((record, run, state, handle))
+
+        # in-process slots overlap with the workers' rounds
+        for record in local:
+            service._step_record_safely(record)
+
+        for record, run, state, handle in pending:
+            try:
+                result = self._await(service, handle)
+                if result is None:
+                    continue  # service closing: record already cancelled
+                outcome = apply_round_result(state, result)
+                service._finish_rounds_slot(record, run, state, outcome)
+            except BaseException as exc:
+                service._fail_record(record, exc)
+
+        # a record with no live or queued run is done (for now): unpin its
+        # joint segment so a long-lived service stays bounded.  Swept over
+        # the WHOLE cohort — records that finished via the local fallback
+        # (stale pool), failed at dispatch, or were cancelled must release
+        # too, not just the parallel-completion path.  refine() simply
+        # republishes later.
+        for record in cohort:
+            if (
+                record.state is not None
+                and record.active_run is None
+                and not record.queued_runs
+            ):
+                self._pool.release_state(record.state)
+
+    def _await(self, service, handle):
+        """Gather one worker result without out-living ``service.close()``.
+
+        A plain ``handle.get()`` never returns once ``close()`` has
+        terminated the pool mid-round, stranding the scheduler thread (and
+        everything it references) forever; polling lets the thread notice
+        the shutdown flag and abandon the round — its record was already
+        cancelled by ``close()``.
+        """
+        while True:
+            try:
+                return handle.get(timeout=0.1)
+            except multiprocessing.TimeoutError:
+                if service._shutdown or self._pool._closed:
+                    return None
+
+    def run_prewarm(self, service, jobs) -> list[float]:
+        if not self._pool.fresh():
+            # stale workers would compute verdicts against the old graph
+            # and poison the live plans' memos — same correctness rule as
+            # run_cohort's local fallback
+            return super().run_prewarm(service, jobs)
+        pending = []
+        for job in jobs:
+            item = PrewarmWorkItem(
+                config=job.executor.config,
+                memo=dict(job.plan.similarity_cache),
+                chain_memo=dict(job.plan.chain_prefix_memo),
+                node_ids=tuple(int(node) for node in job.nodes),
+            )
+            pending.append(self._pool.dispatch_prewarm(item, job.plan))
+        seconds: list[float] = []
+        for job, handle in zip(jobs, pending):
+            result = self._await(service, handle)
+            if result is None:
+                seconds.append(0.0)
+                continue
+            apply_prewarm_result(job.plan, result)
+            seconds.append(result.seconds)
+        return seconds
+
+    def close(self) -> None:
+        self._pool.close()

@@ -246,3 +246,55 @@ def test_export_unknown_dataset(tmp_path, capsys):
     code = main(["export", str(tmp_path / "x.json"), "--dataset", "nope"])
     assert code == 2
     assert "unknown dataset" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# snapshot
+# ---------------------------------------------------------------------------
+def test_snapshot_save_then_load_skips_recompiles(tmp_path, capsys):
+    aql = "COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)"
+    catalog_root = tmp_path / "catalog"
+    assert main(
+        ["snapshot", "save", str(catalog_root), "--dataset", "dbpedia-like",
+         "--plan", aql]
+    ) == 0
+    saved = capsys.readouterr().out
+    assert "snapshot:" in saved
+    assert "1 built" in saved
+
+    assert main(
+        ["snapshot", "load", str(catalog_root), "--dataset", "dbpedia-like",
+         "--verify-fingerprint", "--plan", aql]
+    ) == 0
+    loaded = capsys.readouterr().out
+    assert "build_csr calls: 0" in loaded
+    assert "1 loaded from the catalog, 0 S1 builds" in loaded
+
+
+def test_snapshot_load_without_save_reports_store_error(tmp_path, capsys):
+    code = main(
+        ["snapshot", "load", str(tmp_path / "empty"), "--dataset", "dbpedia-like"]
+    )
+    assert code == 1
+    assert "no store file" in capsys.readouterr().err
+
+
+def test_query_batch_with_thread_backend(capsys):
+    code = main(
+        ["query", "COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)",
+         "--batch", "--backend", "threads", "--workers", "2"]
+    )
+    assert code == 0
+    assert "COUNT" in capsys.readouterr().out
+
+
+def test_query_single_with_backend_routes_through_service(capsys):
+    code = main(
+        ["query", "COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)",
+         "--backend", "threads", "--workers", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    # a requested backend must not be silently ignored: the serving-layer
+    # batch path (which honours it) prints its batch-time summary
+    assert "batch time" in out

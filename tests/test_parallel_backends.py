@@ -1,0 +1,303 @@
+"""Execution backends: fixed-seed equivalence, teardown, shutdown ordering.
+
+The serving layer's parallel backends may change *where* a round runs but
+never *what* it computes:
+
+* ``cooperative == threads == processes`` for fixed seeds, byte-for-byte
+  on every value-like result field (the acceptance gate of the parallel
+  redesign);
+* worker pools and shared segments are torn down by ``close()`` with no
+  leaked shared-memory blocks;
+* ``close()`` during in-flight queries settles or cancels every live
+  handle — the regression here pins the bug where a cancellation landing
+  during S1 initialisation resurrected the record to ``READY`` and left
+  its handle unresolvable forever;
+* a graph mutated under a process pool falls back to in-process rounds
+  (stale workers must never serve old attribute values).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    AggregateFunction,
+    AggregateQuery,
+    AggregateQueryService,
+    EngineConfig,
+    QueryGraph,
+    QueryStatus,
+)
+from repro.core.plan import shared_plan_cache
+from repro.errors import QueryCancelledError, ServiceError, StoreError
+
+BACKENDS = ("cooperative", "threads", "processes")
+
+
+@pytest.fixture
+def world(toy_world_factory):
+    return toy_world_factory()
+
+
+def _nan_safe(value: float):
+    """NaN compares unequal to itself; canonicalise for tuple equality."""
+    import math
+
+    return None if isinstance(value, float) and math.isnan(value) else value
+
+
+def _fingerprint(result) -> tuple:
+    """Every value-like field of a result (timings excluded)."""
+    return (
+        result.value,
+        _nan_safe(result.moe),
+        result.converged,
+        result.total_draws,
+        result.correct_draws,
+        result.distinct_answers,
+        tuple(
+            (t.round_index, t.total_draws, t.correct_draws, t.estimate,
+             _nan_safe(t.moe), t.satisfied)
+            for t in result.rounds
+        ),
+    )
+
+
+def _workload(world) -> list[tuple[AggregateQuery, int]]:
+    """Shared-plan aggregates plus an extreme query (a local atomic slot)."""
+    extreme = AggregateQuery(
+        query=QueryGraph.simple("Germany", ["Country"], "product", ["Automobile"]),
+        function=AggregateFunction.MAX,
+        attribute="price",
+    )
+    return [
+        (world.count_query(), 3),
+        (world.avg_query(), 4),
+        (world.sum_query(), 5),
+        (world.count_query(), 6),
+        (extreme, 7),
+    ]
+
+
+def _run_backend(world, backend: str) -> list[tuple]:
+    shared_plan_cache().clear()
+    config = EngineConfig(seed=7, max_rounds=8)
+    with AggregateQueryService(
+        world.kg, world.embedding, config, backend=backend, workers=2
+    ) as service:
+        handles = service.submit_batch(_workload(world))
+        return [_fingerprint(handle.result()) for handle in handles]
+
+
+class TestBackendEquivalence:
+    def test_all_backends_byte_identical(self, world):
+        baseline = _run_backend(world, "cooperative")
+        for backend in ("threads", "processes"):
+            assert _run_backend(world, backend) == baseline, (
+                f"{backend} backend diverged from the cooperative scheduler"
+            )
+
+    def test_refine_through_process_backend(self, world):
+        def refine_with(backend: str):
+            shared_plan_cache().clear()
+            config = EngineConfig(seed=7, max_rounds=8)
+            with AggregateQueryService(
+                world.kg, world.embedding, config, backend=backend, workers=2
+            ) as service:
+                handle = service.submit(world.avg_query(), seed=5,
+                                        error_bound=0.05)
+                first = handle.result()
+                second = handle.refine(0.02).result()
+                return _fingerprint(first), _fingerprint(second)
+
+        assert refine_with("processes") == refine_with("cooperative")
+
+    def test_unknown_backend_rejected(self, world):
+        with pytest.raises(ServiceError, match="unknown execution backend"):
+            AggregateQueryService(
+                world.kg, world.embedding, EngineConfig(seed=7),
+                backend="quantum",
+            )
+
+    def test_thread_backend_needs_workers(self, world):
+        with pytest.raises(ServiceError):
+            AggregateQueryService(
+                world.kg, world.embedding, EngineConfig(seed=7),
+                backend="threads", workers=0,
+            )
+
+
+class TestWorkerPoolLifecycle:
+    def test_close_tears_down_pool_and_segments(self, world):
+        config = EngineConfig(seed=7, max_rounds=8)
+        service = AggregateQueryService(
+            world.kg, world.embedding, config, backend="processes", workers=2
+        )
+        backend = service.backend
+        handles = service.submit_batch(_workload(world)[:2])
+        for handle in handles:
+            handle.result()
+        service.close()
+        # the pool refuses new work and every shared segment is unlinked
+        with pytest.raises(StoreError):
+            backend.pool.ticket_for(object())
+        assert backend.pool._store.keys == ()
+        service.close()  # idempotent
+
+    def test_stale_graph_falls_back_to_local_rounds(self, world):
+        baseline = _run_backend(world, "cooperative")
+        shared_plan_cache().clear()
+        config = EngineConfig(seed=7, max_rounds=8)
+        with AggregateQueryService(
+            world.kg, world.embedding, config, backend="processes", workers=2
+        ) as service:
+            # attribute write after pool creation: workers hold a stale copy
+            price = world.kg.node(world.correct_cars[0]).attribute("price")
+            world.kg.set_attribute(world.correct_cars[0], "price", price)
+            assert not service.backend.pool.fresh()
+            handles = service.submit_batch(_workload(world))
+            stale_safe = [_fingerprint(handle.result()) for handle in handles]
+        assert stale_safe == baseline
+
+    def test_finished_queries_release_their_joint_segments(self, world):
+        """Long-lived services stay bounded: settled runs unpin their state.
+
+        Single-component queries alias their plan's segment (no per-query
+        publish at all); the cycle query's intersected joint is a genuine
+        per-query segment and must be released once the run settles.
+        """
+        from repro.query.graph import PathQuery
+
+        cycle = AggregateQuery(
+            query=QueryGraph(
+                components=(
+                    PathQuery(
+                        "Germany",
+                        frozenset(["Country"]),
+                        (("product", frozenset(["Automobile"])),),
+                    ),
+                    PathQuery(
+                        "Person_0",
+                        frozenset(["Person"]),
+                        (("designer", frozenset(["Automobile"])),),
+                    ),
+                )
+            ),
+            function=AggregateFunction.COUNT,
+        )
+        shared_plan_cache().clear()
+        config = EngineConfig(seed=7, max_rounds=8)
+        with AggregateQueryService(
+            world.kg, world.embedding, config, backend="processes", workers=2
+        ) as service:
+            handles = service.submit_batch(
+                [(world.count_query(), 3), (cycle, 4)]
+            )
+            for handle in handles:
+                handle.result()
+            pool = service.backend.pool
+            deadline = time.time() + 5.0
+            while pool._joints and time.time() < deadline:
+                time.sleep(0.02)  # the releasing scheduler pass may lag result()
+            assert not pool._joints, "joint segments not released after runs"
+
+    def test_process_backend_share_count(self, world):
+        """All queries over one component still build its plan exactly once."""
+        shared_plan_cache().clear()
+        config = EngineConfig(seed=7, max_rounds=8)
+        with AggregateQueryService(
+            world.kg, world.embedding, config, backend="processes", workers=2
+        ) as service:
+            handles = service.submit_batch(
+                [(world.count_query(), 3), (world.avg_query(), 4),
+                 (world.sum_query(), 5)]
+            )
+            for handle in handles:
+                handle.result()
+            assert service.planner.build_count == 1
+
+
+class _BlockingExecutor:
+    """Wraps an executor so ``initialise`` blocks until released."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def initialise(self, aggregate_query, seed):
+        self.entered.set()
+        assert self.release.wait(timeout=10.0)
+        return self._inner.initialise(aggregate_query, seed)
+
+
+class TestShutdownOrdering:
+    def test_cancel_during_initialise_stays_cancelled(self, world):
+        """Regression: a cancel landing mid-S1 must not resurrect to READY."""
+        config = EngineConfig(seed=7, max_rounds=8)
+        service = AggregateQueryService(
+            world.kg, world.embedding, config, autostart=False
+        )
+        blocking = _BlockingExecutor(service._executor)
+        service._executor = blocking
+        handle = service.submit(world.count_query())
+        service.start()
+        assert blocking.entered.wait(timeout=10.0)
+        assert handle.cancel() is True
+        blocking.release.set()
+        with pytest.raises(QueryCancelledError):
+            handle.result(timeout=10.0)
+        # give the scheduler a chance to (wrongly) flip the status back
+        deadline = time.time() + 1.0
+        while time.time() < deadline:
+            assert handle.status is QueryStatus.CANCELLED
+            time.sleep(0.02)
+        service.close()
+
+    def test_close_during_initialise_settles_every_handle(self, world):
+        config = EngineConfig(seed=7, max_rounds=8)
+        service = AggregateQueryService(
+            world.kg, world.embedding, config, autostart=False
+        )
+        blocking = _BlockingExecutor(service._executor)
+        service._executor = blocking
+        handles = [
+            service.submit(world.count_query(), seed=3),
+            service.submit(world.avg_query(), seed=4),
+        ]
+        service.start()
+        assert blocking.entered.wait(timeout=10.0)
+
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        time.sleep(0.05)
+        blocking.release.set()
+        closer.join(timeout=10.0)
+        assert not closer.is_alive()
+        for handle in handles:
+            assert handle.status.terminal, f"handle stuck {handle.status}"
+            with pytest.raises(QueryCancelledError):
+                handle.result(timeout=1.0)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_close_mid_batch_settles_every_handle(self, world, backend):
+        shared_plan_cache().clear()
+        config = EngineConfig(seed=7, max_rounds=8, error_bound=0.001)
+        service = AggregateQueryService(
+            world.kg, world.embedding, config, backend=backend, workers=2
+        )
+        handles = service.submit_batch(_workload(world))
+        time.sleep(0.05)  # let some rounds start
+        service.close()
+        for handle in handles:
+            assert handle.status.terminal, f"handle stuck {handle.status}"
+            try:
+                handle.result(timeout=1.0)
+            except QueryCancelledError:
+                pass  # cancelled mid-flight: settled is what matters
