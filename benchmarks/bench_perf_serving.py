@@ -26,6 +26,13 @@ and round traces per query before anything is timed, and the batch path
 must build exactly one plan per distinct (component, config) pair.  The
 headline number is ``sequential cold seconds / batch seconds``.
 
+A second, **mixed-kind** workload (plain aggregates + a GROUP-BY + two
+MAX/MIN queries) exercises the scheduler's first-class grouped/extreme
+slots: results must match sequential execution and at least one
+scheduler pass must step rounds of several kinds (recorded as
+``interleaved_passes`` — the witness that grouped and extreme rounds
+genuinely interleave instead of running as atomic slots).
+
 Run:  PYTHONPATH=src python benchmarks/bench_perf_serving.py [--smoke]
 
 ``--smoke`` shrinks the dataset and repeat count so the whole script
@@ -51,9 +58,13 @@ from repro import (  # noqa: E402
     ApproximateAggregateEngine,
     AggregateQueryService,
     EngineConfig,
+    GroupBy,
     QueryGraph,
 )
+from repro.core.executor import kind_for  # noqa: E402
 from repro.core.plan import shared_plan_cache  # noqa: E402
+from repro.core.result import GroupedResult  # noqa: E402
+from repro.core.service import ExecutionBackend  # noqa: E402
 from repro.datasets import yago_like  # noqa: E402
 
 #: number of queries in the concurrent batch (the acceptance workload)
@@ -91,8 +102,73 @@ def _workload() -> list[AggregateQuery]:
     ]
 
 
+def _mixed_workload() -> list[AggregateQuery]:
+    """A mixed-kind batch: plain aggregates + GROUP-BY + MAX/MIN.
+
+    The shape a dashboard refresh produces — headline counts next to a
+    per-bucket breakdown and a couple of extremes — which only serves
+    well if grouped and extreme rounds interleave with the plain ones.
+    """
+    spain = QueryGraph.simple("Spain", ["Country"], "bornIn", ["SoccerPlayer"])
+    england = QueryGraph.simple("England", ["Country"], "locatedIn", ["Museum"])
+    return [
+        AggregateQuery(query=spain, function=AggregateFunction.COUNT),
+        AggregateQuery(query=spain, function=AggregateFunction.AVG, attribute="age"),
+        AggregateQuery(
+            query=spain,
+            function=AggregateFunction.COUNT,
+            group_by=GroupBy("age", bin_width=5.0),
+        ),
+        AggregateQuery(query=england, function=AggregateFunction.COUNT),
+        AggregateQuery(
+            query=spain, function=AggregateFunction.MAX, attribute="age"
+        ),
+        AggregateQuery(
+            query=england, function=AggregateFunction.MIN, attribute="visitors"
+        ),
+    ]
+
+
+class _RecordingBackend(ExecutionBackend):
+    """Cooperative backend that records each scheduler pass's kinds."""
+
+    def __init__(self) -> None:
+        self.cohort_kinds: list[tuple[str, ...]] = []
+
+    def run_cohort(self, service, cohort) -> None:
+        self.cohort_kinds.append(tuple(record.kind for record in cohort))
+        super().run_cohort(service, cohort)
+
+    @property
+    def interleaved_passes(self) -> int:
+        """Scheduler passes that stepped rounds of >= 2 query kinds."""
+        return sum(
+            1 for kinds in self.cohort_kinds if len(set(kinds)) >= 2
+        )
+
+    def passes_with(self, kind: str) -> int:
+        """Scheduler passes that stepped at least one ``kind`` round.
+
+        The discriminating witness for per-round slots: a multi-round
+        extreme query (``extreme_rounds >= 2``) spans several passes,
+        while an atomic slot would confine it to exactly one.
+        """
+        return sum(1 for kinds in self.cohort_kinds if kind in kinds)
+
+
 def _fingerprint(result) -> tuple:
     """Everything value-like about a result (timings excluded)."""
+    if isinstance(result, GroupedResult):
+        return (
+            "grouped",
+            result.converged,
+            result.total_draws,
+            tuple(
+                (key, round(group.value, 10), round(group.moe, 10),
+                 group.converged, group.correct_draws)
+                for key, group in sorted(result.groups.items())
+            ),
+        )
     return (
         round(result.value, 10),
         round(result.moe, 10),
@@ -170,6 +246,46 @@ def run(scale: float, repeats: int, seed: int) -> dict:
     warm_seconds = best_seconds(sequential_warm)
     batch_seconds = best_seconds(batch)
 
+    # -- mixed-kind batch: grouped + extreme interleave with plain ------
+    mixed_queries = _mixed_workload()
+    mixed_seeds = [seed + 101 + position for position in range(len(mixed_queries))]
+
+    def mixed_sequential() -> list:
+        results = []
+        for query, query_seed in zip(mixed_queries, mixed_seeds):
+            shared_plan_cache().clear()
+            engine = ApproximateAggregateEngine(kg, embedding, config)
+            results.append(engine.execute(query, seed=query_seed))
+        return results
+
+    def mixed_batch() -> tuple[list, "_RecordingBackend"]:
+        shared_plan_cache().clear()
+        recorder = _RecordingBackend()
+        with AggregateQueryService(
+            kg, embedding, config, backend=recorder
+        ) as service:
+            handles = service.submit_batch(
+                list(zip(mixed_queries, mixed_seeds))
+            )
+            return [handle.result() for handle in handles], recorder
+
+    mixed_cold_results = mixed_sequential()
+    mixed_batch_results, recorder = mixed_batch()
+    mixed_expected = [_fingerprint(result) for result in mixed_cold_results]
+    assert [_fingerprint(r) for r in mixed_batch_results] == mixed_expected, (
+        "mixed-kind batched serving diverged from sequential execution"
+    )
+    assert recorder.interleaved_passes >= 1, (
+        "grouped/extreme rounds never interleaved with plain aggregates: "
+        f"{recorder.cohort_kinds}"
+    )
+    assert recorder.passes_with("extreme") >= 2, (
+        "a multi-round extreme query must span several scheduler passes "
+        f"(one round per slot), got: {recorder.cohort_kinds}"
+    )
+    mixed_cold_seconds = best_seconds(mixed_sequential)
+    mixed_batch_seconds = best_seconds(lambda: mixed_batch())
+
     scheduler_ms = sum(
         result.stage_ms.get("scheduler", 0.0) for result in batch_results
     )
@@ -190,6 +306,20 @@ def run(scale: float, repeats: int, seed: int) -> dict:
             "speedup_vs_cold": cold_seconds / batch_seconds,
             "speedup_vs_warm": warm_seconds / batch_seconds,
             "scheduler_overhead_ms": scheduler_ms,
+        },
+        "mixed": {
+            "batch_size": len(mixed_queries),
+            "kinds": {
+                kind: sum(1 for q in mixed_queries if kind_for(q) == kind)
+                for kind in ("rounds", "grouped", "extreme")
+            },
+            "sequential_cold_seconds": mixed_cold_seconds,
+            "batch_seconds": mixed_batch_seconds,
+            "speedup_vs_cold": mixed_cold_seconds / mixed_batch_seconds,
+            "interleaved_passes": recorder.interleaved_passes,
+            "scheduler_passes": len(recorder.cohort_kinds),
+            "grouped_passes": recorder.passes_with("grouped"),
+            "extreme_passes": recorder.passes_with("extreme"),
         },
         "equivalent": True,
     }
@@ -234,6 +364,14 @@ def main(argv: list[str] | None = None) -> int:
         f"  batched service: {serving['batch_seconds'] * 1e3:8.1f} ms  "
         f"({serving['speedup_vs_cold']:.1f}x vs cold, "
         f"{serving['speedup_vs_warm']:.1f}x vs warm)"
+    )
+    mixed = report["mixed"]
+    print(
+        f"mixed batch (grouped + extreme + plain, {mixed['batch_size']} "
+        f"queries): {mixed['batch_seconds'] * 1e3:8.1f} ms  "
+        f"({mixed['speedup_vs_cold']:.1f}x vs cold, "
+        f"{mixed['interleaved_passes']}/{mixed['scheduler_passes']} "
+        "scheduler passes stepped several kinds)"
     )
     print(f"[saved to {arguments.output}]")
     return 0

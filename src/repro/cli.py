@@ -225,12 +225,17 @@ def _query_config(args: argparse.Namespace) -> EngineConfig:
     )
 
 
-def _print_round_trace(result: ApproximateResult) -> None:
+def _print_round_trace(result: ApproximateResult | GroupedResult) -> None:
     print("\nround  estimate        MoE        satisfied   ms")
     for trace in result.rounds:
+        # extreme rounds carry no CI: render the no-guarantee marker, not
+        # a number (their moe is the 0.0 sentinel, never NaN)
+        moe_text = (
+            f"{trace.moe:>9,.2f}" if trace.guaranteed else f"{'n/a':>9}"
+        )
         print(
             f"{trace.round_index:>5}  {trace.estimate:>12,.2f}"
-            f"  {trace.moe:>9,.2f}  {trace.satisfied!s:<9}"
+            f"  {moe_text}  {trace.satisfied!s:<9}"
             f" {trace.seconds * 1e3:>6,.1f}"
         )
 
@@ -261,6 +266,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     elapsed_ms = (time.perf_counter() - started) * 1e3
     if isinstance(result, GroupedResult):
         print(result.describe())
+        if args.trace:
+            _print_round_trace(result)
     else:
         print(f"result:  {result.describe()}")
         if args.trace:
@@ -298,7 +305,7 @@ def _run_query_batch(bundle, config: EngineConfig, queries, args) -> int:
                 exit_code = 1
                 continue
             print(f"{label} {result.describe()}")
-            if args.trace and isinstance(result, ApproximateResult):
+            if args.trace:
                 _print_round_trace(result)
             if args.ground_truth and isinstance(result, ApproximateResult):
                 from repro.baselines.ssb import tau_ground_truth
@@ -351,7 +358,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 exit_code = 1
                 continue
             print(f"[line {line_number}] {result.describe()}")
-            if args.trace and isinstance(result, ApproximateResult):
+            if args.trace:
                 _print_round_trace(result)
     print(f"served {len(submitted)} queries")
     return exit_code

@@ -8,6 +8,16 @@ timers.  The split mirrors the paper's pipeline: the planner owns S1, this
 module owns S2 (validation + Eq. 7-9 estimation) and S3 (BLB confidence,
 Theorem-2 termination, Eq. 12 growth).
 
+Every query kind runs the same incremental lifecycle — per-kind
+``grow*``/``step*``/``finalise*`` methods advanced one round at a time:
+:meth:`QueryExecutor.step` for guaranteed aggregates,
+:meth:`QueryExecutor.step_grouped` for GROUP-BY (§V-A) and
+:meth:`QueryExecutor.step_extreme` for MAX/MIN (§IV-B1).  The serving
+scheduler interleaves these rounds across live queries of all kinds;
+the ``run_rounds``/``run_grouped``/``run_extreme`` wrappers are plain
+step loops for single-query drivers, so stepping is byte-identical to
+the one-shot path for a fixed seed.
+
 Validation is **batched**: each round's pending support entries are
 validated in one :meth:`CorrectnessValidator.validate_batch` pass per
 component over the validator's shared expansion cache, with verdicts
@@ -52,6 +62,23 @@ STAGE_GUARANTEE = "guarantee"
 #: batching bookkeeping) attributed by the AggregateQueryService scheduler
 STAGE_SCHEDULER = "scheduler"
 
+#: How a query's rounds are stepped and finalised.  Every kind runs the
+#: same incremental grow/step/finalise lifecycle — they differ only in
+#: which estimator a step applies and what finalise packages — so the
+#: serving scheduler and the worker protocol treat them uniformly.
+KIND_ROUNDS = "rounds"  # guaranteed aggregates: Theorem-2 step loop
+KIND_GROUPED = "grouped"  # GROUP-BY (§V-A): per-group CI step loop
+KIND_EXTREME = "extreme"  # MAX/MIN (§IV-B1): fixed-round estimator loop
+
+
+def kind_for(aggregate_query: AggregateQuery) -> str:
+    """The execution kind of ``aggregate_query``."""
+    if aggregate_query.group_by is not None:
+        return KIND_GROUPED
+    if not aggregate_query.function.has_guarantee:
+        return KIND_EXTREME
+    return KIND_ROUNDS
+
 
 @dataclass
 class _QueryState:
@@ -75,6 +102,9 @@ class _QueryState:
     support_group_known: np.ndarray | None = None
     rounds: list[RoundTrace] = field(default_factory=list)
     timers: StageTimer = field(default_factory=StageTimer)
+    #: GROUP-BY only: the latest round's per-group results, refreshed by
+    #: every step_grouped and packaged by finalise_grouped
+    grouped_results: dict[float, "ApproximateResult"] | None = None
 
     @property
     def total_draws(self) -> int:
@@ -140,6 +170,13 @@ class RoundWorkItem:
     num_candidates: int
     walk_iterations: int
     prior_rounds: tuple[RoundTrace, ...]
+    #: which step/finalise family executes this round (KIND_* constant)
+    kind: str = KIND_ROUNDS
+    #: GROUP-BY only: group keys of the drawn support, compacted to
+    #: ``support_indices`` like the verdict arrays (None on other kinds
+    #: and before the first grouped round computed any key)
+    support_group: np.ndarray | None = None
+    support_group_known: np.ndarray | None = None
 
 
 @dataclass(frozen=True)
@@ -159,6 +196,13 @@ class RoundWorkResult:
     chain_memo_updates: tuple[dict, ...]
     #: seconds per stage bucket measured in the worker
     stage_seconds: dict
+    #: GROUP-BY only: support indices whose group key was resolved this
+    #: round, plus the keys themselves (NaN = ungrouped/invalid)
+    updated_group_indices: np.ndarray | None = None
+    updated_group_values: np.ndarray | None = None
+    #: GROUP-BY only: the round's per-group results (small dataclasses;
+    #: the parent installs them as ``state.grouped_results``)
+    grouped_results: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -188,9 +232,16 @@ def export_round_item(
     error_bound: float,
     carried_seconds: float,
     config: EngineConfig,
+    kind: str = KIND_ROUNDS,
 ) -> RoundWorkItem:
     """Snapshot ``state`` into a :class:`RoundWorkItem` (parent side)."""
     indices = state.distinct_support_indices()
+    support_group = None
+    support_group_known = None
+    if kind == KIND_GROUPED and state.support_group is not None:
+        assert state.support_group_known is not None
+        support_group = state.support_group[indices]
+        support_group_known = state.support_group_known[indices]
     return RoundWorkItem(
         config=config,
         aggregate_query=state.aggregate_query,
@@ -207,6 +258,9 @@ def export_round_item(
         num_candidates=state.num_candidates,
         walk_iterations=state.walk_iterations,
         prior_rounds=tuple(state.rounds),
+        kind=kind,
+        support_group=support_group,
+        support_group_known=support_group_known,
     )
 
 
@@ -257,9 +311,26 @@ def execute_round_item(
         support_value=support_value,
         rounds=list(item.prior_rounds),
     )
-    outcome = executor.step(
-        state, item.error_bound, carried_seconds=item.carried_seconds
-    )
+    shipped_group_known = np.zeros(support_size, dtype=bool)
+    if item.kind == KIND_GROUPED:
+        support_group = np.full(support_size, np.nan, dtype=np.float64)
+        if item.support_group is not None:
+            assert item.support_group_known is not None
+            support_group[indices] = item.support_group
+            shipped_group_known[indices] = item.support_group_known
+        state.support_group = support_group
+        state.support_group_known = shipped_group_known.copy()
+        outcome = executor.step_grouped(
+            state, item.error_bound, carried_seconds=item.carried_seconds
+        )
+    elif item.kind == KIND_EXTREME:
+        outcome = executor.step_extreme(
+            state, carried_seconds=item.carried_seconds
+        )
+    else:
+        outcome = executor.step(
+            state, item.error_bound, carried_seconds=item.carried_seconds
+        )
     updated = np.flatnonzero(state.support_known & ~shipped_known)
     memo_updates = tuple(
         {
@@ -277,6 +348,13 @@ def execute_round_item(
         }
         for plan, chain_memo in zip(plans, item.chain_memos)
     )
+    updated_group_indices = None
+    updated_group_values = None
+    if item.kind == KIND_GROUPED and state.support_group_known is not None:
+        updated_group_indices = np.flatnonzero(
+            state.support_group_known & ~shipped_group_known
+        )
+        updated_group_values = state.support_group[updated_group_indices]
     return RoundWorkResult(
         trace=outcome.trace,
         satisfied=outcome.satisfied,
@@ -289,6 +367,9 @@ def execute_round_item(
         stage_seconds={
             name: timer.elapsed for name, timer in state.timers.stages.items()
         },
+        updated_group_indices=updated_group_indices,
+        updated_group_values=updated_group_values,
+        grouped_results=state.grouped_results,
     )
 
 
@@ -305,6 +386,19 @@ def apply_round_result(state: _QueryState, result: RoundWorkResult) -> StepOutco
     state.support_known[indices] = True
     state.support_correct[indices] = result.updated_correct
     state.support_value[indices] = result.updated_value
+    if result.updated_group_indices is not None:
+        if state.support_group is None:
+            state.support_group = np.full(
+                state.joint.support_size, np.nan, dtype=np.float64
+            )
+            state.support_group_known = np.zeros(
+                state.joint.support_size, dtype=bool
+            )
+        group_indices = np.asarray(result.updated_group_indices, dtype=np.int64)
+        state.support_group_known[group_indices] = True
+        state.support_group[group_indices] = result.updated_group_values
+    if result.grouped_results is not None:
+        state.grouped_results = result.grouped_results
     for plan, memo_update, chain_update in zip(
         state.components, result.memo_updates, result.chain_memo_updates
     ):
@@ -717,6 +811,17 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # Main loop (S2 + S3), one round at a time
     # ------------------------------------------------------------------
+    @staticmethod
+    def _growth_moe(grow_from: RoundTrace) -> float:
+        """The MoE Eq. 12 should size against, from the previous trace.
+
+        A round without a usable CI stores the 0.0 no-guarantee sentinel
+        (renderable, JSON-safe) instead of the raw infinity; growth must
+        still see "no CI yet" and double the sample, so the infinity is
+        reconstructed here from the ``guaranteed`` flag.
+        """
+        return grow_from.moe if grow_from.guaranteed else float("inf")
+
     def grow(
         self, state: _QueryState, grow_from: RoundTrace, error_bound: float
     ) -> None:
@@ -728,7 +833,9 @@ class QueryExecutor:
         for single-query drivers.  Both paths run the identical
         ``_grow_sample`` call, so results cannot diverge.
         """
-        self._grow_sample(state, grow_from.estimate, grow_from.moe, error_bound)
+        self._grow_sample(
+            state, grow_from.estimate, self._growth_moe(grow_from), error_bound
+        )
 
     def step(
         self,
@@ -758,7 +865,10 @@ class QueryExecutor:
         if grow_from is not None:
             # Theorem 2 failed last round: enlarge S_A first (Alg. 2,
             # lines 11-13), then re-estimate on the grown sample.
-            self._grow_sample(state, grow_from.estimate, grow_from.moe, error_bound)
+            self._grow_sample(
+                state, grow_from.estimate, self._growth_moe(grow_from),
+                error_bound,
+            )
         self._ensure_validated(state)
         with state.timers.measure(STAGE_ESTIMATION):
             littles, combined = self._estimation_samples(state)
@@ -793,14 +903,19 @@ class QueryExecutor:
                 and guard_ok
                 and satisfies_error_bound(moe, point_estimate, error_bound)
             )
+            # a round without a usable CI (no correct draws, or the BLB
+            # failed) records the no-guarantee sentinel instead of inf:
+            # _growth_moe restores the infinity for Eq.-12 sizing
+            has_ci = math.isfinite(moe)
             trace = RoundTrace(
                 round_index=round_index,
                 total_draws=state.total_draws,
                 correct_draws=combined.correct_draws,
                 estimate=point_estimate,
-                moe=moe,
+                moe=moe if has_ci else 0.0,
                 satisfied=satisfied,
                 seconds=time.perf_counter() - step_started,
+                guaranteed=has_ci,
             )
             state.rounds.append(trace)
         return StepOutcome(
@@ -908,46 +1023,76 @@ class QueryExecutor:
         )
 
     # ------------------------------------------------------------------
-    # Extreme functions (MAX/MIN, no guarantee)
+    # Extreme functions (MAX/MIN, no guarantee), one round at a time
     # ------------------------------------------------------------------
-    def run_extreme(self, state: _QueryState) -> ApproximateResult:
+    def grow_extreme(self, state: _QueryState) -> None:
+        """Double the sample before a non-first extreme round (§VII-B).
+
+        Extremes have no Eq.-12 error sensing — each round simply doubles
+        the draw set.  Like :meth:`grow`, growth is the only RNG and runs
+        in whichever slot owns the state, never in a worker process.
+        """
+        with state.timers.measure(STAGE_SAMPLING):
+            for position, sample in enumerate(state.little_samples):
+                state.little_samples[position] = np.concatenate(
+                    [sample, state.collector.collect_indices(len(sample))]
+                )
+
+    def step_extreme(
+        self, state: _QueryState, *, carried_seconds: float = 0.0
+    ) -> StepOutcome:
+        """One validate-estimate round of the MAX/MIN estimator.
+
+        The trace's ``moe`` is the 0.0 sentinel with ``guaranteed=False``
+        — extremes carry no Theorem-2 interval (§IV-B1 remarks) and a NaN
+        here would poison rendering and JSON serialisation downstream.
+        ``satisfied`` is always False: the round budget
+        (``config.extreme_rounds``) is the only stop condition besides
+        sample exhaustion.
+        """
         config = self.config
         function = state.aggregate_query.function
-        value = 0.0
+        step_started = time.perf_counter() - carried_seconds
+        round_index = len(state.rounds) + 1
+        self._ensure_validated(state)
+        with state.timers.measure(STAGE_ESTIMATION):
+            _littles, combined = self._estimation_samples(state)
+            if combined.correct_draws:
+                value = estimate_extreme(combined, function)
+            elif state.rounds:
+                value = state.rounds[-1].estimate
+            else:
+                value = 0.0
+        trace = RoundTrace(
+            round_index=round_index,
+            total_draws=state.total_draws,
+            correct_draws=combined.correct_draws,
+            estimate=value,
+            moe=0.0,
+            satisfied=False,
+            seconds=time.perf_counter() - step_started,
+            guaranteed=False,
+        )
+        state.rounds.append(trace)
+        return StepOutcome(
+            trace=trace,
+            satisfied=False,
+            exhausted=state.total_draws >= config.max_sample_size,
+        )
+
+    def finalise_extreme(self, state: _QueryState) -> ApproximateResult:
+        """Package the extreme estimate (optionally EVT-extrapolated)."""
+        config = self.config
+        function = state.aggregate_query.function
+        last = state.rounds[-1] if state.rounds else None
+        value = last.estimate if last is not None else 0.0
+        correct_draws = last.correct_draws if last is not None else 0
         moe = 0.0
-        correct_draws = 0
-        combined: EstimationSample | None = None
-        for round_index in range(1, config.extreme_rounds + 1):
-            self._ensure_validated(state)
-            with state.timers.measure(STAGE_ESTIMATION):
-                _littles, combined = self._estimation_samples(state)
-                if combined.correct_draws:
-                    value = estimate_extreme(combined, function)
-                correct_draws = combined.correct_draws
-            state.rounds.append(
-                RoundTrace(
-                    round_index=round_index,
-                    total_draws=state.total_draws,
-                    correct_draws=correct_draws,
-                    estimate=value,
-                    moe=float("nan"),
-                    satisfied=False,
-                )
-            )
-            if round_index < config.extreme_rounds:
-                with state.timers.measure(STAGE_SAMPLING):
-                    for position, sample in enumerate(state.little_samples):
-                        state.little_samples[position] = np.concatenate(
-                            [sample, state.collector.collect_indices(len(sample))]
-                        )
-        if (
-            config.extreme_method is ExtremeMethod.EVT
-            and combined is not None
-            and combined.correct_draws
-        ):
+        if config.extreme_method is ExtremeMethod.EVT and correct_draws:
             # The future-work extension: extrapolate past the sample
             # extremum with a POT/GPD tail fit (see estimation.extreme).
             with state.timers.measure(STAGE_GUARANTEE):
+                _littles, combined = self._estimation_samples(state)
                 evt = estimate_extreme_evt(
                     combined,
                     function,
@@ -974,41 +1119,137 @@ class QueryExecutor:
             num_candidates=state.num_candidates,
         )
 
-    # ------------------------------------------------------------------
-    # GROUP-BY (§V-A)
-    # ------------------------------------------------------------------
-    def run_grouped(self, state: _QueryState, error_bound: float) -> GroupedResult:
-        config = self.config
-        aggregate_query = state.aggregate_query
-        group_by = aggregate_query.group_by
-        assert group_by is not None
-        function = aggregate_query.function
-
-        groups: dict[float, ApproximateResult] = {}
-        converged = False
-        for loop_index in range(config.max_rounds):
+    def run_extreme(self, state: _QueryState) -> ApproximateResult:
+        """Single-driver convenience: a ``step_extreme`` loop + finalise."""
+        for loop_index in range(self.config.extreme_rounds):
+            grow_started = time.perf_counter()
             if loop_index > 0:
-                self._grow_sample(state, 1.0, float("inf"), error_bound)
-            self._ensure_validated(state)
-            with state.timers.measure(STAGE_ESTIMATION):
-                grouped_samples = self._grouped_samples(state)
-            with state.timers.measure(STAGE_GUARANTEE):
-                groups, all_satisfied = self._estimate_groups(
-                    state, grouped_samples, error_bound
-                )
-            if all_satisfied and groups:
-                converged = True
+                self.grow_extreme(state)
+            outcome = self.step_extreme(
+                state, carried_seconds=time.perf_counter() - grow_started
+            )
+            if outcome.exhausted:
                 break
+        return self.finalise_extreme(state)
 
+    # ------------------------------------------------------------------
+    # GROUP-BY (§V-A), one round at a time
+    # ------------------------------------------------------------------
+    def grow_grouped(self, state: _QueryState, error_bound: float) -> None:
+        """Enlarge the sample before a non-first grouped round.
+
+        GROUP-BY has no single Eq.-12 target (each group carries its own
+        CI), so growth runs the configured delta strategy with an unknown
+        MoE — doubling under ``ERROR_BASED``, the fixed top-up otherwise.
+        """
+        self._grow_sample(state, 1.0, float("inf"), error_bound)
+
+    def step_grouped(
+        self,
+        state: _QueryState,
+        error_bound: float,
+        *,
+        carried_seconds: float = 0.0,
+    ) -> StepOutcome:
+        """One grow-validate-estimate round of the GROUP-BY extension.
+
+        Every round re-estimates all observed groups and stores them on
+        ``state.grouped_results``; the appended trace carries the *worst*
+        group's estimate and MoE (the group gating convergence), so the
+        anytime ``progress()`` view is meaningful for grouped queries.
+        ``satisfied`` means every sufficiently-drawn group met the error
+        bound this round.
+        """
+        config = self.config
+        step_started = time.perf_counter() - carried_seconds
+        round_index = len(state.rounds) + 1
+        self._ensure_validated(state)
+        with state.timers.measure(STAGE_ESTIMATION):
+            grouped_samples = self._grouped_samples(state)
+        with state.timers.measure(STAGE_GUARANTEE):
+            groups, all_satisfied = self._estimate_groups(
+                state, grouped_samples, error_bound
+            )
+        state.grouped_results = groups
+        satisfied = all_satisfied and bool(groups)
+        worst = self._worst_group(groups)
+        # no groups observed, or the worst group's bootstrap failed (its
+        # NaN sigma is stored as an unconverged moe=0.0 interval): no CI
+        # exists this round — record the no-guarantee sentinel (0.0,
+        # never inf/NaN — both break rendering and strict JSON)
+        has_ci = worst is not None and not (
+            worst.moe == 0.0 and not worst.converged
+        )
+        trace = RoundTrace(
+            round_index=round_index,
+            total_draws=state.total_draws,
+            correct_draws=sum(result.correct_draws for result in groups.values()),
+            estimate=worst.value if worst is not None else 0.0,
+            moe=worst.moe if worst is not None else 0.0,
+            satisfied=satisfied,
+            seconds=time.perf_counter() - step_started,
+            guaranteed=has_ci,
+        )
+        state.rounds.append(trace)
+        return StepOutcome(
+            trace=trace,
+            satisfied=satisfied,
+            exhausted=state.total_draws >= config.max_sample_size,
+        )
+
+    @staticmethod
+    def _worst_group(
+        groups: dict[float, ApproximateResult]
+    ) -> ApproximateResult | None:
+        """The group gating convergence: unsatisfied first, widest MoE.
+
+        Iteration is over sorted keys, so the pick is deterministic and
+        identical no matter which backend estimated the round.
+        """
+        worst: tuple[tuple[bool, float], ApproximateResult] | None = None
+        for key in sorted(groups):
+            result = groups[key]
+            rank = (not result.converged, result.moe)
+            if worst is None or rank > worst[0]:
+                worst = (rank, result)
+        return worst[1] if worst is not None else None
+
+    def finalise_grouped(
+        self, state: _QueryState, converged: bool
+    ) -> GroupedResult:
+        """Package the latest per-group estimates into a GroupedResult."""
+        group_by = state.aggregate_query.group_by
+        assert group_by is not None
+        groups = state.grouped_results or {}
         labels = {key: group_by.label_for(key) for key in groups}
         return GroupedResult(
-            function=function,
+            function=state.aggregate_query.function,
             groups=groups,
             labels=labels,
             converged=converged,
             total_draws=state.total_draws,
             stage_ms=state.timers.as_dict_ms(),
+            rounds=tuple(state.rounds),
         )
+
+    def run_grouped(self, state: _QueryState, error_bound: float) -> GroupedResult:
+        """Single-driver convenience: a ``step_grouped`` loop + finalise."""
+        converged = False
+        for loop_index in range(self.config.max_rounds):
+            grow_started = time.perf_counter()
+            if loop_index > 0:
+                self.grow_grouped(state, error_bound)
+            outcome = self.step_grouped(
+                state,
+                error_bound,
+                carried_seconds=time.perf_counter() - grow_started,
+            )
+            if outcome.satisfied:
+                converged = True
+                break
+            if outcome.exhausted:
+                break
+        return self.finalise_grouped(state, converged)
 
     def _group_keys(self, state: _QueryState) -> np.ndarray:
         """Per-support group keys (NaN where ungrouped), built lazily."""

@@ -22,6 +22,10 @@ class RoundTrace:
     #: wall-clock seconds this round took (growth + validation + estimation
     #: + guarantee); lets serving clients attribute latency per round
     seconds: float = 0.0
+    #: False for rounds without a Theorem-2 confidence interval (MAX/MIN
+    #: estimator rounds, §IV-B1 remarks); their ``moe`` is the 0.0
+    #: sentinel, never NaN, so traces stay renderable and JSON-safe
+    guaranteed: bool = True
 
     def relative_error(self, ground_truth: float) -> float:
         """|V_hat - V| / V; infinite when the truth is zero but V_hat isn't."""
@@ -94,11 +98,19 @@ class GroupedResult:
     converged: bool
     total_draws: int
     stage_ms: Mapping[str, float] = field(default_factory=dict)
+    #: anytime trace: one entry per grow-validate-estimate round, carrying
+    #: the worst group's estimate/MoE (the group gating convergence)
+    rounds: tuple[RoundTrace, ...] = ()
 
     @property
     def num_groups(self) -> int:
         """Number of groups with at least one correct draw."""
         return len(self.groups)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of grow-validate-estimate rounds run."""
+        return len(self.rounds)
 
     @property
     def total_ms(self) -> float:

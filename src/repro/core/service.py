@@ -26,7 +26,11 @@ What makes a *batch* cheaper than a loop over ``execute``:
 * **Round interleaving** — the scheduler is round-robin with
   budget-aware priority (queries with the fewest completed rounds step
   first), so a batch of queries makes even progress and early
-  convergers free their slot immediately.
+  convergers free their slot immediately.  GROUP-BY and MAX/MIN queries
+  are first-class citizens of this loop: their executions are the same
+  incremental grow/step/finalise lifecycle as guaranteed aggregates, so
+  they interleave with plain queries, observe cancellation between
+  rounds, and expose a non-empty anytime trace.
 
 Everything mutable about one query lives in its
 :class:`~repro.core.executor._QueryState`; exactly one execution slot
@@ -66,10 +70,14 @@ from dataclasses import dataclass, field
 
 from repro.core.config import EngineConfig
 from repro.core.executor import (
+    KIND_EXTREME as _KIND_EXTREME,
+    KIND_GROUPED as _KIND_GROUPED,
+    KIND_ROUNDS as _KIND_ROUNDS,
     STAGE_SCHEDULER,
     STAGE_VALIDATION,
     QueryExecutor,
     _QueryState,
+    kind_for,
 )
 from repro.core.plan import QueryPlan
 from repro.core.planner import QueryPlanner
@@ -115,12 +123,6 @@ class QueryStatus(enum.Enum):
 _TERMINAL = frozenset(
     {QueryStatus.SUCCEEDED, QueryStatus.FAILED, QueryStatus.CANCELLED}
 )
-
-#: how a record's result is produced
-_KIND_ROUNDS = "rounds"  # guaranteed aggregates: interleavable step loop
-_KIND_GROUPED = "grouped"  # GROUP-BY: one atomic run_grouped slot
-_KIND_EXTREME = "extreme"  # MAX/MIN: one atomic run_extreme slot
-
 
 @dataclass
 class _Run:
@@ -190,7 +192,9 @@ class QueryHandle:
         Each :class:`RoundTrace` carries the round's point estimate, MoE
         (CI half-width), draw counts, Theorem-2 verdict and wall-clock
         seconds — the online-aggregation view of a running query.  Empty
-        before the first round completes.
+        before the first round completes.  GROUP-BY traces report the
+        worst group's estimate/MoE per round; MAX/MIN traces carry the
+        running extremum with ``guaranteed=False`` (no CI exists).
         """
         state = self._record.state
         return tuple(state.rounds) if state is not None else ()
@@ -336,11 +340,10 @@ class _ThreadBackend(ExecutionBackend):
         return [future.result() for future in futures]
 
     def close(self) -> None:
-        # wait=False: an in-flight atomic slot (run_grouped/run_extreme)
-        # never checks cancellation mid-loop, so waiting here would make
-        # close() unbounded; records are already settled by the service,
-        # the straggler task just finishes into a pruned record
-        self._pool.shutdown(wait=False, cancel_futures=True)
+        # every slot is one round for every kind, so waiting is bounded;
+        # records are already settled by the service, an in-flight round
+        # finishes into a settled record and is discarded
+        self._pool.shutdown(wait=True, cancel_futures=True)
 
 
 def _make_backend(
@@ -463,12 +466,7 @@ class AggregateQueryService:
         """
         aggregate_query = self._coerce(aggregate_query)
         executor = self._executor_for(confidence)
-        if aggregate_query.group_by is not None:
-            kind = _KIND_GROUPED
-        elif not aggregate_query.function.has_guarantee:
-            kind = _KIND_EXTREME
-        else:
-            kind = _KIND_ROUNDS
+        kind = kind_for(aggregate_query)
         with self._condition:
             if self._shutdown:
                 raise ServiceError("the query service has been closed")
@@ -778,9 +776,11 @@ class AggregateQueryService:
         one pass.  The batches of distinct plans are independent, so they
         are handed to the execution backend as jobs (the parallel
         backends run them concurrently); each job's seconds are
-        attributed to its participants' ``validation`` stage.
+        attributed to its participants' ``validation`` stage.  All kinds
+        participate: grouped and extreme queries validate answers through
+        the same per-plan memos as guaranteed aggregates.
         """
-        candidates = [r for r in cohort if r.kind is _KIND_ROUNDS]
+        candidates = list(cohort)
         if len(candidates) < 2:
             return
         # find plans shared by >= 2 queries first — the common single-query
@@ -852,41 +852,68 @@ class AggregateQueryService:
             return run, state
 
     def _grow_for_run(self, record: _QueryRecord, run: _Run, state) -> float:
-        """Alg.-2 growth before a non-first round; returns its seconds.
+        """Growth before a non-first round; returns its seconds.
 
         Growth draws from the state's own RNG.  It always runs in the
         parent process, in whichever slot owns the state this pass —
         worker *processes* receive the already-grown sample, which is
         what keeps fixed-seed draw sequences identical across backends.
+        Each kind grows its own way: Eq. 12 error sensing for guaranteed
+        rounds, delta-strategy doubling for GROUP-BY, sample doubling for
+        extremes.
         """
         if run.steps_taken == 0:
             return 0.0
-        assert run.last is not None
         grow_started = time.perf_counter()
-        record.executor.grow(state, run.last, run.error_bound)
+        if record.kind is _KIND_GROUPED:
+            record.executor.grow_grouped(state, run.error_bound)
+        elif record.kind is _KIND_EXTREME:
+            record.executor.grow_extreme(state)
+        else:
+            assert run.last is not None
+            record.executor.grow(state, run.last, run.error_bound)
         return time.perf_counter() - grow_started
 
-    def _finish_rounds_slot(
+    def _run_budget(self, record: _QueryRecord, run: _Run) -> int:
+        """How many rounds this run may take before it is finalised."""
+        if run.max_rounds is not None:
+            return run.max_rounds
+        config = record.executor.config
+        if record.kind is _KIND_EXTREME:
+            return config.extreme_rounds
+        return config.max_rounds
+
+    def _finish_slot(
         self, record: _QueryRecord, run: _Run, state, outcome
     ) -> None:
-        """Apply one round's outcome to the run's completion bookkeeping."""
+        """Apply one round's outcome to the run's completion bookkeeping.
+
+        Uniform across kinds: a run completes when its round satisfied
+        the stop condition (Theorem 2 / every group within bound; never
+        for extremes), when the sample is exhausted, or when the round
+        budget is spent — and each kind finalises with its own packager.
+        """
         run.steps_taken += 1
         run.last = outcome.trace
-        budget = (
-            self.config.max_rounds
-            if run.max_rounds is None
-            else run.max_rounds
-        )
-        if outcome.satisfied:
-            self._complete_run(
-                record,
-                record.executor.finalise(state, run.last, converged=True),
+        budget = self._run_budget(record, run)
+        if not (
+            outcome.satisfied
+            or outcome.exhausted
+            or run.steps_taken >= budget
+        ):
+            return
+        executor = record.executor
+        if record.kind is _KIND_GROUPED:
+            result = executor.finalise_grouped(
+                state, converged=outcome.satisfied
             )
-        elif outcome.exhausted or run.steps_taken >= budget:
-            self._complete_run(
-                record,
-                record.executor.finalise(state, run.last, converged=False),
+        elif record.kind is _KIND_EXTREME:
+            result = executor.finalise_extreme(state)
+        else:
+            result = executor.finalise(
+                state, run.last, converged=outcome.satisfied
             )
+        self._complete_run(record, result)
 
     def _fail_record(self, record: _QueryRecord, exc: BaseException) -> None:
         """Fail one record (backend-facing wrapper taking the lock)."""
@@ -902,26 +929,32 @@ class AggregateQueryService:
             self._fail_record(record, exc)
 
     def _step_record(self, record: _QueryRecord) -> None:
-        """Advance one record by one scheduler slot, in this thread."""
+        """Advance one record by exactly one round, in this thread.
+
+        Every kind — guaranteed aggregates, GROUP-BY, MAX/MIN — runs the
+        same one-round slot, so grouped and extreme queries interleave
+        with plain aggregates, observe cancellation between rounds, and
+        grow their anytime trace like every other query.
+        """
         slot = self._begin_slot(record)
         if slot is None:
             return
         run, state = slot
         executor = record.executor
-        if record.kind is _KIND_GROUPED:
-            result = executor.run_grouped(state, run.error_bound)
-            self._complete_run(record, result)
-            return
-        if record.kind is _KIND_EXTREME:
-            result = executor.run_extreme(state)
-            self._complete_run(record, result)
-            return
-
         grow_seconds = self._grow_for_run(record, run, state)
-        outcome = executor.step(
-            state, run.error_bound, carried_seconds=grow_seconds
-        )
-        self._finish_rounds_slot(record, run, state, outcome)
+        if record.kind is _KIND_GROUPED:
+            outcome = executor.step_grouped(
+                state, run.error_bound, carried_seconds=grow_seconds
+            )
+        elif record.kind is _KIND_EXTREME:
+            outcome = executor.step_extreme(
+                state, carried_seconds=grow_seconds
+            )
+        else:
+            outcome = executor.step(
+                state, run.error_bound, carried_seconds=grow_seconds
+            )
+        self._finish_slot(record, run, state, outcome)
 
     def _complete_run(self, record: _QueryRecord, result) -> None:
         with self._condition:

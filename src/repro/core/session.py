@@ -49,11 +49,16 @@ class InteractiveSession:
         seed: int | None = None,
     ) -> None:
         if aggregate_query.group_by is not None:
-            raise QueryError("interactive sessions support ungrouped queries only")
+            raise QueryError(
+                "interactive sessions support ungrouped queries only; "
+                "GROUP-BY queries get anytime progress() and cancel() "
+                "from service.submit() handles instead"
+            )
         if not aggregate_query.function.has_guarantee:
             raise QueryError(
                 "interactive refinement needs a guaranteed aggregate "
-                "(COUNT, SUM or AVG)"
+                "(COUNT, SUM or AVG); MAX/MIN queries get anytime "
+                "progress() and cancel() from service.submit() handles"
             )
         self._engine = engine
         self._aggregate_query = aggregate_query

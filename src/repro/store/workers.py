@@ -42,7 +42,7 @@ from repro.core.executor import (
 )
 from repro.core.plan import PlanArtifacts, QueryPlan, extract_artifacts, plan_from_artifacts
 from repro.core.planner import build_validator
-from repro.core.service import _KIND_ROUNDS, ExecutionBackend
+from repro.core.service import ExecutionBackend
 from repro.embedding.predicate_space import PredicateVectorSpace
 from repro.errors import ServiceError, StoreError
 from repro.kg.csr import csr_from_arrays, csr_snapshot, install_snapshot
@@ -372,10 +372,14 @@ class WorkerPool:
 class ProcessBackend(ExecutionBackend):
     """``backend="processes"``: whole rounds fan out to a WorkerPool.
 
-    Guaranteed-aggregate rounds and cohort pre-warm batches execute in
-    worker processes; GROUP-BY / MAX-MIN slots (atomic, RNG-bearing) and
-    any work against a mutated graph stay in-process.  Merging is
-    deterministic — see :func:`repro.core.executor.apply_round_result`.
+    Every kind of round — guaranteed aggregates, GROUP-BY, MAX/MIN — and
+    the cohort pre-warm batches execute in worker processes; growth (the
+    only RNG) stays in the scheduler thread, so fixed-seed results are
+    byte-identical to the cooperative backend.  The single in-process
+    fallback left is a mutated graph under a live pool (stale workers
+    must never serve old attribute values); :attr:`local_fallbacks`
+    counts how many slots it claimed.  Merging is deterministic — see
+    :func:`repro.core.executor.apply_round_result`.
     """
 
     name = "processes"
@@ -392,6 +396,9 @@ class ProcessBackend(ExecutionBackend):
         self._pool = WorkerPool(
             kg, space, config, workers=workers, start_method=start_method
         )
+        #: slots executed in-process because the pool went stale; stays 0
+        #: for a clean (unmutated) graph — asserted by the backend tests
+        self.local_fallbacks = 0
 
     @property
     def workers(self) -> int:
@@ -405,17 +412,18 @@ class ProcessBackend(ExecutionBackend):
 
     # -- ExecutionBackend interface ------------------------------------
     def run_cohort(self, service, cohort) -> None:
-        parallel = []
-        local = []
         usable = self._pool.fresh()
-        for record in cohort:
-            if usable and record.kind is _KIND_ROUNDS:
-                parallel.append(record)
-            else:
-                local.append(record)
+        if not usable:
+            # mutated graph under a live pool: stale workers would serve
+            # old attribute values — run every slot in-process instead
+            self.local_fallbacks += len(cohort)
+            for record in cohort:
+                service._step_record_safely(record)
+            self._release_settled(cohort)
+            return
 
         pending = []
-        for record in parallel:
+        for record in cohort:
             slot = service._begin_slot(record)
             if slot is None:
                 continue
@@ -423,7 +431,11 @@ class ProcessBackend(ExecutionBackend):
             try:
                 grow_seconds = service._grow_for_run(record, run, state)
                 item = export_round_item(
-                    state, run.error_bound, grow_seconds, record.executor.config
+                    state,
+                    run.error_bound,
+                    grow_seconds,
+                    record.executor.config,
+                    kind=record.kind,
                 )
                 handle = self._pool.dispatch_round(item, state.components, state)
             except BaseException as exc:
@@ -431,24 +443,22 @@ class ProcessBackend(ExecutionBackend):
                 continue
             pending.append((record, run, state, handle))
 
-        # in-process slots overlap with the workers' rounds
-        for record in local:
-            service._step_record_safely(record)
-
         for record, run, state, handle in pending:
             try:
                 result = self._await(service, handle)
                 if result is None:
                     continue  # service closing: record already cancelled
                 outcome = apply_round_result(state, result)
-                service._finish_rounds_slot(record, run, state, outcome)
+                service._finish_slot(record, run, state, outcome)
             except BaseException as exc:
                 service._fail_record(record, exc)
+        self._release_settled(cohort)
 
+    def _release_settled(self, cohort) -> None:
         # a record with no live or queued run is done (for now): unpin its
         # joint segment so a long-lived service stays bounded.  Swept over
-        # the WHOLE cohort — records that finished via the local fallback
-        # (stale pool), failed at dispatch, or were cancelled must release
+        # the WHOLE cohort — records that finished via the stale-pool
+        # fallback, failed at dispatch, or were cancelled must release
         # too, not just the parallel-completion path.  refine() simply
         # republishes later.
         for record in cohort:

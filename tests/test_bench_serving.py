@@ -47,6 +47,14 @@ def test_smoke_bench_runs_fast_and_reports_speedup(tmp_path):
     # (machine load makes tighter wall-clock floors flaky); the checked-in
     # full run (BENCH_serving.json) documents the acceptance numbers.
     assert report["serving"]["speedup_vs_cold"] > 1.0
+    # grouped + extreme queries interleave with plain aggregates: at
+    # least one scheduler pass stepped rounds of several kinds, and a
+    # multi-round extreme query spans several passes (the discriminator
+    # that would fail under atomic one-pass slots)
+    assert report["mixed"]["kinds"]["grouped"] >= 1
+    assert report["mixed"]["kinds"]["extreme"] >= 1
+    assert report["mixed"]["interleaved_passes"] >= 1
+    assert report["mixed"]["extreme_passes"] >= 2
 
 
 def test_checked_in_report_meets_acceptance():
@@ -56,3 +64,5 @@ def test_checked_in_report_meets_acceptance():
     assert report["batch_size"] == 8
     assert report["planner_builds_batch"] == report["distinct_components"]
     assert report["serving"]["speedup_vs_cold"] >= 2.0
+    assert report["mixed"]["interleaved_passes"] >= 1
+    assert report["mixed"]["extreme_passes"] >= 2

@@ -70,6 +70,42 @@ def test_query_group_by(capsys):
     assert "groups" in out
 
 
+def test_query_extreme_trace_renders_no_nan(capsys):
+    """Regression: extreme round traces carried moe=NaN, which the trace
+    table rendered as 'nan'; the sentinel renders as the n/a marker."""
+    code = main(
+        [
+            "query",
+            "MAX(price) MATCH (Germany:Country)-[product]->(x:Automobile)",
+            "--trace",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "round" in out  # the trace table printed
+    assert "nan" not in out.lower()
+    assert "n/a" in out
+
+
+def test_query_group_by_trace_prints_rounds(capsys):
+    """GROUP-BY results now carry an anytime trace the CLI can render."""
+    code = main(
+        [
+            "query",
+            "COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)"
+            " GROUP BY body_style_code",
+            "--error-bound",
+            "0.05",
+            "--trace",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "groups" in out
+    assert "round" in out
+    assert "nan" not in out.lower()
+
+
 def test_query_unknown_dataset(capsys):
     code = main(["query", "COUNT(*) MATCH (A:B)-[c]->(x:D)", "--dataset", "nope"])
     err = capsys.readouterr().err

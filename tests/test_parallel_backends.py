@@ -5,7 +5,9 @@ never *what* it computes:
 
 * ``cooperative == threads == processes`` for fixed seeds, byte-for-byte
   on every value-like result field (the acceptance gate of the parallel
-  redesign);
+  redesign) — for all three query kinds: guaranteed aggregates, GROUP-BY
+  and MAX/MIN, whose rounds now execute in worker processes too (no
+  in-process fallback on a clean graph);
 * worker pools and shared segments are torn down by ``close()`` with no
   leaked shared-memory blocks;
 * ``close()`` during in-flight queries settles or cancels every live
@@ -49,8 +51,30 @@ def _nan_safe(value: float):
     return None if isinstance(value, float) and math.isnan(value) else value
 
 
+def _trace_fingerprint(rounds) -> tuple:
+    return tuple(
+        (t.round_index, t.total_draws, t.correct_draws, t.estimate,
+         _nan_safe(t.moe), t.satisfied, t.guaranteed)
+        for t in rounds
+    )
+
+
 def _fingerprint(result) -> tuple:
     """Every value-like field of a result (timings excluded)."""
+    from repro.core.result import GroupedResult
+
+    if isinstance(result, GroupedResult):
+        return (
+            "grouped",
+            result.converged,
+            result.total_draws,
+            _trace_fingerprint(result.rounds),
+            tuple(
+                (key, group.value, _nan_safe(group.moe), group.converged,
+                 group.correct_draws)
+                for key, group in sorted(result.groups.items())
+            ),
+        )
     return (
         result.value,
         _nan_safe(result.moe),
@@ -58,26 +82,29 @@ def _fingerprint(result) -> tuple:
         result.total_draws,
         result.correct_draws,
         result.distinct_answers,
-        tuple(
-            (t.round_index, t.total_draws, t.correct_draws, t.estimate,
-             _nan_safe(t.moe), t.satisfied)
-            for t in result.rounds
-        ),
+        _trace_fingerprint(result.rounds),
     )
 
 
 def _workload(world) -> list[tuple[AggregateQuery, int]]:
-    """Shared-plan aggregates plus an extreme query (a local atomic slot)."""
+    """All three kinds: shared-plan aggregates, an extreme, a GROUP-BY."""
+    from repro import GroupBy
+
     extreme = AggregateQuery(
         query=QueryGraph.simple("Germany", ["Country"], "product", ["Automobile"]),
         function=AggregateFunction.MAX,
         attribute="price",
     )
+    grouped = AggregateQuery(
+        query=QueryGraph.simple("Germany", ["Country"], "product", ["Automobile"]),
+        function=AggregateFunction.COUNT,
+        group_by=GroupBy("price", bin_width=1000.0),
+    )
     return [
         (world.count_query(), 3),
         (world.avg_query(), 4),
         (world.sum_query(), 5),
-        (world.count_query(), 6),
+        (grouped, 6),
         (extreme, 7),
     ]
 
@@ -147,6 +174,19 @@ class TestWorkerPoolLifecycle:
         assert backend.pool._store.keys == ()
         service.close()  # idempotent
 
+    def test_clean_graph_runs_every_kind_in_workers(self, world):
+        """No in-process fallback fires for an unmutated graph: grouped
+        and extreme rounds are exported to the pool like plain rounds."""
+        shared_plan_cache().clear()
+        config = EngineConfig(seed=7, max_rounds=8)
+        with AggregateQueryService(
+            world.kg, world.embedding, config, backend="processes", workers=2
+        ) as service:
+            handles = service.submit_batch(_workload(world))
+            for handle in handles:
+                handle.result()
+            assert service.backend.local_fallbacks == 0
+
     def test_stale_graph_falls_back_to_local_rounds(self, world):
         baseline = _run_backend(world, "cooperative")
         shared_plan_cache().clear()
@@ -160,6 +200,7 @@ class TestWorkerPoolLifecycle:
             assert not service.backend.pool.fresh()
             handles = service.submit_batch(_workload(world))
             stale_safe = [_fingerprint(handle.result()) for handle in handles]
+            assert service.backend.local_fallbacks > 0
         assert stale_safe == baseline
 
     def test_finished_queries_release_their_joint_segments(self, world):

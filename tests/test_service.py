@@ -15,7 +15,10 @@ Covers the architectural contracts of :class:`AggregateQueryService`:
 
 from __future__ import annotations
 
+import json
 import threading
+import time
+from dataclasses import asdict
 
 import pytest
 
@@ -25,6 +28,7 @@ from repro import (
     AggregateQueryService,
     ApproximateAggregateEngine,
     EngineConfig,
+    GroupBy,
     QueryGraph,
     QueryStatus,
 )
@@ -47,6 +51,22 @@ def _service(world, *, autostart=True, **overrides) -> AggregateQueryService:
     config = EngineConfig(**{"seed": 7, "max_rounds": 8, **overrides})
     return AggregateQueryService(
         world.kg, world.embedding, config, autostart=autostart
+    )
+
+
+def _grouped_query(bin_width: float = 1000.0) -> AggregateQuery:
+    return AggregateQuery(
+        query=QueryGraph.simple("Germany", ["Country"], "product", ["Automobile"]),
+        function=AggregateFunction.COUNT,
+        group_by=GroupBy("price", bin_width=bin_width),
+    )
+
+
+def _extreme_query() -> AggregateQuery:
+    return AggregateQuery(
+        query=QueryGraph.simple("Germany", ["Country"], "product", ["Automobile"]),
+        function=AggregateFunction.MAX,
+        attribute="price",
     )
 
 
@@ -182,16 +202,214 @@ class TestProgressiveResults:
             assert refined.total_draws >= first.progress()[0].total_draws
 
     def test_refine_rejected_for_extreme_queries(self, world):
-        extreme = AggregateQuery(
-            query=QueryGraph.simple("Germany", ["Country"], "product", ["Automobile"]),
-            function=AggregateFunction.MAX,
-            attribute="price",
-        )
         with _service(world) as service:
-            handle = service.submit(extreme)
+            handle = service.submit(_extreme_query())
             handle.result()
             with pytest.raises(ServiceError):
                 handle.refine(0.01)
+
+
+class TestGroupedAndExtremeSlots:
+    """GROUP-BY and MAX/MIN are first-class scheduler citizens: they run
+    one round per slot, expose a growing anytime trace, cancel promptly
+    mid-run, and interleave with plain aggregates."""
+
+    def test_grouped_progress_trace_grows(self, world):
+        with _service(world, error_bound=0.001, min_group_draws=1) as service:
+            handle = service.submit(_grouped_query(), seed=5)
+            result = handle.result()
+        progress = handle.progress()
+        # regression: run_grouped never appended RoundTraces, so
+        # progress() stayed () forever for GROUP-BY queries
+        assert len(progress) >= 2
+        assert [t.round_index for t in progress] == list(
+            range(1, len(progress) + 1)
+        )
+        draws = [t.total_draws for t in progress]
+        assert draws == sorted(draws)  # monotonically growing sample
+        assert all(t.guaranteed for t in progress)
+        # the final trace is the one that settled the run, and the
+        # result carries the whole trace for offline inspection
+        assert result.rounds == progress
+        assert progress[-1].satisfied == result.converged
+
+    def test_extreme_progress_trace_has_no_nan_moe(self, world):
+        with _service(world) as service:
+            handle = service.submit(_extreme_query(), seed=5)
+            result = handle.result()
+        progress = handle.progress()
+        assert len(progress) == service.config.extreme_rounds
+        for trace in progress:
+            assert not trace.guaranteed  # no Theorem-2 CI for extremes
+            assert trace.moe == 0.0  # the sentinel, never NaN
+        # traces are JSON-safe end-to-end: NaN would emit invalid JSON
+        payload = json.dumps([asdict(trace) for trace in progress])
+        assert "NaN" not in payload
+        json.loads(payload)
+        assert result.rounds == progress
+
+    def test_rounds_trace_without_ci_uses_no_guarantee_sentinel(self, world):
+        """A guaranteed-aggregate round with zero correct draws has no CI
+        either: its trace records the sentinel (0.0, guaranteed=False)
+        instead of inf, while Eq.-12 growth still sees "no CI yet"."""
+        from repro import Filter
+
+        empty = AggregateQuery(
+            query=QueryGraph.simple(
+                "Germany", ["Country"], "product", ["Automobile"]
+            ),
+            function=AggregateFunction.COUNT,
+            filters=(Filter("price", 1.0, 2.0),),  # excludes every answer
+        )
+        with _service(world, max_rounds=3) as service:
+            handle = service.submit(empty, seed=5)
+            result = handle.result()
+        assert result.value == 0.0 and not result.converged
+        progress = handle.progress()
+        assert progress
+        draws = [t.total_draws for t in progress]
+        assert draws == sorted(set(draws))  # growth still doubled per round
+        for trace in progress:
+            assert not trace.guaranteed
+            assert trace.moe == 0.0
+        payload = json.dumps([asdict(trace) for trace in progress])
+        assert "Infinity" not in payload and "NaN" not in payload
+        json.loads(payload)
+
+    def test_grouped_trace_with_no_groups_stays_json_safe(self, world):
+        """A round that observes no groups (here: a GROUP-BY attribute no
+        answer carries) has no CI — its trace must use the no-guarantee
+        sentinel, not inf, which breaks rendering and strict JSON."""
+        with _service(world, max_rounds=3) as service:
+            handle = service.submit(
+                AggregateQuery(
+                    query=QueryGraph.simple(
+                        "Germany", ["Country"], "product", ["Automobile"]
+                    ),
+                    function=AggregateFunction.COUNT,
+                    group_by=GroupBy("no_such_attribute", bin_width=1.0),
+                ),
+                seed=5,
+            )
+            result = handle.result()
+        assert result.num_groups == 0
+        progress = handle.progress()
+        assert progress
+        for trace in progress:
+            assert not trace.guaranteed
+            assert trace.moe == 0.0
+        payload = json.dumps([asdict(trace) for trace in progress])
+        assert "Infinity" not in payload and "NaN" not in payload
+        json.loads(payload)
+
+    def test_cancel_running_grouped_settles_within_one_round(self, world):
+        """Regression: cancel() on a RUNNING grouped query used to block
+        until the whole multi-round atomic slot finished; per-round
+        cancellation checks must settle it promptly instead."""
+        service = _service(
+            world, error_bound=1e-9, max_rounds=64, min_group_draws=1
+        )
+        try:
+            handle = service.submit(_grouped_query(bin_width=500.0), seed=5)
+            deadline = time.time() + 30.0
+            while not handle.progress() and time.time() < deadline:
+                time.sleep(0.001)
+            assert handle.progress(), "first grouped round never completed"
+            cancelled_at = time.time()
+            assert handle.cancel() is True
+            with pytest.raises(QueryCancelledError):
+                handle.result(timeout=10.0)
+            assert time.time() - cancelled_at < 10.0
+            assert handle.status is QueryStatus.CANCELLED
+            # partial progress stays readable after cancellation
+            assert len(handle.progress()) >= 1
+            assert len(handle.progress()) < 64
+        finally:
+            service.close()
+
+    def test_direct_executor_wrappers_match_served_results(self, world):
+        """run_grouped/run_extreme (the single-driver step loops) return
+        value-identical results to the scheduler path for a fixed seed."""
+        config = EngineConfig(seed=7, max_rounds=8)
+        engine = ApproximateAggregateEngine(world.kg, world.embedding, config)
+        served_grouped = engine.execute(_grouped_query(), seed=5)
+        served_extreme = engine.execute(_extreme_query(), seed=6)
+
+        grouped_state = engine._initialise(_grouped_query(), 5)
+        direct_grouped = engine.executor.run_grouped(
+            grouped_state, config.error_bound
+        )
+        assert direct_grouped.converged == served_grouped.converged
+        assert direct_grouped.total_draws == served_grouped.total_draws
+        assert {
+            key: (group.value, group.moe, group.correct_draws)
+            for key, group in direct_grouped.groups.items()
+        } == {
+            key: (group.value, group.moe, group.correct_draws)
+            for key, group in served_grouped.groups.items()
+        }
+        assert [t.estimate for t in direct_grouped.rounds] == [
+            t.estimate for t in served_grouped.rounds
+        ]
+
+        extreme_state = engine._initialise(_extreme_query(), 6)
+        direct_extreme = engine.executor.run_extreme(extreme_state)
+        assert direct_extreme.value == served_extreme.value
+        assert direct_extreme.total_draws == served_extreme.total_draws
+        assert [t.estimate for t in direct_extreme.rounds] == [
+            t.estimate for t in served_extreme.rounds
+        ]
+
+    def test_mixed_batch_interleaves_kinds_in_one_pass(self, world):
+        """The scheduler steps grouped/extreme records in the same cohort
+        as plain aggregates (fewest-completed-rounds-first), instead of
+        letting one atomic slot monopolise the scheduler thread."""
+        from repro.core.service import ExecutionBackend
+
+        class RecordingBackend(ExecutionBackend):
+            def __init__(self):
+                self.cohort_kinds: list[tuple[str, ...]] = []
+
+            def run_cohort(self, service, cohort):
+                self.cohort_kinds.append(tuple(r.kind for r in cohort))
+                super().run_cohort(service, cohort)
+
+        backend = RecordingBackend()
+        config = EngineConfig(
+            seed=7, max_rounds=8, error_bound=0.001, min_group_draws=1
+        )
+        with AggregateQueryService(
+            world.kg, world.embedding, config, backend=backend
+        ) as service:
+            handles = service.submit_batch(
+                [
+                    (world.count_query(), 3),
+                    (_grouped_query(), 4),
+                    (_extreme_query(), 5),
+                ]
+            )
+            for handle in handles:
+                handle.result()
+        mixed_passes = [
+            kinds for kinds in backend.cohort_kinds if len(set(kinds)) >= 2
+        ]
+        assert mixed_passes, (
+            f"no scheduler pass stepped several kinds: {backend.cohort_kinds}"
+        )
+        assert any(
+            {"rounds", "grouped"} <= set(kinds) for kinds in mixed_passes
+        )
+        # the discriminating witness: a multi-round grouped/extreme query
+        # spans SEVERAL scheduler passes (one round per slot); an atomic
+        # slot would confine each to exactly one pass
+        grouped_passes = sum(
+            1 for kinds in backend.cohort_kinds if "grouped" in kinds
+        )
+        extreme_passes = sum(
+            1 for kinds in backend.cohort_kinds if "extreme" in kinds
+        )
+        assert grouped_passes >= 2, backend.cohort_kinds
+        assert extreme_passes >= 2, backend.cohort_kinds
 
 
 class TestCancellationAndTimeout:
