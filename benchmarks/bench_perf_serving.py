@@ -33,6 +33,13 @@ scheduler pass must step rounds of several kinds (recorded as
 ``interleaved_passes`` — the witness that grouped and extreme rounds
 genuinely interleave instead of running as atomic slots).
 
+A third, **resilience** case reruns the 8-query batch on the processes
+backend twice — clean, then with a :class:`FaultPlan` crashing one
+worker mid-round — and records the recovery overhead plus the
+respawn/replay counters; both runs must return results byte-identical
+to sequential execution (lost rounds replay deterministically because
+sampler growth happens scheduler-side before export).
+
 Run:  PYTHONPATH=src python benchmarks/bench_perf_serving.py [--smoke]
 
 ``--smoke`` shrinks the dataset and repeat count so the whole script
@@ -58,6 +65,8 @@ from repro import (  # noqa: E402
     ApproximateAggregateEngine,
     AggregateQueryService,
     EngineConfig,
+    FaultPlan,
+    FaultSpec,
     GroupBy,
     QueryGraph,
 )
@@ -286,6 +295,39 @@ def run(scale: float, repeats: int, seed: int) -> dict:
     mixed_cold_seconds = best_seconds(mixed_sequential)
     mixed_batch_seconds = best_seconds(lambda: mixed_batch())
 
+    # -- resilience: a worker crash inside the processes batch ---------
+    def process_batch(fault_plan=None) -> tuple[list, dict]:
+        shared_plan_cache().clear()
+        with AggregateQueryService(
+            kg, embedding, config, backend="processes", workers=2,
+            fault_plan=fault_plan,
+        ) as service:
+            handles = service.submit_batch(list(zip(queries, seeds)))
+            results = [handle.result() for handle in handles]
+            return results, service.health()
+
+    def crash_plan() -> FaultPlan:
+        return FaultPlan([
+            FaultSpec(site="worker_round", action="crash_worker",
+                      match={"round": 2}, times=1),
+        ])
+
+    clean_results, clean_health = process_batch()
+    assert [_fingerprint(r) for r in clean_results] == expected, (
+        "processes backend diverged from sequential execution"
+    )
+    assert clean_health["respawns"] == 0, "clean run must not respawn"
+    injected_results, injected_health = process_batch(crash_plan())
+    assert [_fingerprint(r) for r in injected_results] == expected, (
+        "crash recovery changed results: replayed rounds must be "
+        "byte-identical to the clean run"
+    )
+    assert injected_health["respawns"] >= 1, "the crash never triggered"
+    clean_process_seconds = best_seconds(lambda: process_batch())
+    injected_process_seconds = best_seconds(
+        lambda: process_batch(crash_plan())
+    )
+
     scheduler_ms = sum(
         result.stage_ms.get("scheduler", 0.0) for result in batch_results
     )
@@ -320,6 +362,18 @@ def run(scale: float, repeats: int, seed: int) -> dict:
             "scheduler_passes": len(recorder.cohort_kinds),
             "grouped_passes": recorder.passes_with("grouped"),
             "extreme_passes": recorder.passes_with("extreme"),
+        },
+        "resilience": {
+            "workers": 2,
+            "clean_process_seconds": clean_process_seconds,
+            "injected_process_seconds": injected_process_seconds,
+            "recovery_overhead_seconds": (
+                injected_process_seconds - clean_process_seconds
+            ),
+            "respawns": injected_health["respawns"],
+            "retries": injected_health["retries"],
+            "local_fallbacks": injected_health["local_fallbacks"],
+            "crash_equivalent": True,
         },
         "equivalent": True,
     }
@@ -372,6 +426,15 @@ def main(argv: list[str] | None = None) -> int:
         f"({mixed['speedup_vs_cold']:.1f}x vs cold, "
         f"{mixed['interleaved_passes']}/{mixed['scheduler_passes']} "
         "scheduler passes stepped several kinds)"
+    )
+    resilience = report["resilience"]
+    print(
+        f"crash recovery (1 worker crash, {resilience['workers']} workers): "
+        f"{resilience['injected_process_seconds'] * 1e3:8.1f} ms vs "
+        f"{resilience['clean_process_seconds'] * 1e3:.1f} ms clean  "
+        f"(+{resilience['recovery_overhead_seconds'] * 1e3:.1f} ms, "
+        f"{resilience['respawns']} respawn(s), "
+        f"{resilience['retries']} replay(s), byte-identical results)"
     )
     print(f"[saved to {arguments.output}]")
     return 0

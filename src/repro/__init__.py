@@ -27,6 +27,12 @@ Quickstart::
 
 from repro.core.config import DeltaStrategy, EngineConfig, SamplerKind
 from repro.core.engine import ApproximateAggregateEngine
+from repro.core.resilience import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    ServiceLimits,
+)
 from repro.core.result import ApproximateResult, GroupedResult, RoundTrace
 from repro.core.service import (
     AggregateQueryService,
@@ -77,6 +83,10 @@ __all__ = [
     "ExecutionBackend",
     "QueryHandle",
     "QueryStatus",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "ServiceLimits",
     "KnowledgeGraph",
     "AggregateFunction",
     "AggregateQuery",

@@ -32,6 +32,7 @@ from repro.bench import experiments as _experiments
 from repro.bench.plots import Series, line_chart
 from repro.core.config import EngineConfig
 from repro.core.engine import ApproximateAggregateEngine
+from repro.core.resilience import ServiceLimits
 from repro.core.result import ApproximateResult, GroupedResult
 from repro.core.service import AggregateQueryService
 from repro.errors import ReproError
@@ -84,6 +85,23 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="pool size for the threads/processes backends (default: CPU count)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query wall-clock budget; past it a query settles as "
+        "DeadlineExceededError carrying its last anytime estimate + CI "
+        "(default: no deadline)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: live queries accepted before the service "
+        "sheds submissions with ServiceOverloadedError (default: unlimited)",
     )
 
 
@@ -253,10 +271,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         or args.batch
         or args.backend != "cooperative"
         or args.workers is not None
+        or args.deadline is not None
+        or args.max_pending is not None
     ):
         # a requested execution backend always routes through the serving
-        # layer — silently ignoring --backend/--workers for a lone query
-        # would run the wrong execution mode
+        # layer — silently ignoring --backend/--workers (or the serving
+        # limits --deadline/--max-pending) for a lone query would run the
+        # wrong execution mode
         return _run_query_batch(bundle, config, queries, args)
     aggregate_query = queries[0]
     engine = ApproximateAggregateEngine(bundle.kg, bundle.embedding, config=config)
@@ -292,6 +313,8 @@ def _run_query_batch(bundle, config: EngineConfig, queries, args) -> int:
         config,
         backend=getattr(args, "backend", "cooperative"),
         workers=getattr(args, "workers", None),
+        default_deadline=getattr(args, "deadline", None),
+        limits=ServiceLimits(max_pending=getattr(args, "max_pending", None)),
     ) as service:
         handles = service.submit_batch(queries)
         exit_code = 0
@@ -337,6 +360,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config,
         backend=args.backend,
         workers=args.workers,
+        default_deadline=args.deadline,
+        limits=ServiceLimits(max_pending=args.max_pending),
     ) as service:
         for line_number, raw_line in enumerate(sys.stdin, start=1):
             aql = raw_line.strip()

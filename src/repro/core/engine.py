@@ -146,14 +146,38 @@ class ApproximateAggregateEngine:
         this execution only.
         """
         aggregate_query = self._coerce_query(aggregate_query)
-        return self.service.submit(aggregate_query, seed=seed).result()
+        return self._unwrapped_result(
+            self.service.submit(aggregate_query, seed=seed)
+        )
 
     def estimate_once(
         self, aggregate_query: AggregateQuery | str, *, seed: int | None = None
     ) -> ApproximateResult:
         """One sampling-estimation round without refinement (diagnostics)."""
         aggregate_query = self._coerce_query(aggregate_query)
-        return self.service.submit(aggregate_query, seed=seed, max_rounds=1).result()
+        return self._unwrapped_result(
+            self.service.submit(aggregate_query, seed=seed, max_rounds=1)
+        )
+
+    @staticmethod
+    def _unwrapped_result(handle):
+        """``handle.result()`` with the service's failure wrapper removed.
+
+        The async API wraps a failed query's stored exception in a fresh
+        :class:`~repro.errors.ServiceError` (repeated raises of one
+        shared object would mutate its traceback); this blocking facade
+        promises the *original* error types — MappingNodeNotFoundError,
+        SamplingError, ... — and each ``execute()`` owns its record
+        outright, so re-raising the cause once is safe here.
+        """
+        from repro.errors import ServiceError
+
+        try:
+            return handle.result()
+        except ServiceError as exc:
+            if type(exc) is ServiceError and exc.__cause__ is not None:
+                raise exc.__cause__
+            raise
 
     def answer_similarity(self, state_or_components, node_id: int) -> float:
         """Composite answer similarity: minimum across components."""

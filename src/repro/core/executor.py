@@ -453,6 +453,11 @@ def apply_prewarm_result(plan: QueryPlan, result: PrewarmWorkResult) -> None:
 class QueryExecutor:
     """Runs S2 + S3 of Algorithm 2 over plans produced by the planner."""
 
+    #: fault-injection hook (a :class:`~repro.core.resilience.FaultPlan`)
+    #: installed by a service under test; None — one attribute check —
+    #: in production
+    fault_hook = None
+
     def __init__(
         self,
         kg: KnowledgeGraph,
@@ -787,6 +792,9 @@ class QueryExecutor:
         pending = drawn[~state.support_known[drawn]]
         if len(pending) == 0:
             return
+        hook = self.fault_hook
+        if hook is not None:
+            hook.fire("validate_batch", pending=len(pending))
         with state.timers.measure(STAGE_VALIDATION):
             self._validate_entries(state, pending)
 

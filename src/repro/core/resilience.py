@@ -1,0 +1,238 @@
+"""Resilience policies + deterministic fault injection for serving (S4/S5).
+
+The serving stack's fault-tolerance knobs live here, decoupled from the
+scheduler and the worker pool that enforce them:
+
+* :class:`RetryPolicy` — how many times a lost round is replayed against
+  a respawned worker pool before falling back in-process, and how long
+  to back off between attempts (exponential with deterministic jitter).
+  Replaying is sound because growth (the only RNG) runs in the scheduler
+  thread *before* export: re-dispatching the same
+  :class:`~repro.core.executor.RoundWorkItem` is byte-identical.
+* :class:`ServiceLimits` — admission control.  ``max_pending`` bounds
+  live queries across the service, ``max_queued_runs`` bounds the
+  refine() backlog of a single query; beyond either the service sheds
+  with :class:`~repro.errors.ServiceOverloadedError` instead of letting
+  the slot queue grow without bound.
+* :class:`FaultPlan` / :class:`FaultSpec` — deterministic fault
+  injection.  Production code paths carry inert hooks (an attribute
+  check against ``None``); a test installs a plan whose specs match
+  scheduling context ("crash the worker executing query 3's round 2",
+  "raise in validate_batch once", "hang this slot for 50 ms") so every
+  recovery path is exercised by ordinary fixed-seed tests — no sleeps
+  as synchronization, no OS-signal races.
+
+Nothing here imports the service or the pool: both depend on this
+module, tests depend on it, and the policies stay picklable/shareable.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "ServiceLimits",
+]
+
+
+class FaultInjected(ServiceError):
+    """Default exception raised by a ``raise``-action fault spec."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Replay budget + backoff for rounds lost to a worker crash.
+
+    ``delay_for`` is deterministic: the jitter is drawn from a RNG seeded
+    by ``(seed, attempt)``, so a replayed schedule of failures produces a
+    replayed schedule of delays — the same property the sampling layer
+    has, extended to recovery.
+    """
+
+    #: dispatch attempts per round (1 = no replay, straight to fallback)
+    max_attempts: int = 3
+    #: first backoff delay, seconds (0 disables sleeping entirely)
+    backoff_base: float = 0.05
+    #: multiplier per subsequent attempt
+    backoff_factor: float = 2.0
+    #: ceiling on a single delay, seconds
+    backoff_cap: float = 2.0
+    #: jitter fraction: the delay is scaled by ``1 + U[0, jitter]``
+    jitter: float = 0.25
+    #: seed for the deterministic jitter stream
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ServiceError("RetryPolicy.max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ServiceError("RetryPolicy backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ServiceError("RetryPolicy.backoff_factor must be >= 1")
+        if self.jitter < 0:
+            raise ServiceError("RetryPolicy.jitter must be >= 0")
+
+    def delay_for(self, attempt: int) -> float:
+        """Seconds to back off before replay number ``attempt`` (1-based)."""
+        if self.backoff_base <= 0.0:
+            return 0.0
+        delay = min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+        if self.jitter:
+            fraction = random.Random(f"{self.seed}:{attempt}").random()
+            delay *= 1.0 + self.jitter * fraction
+        return delay
+
+
+@dataclass(frozen=True)
+class ServiceLimits:
+    """Admission-control limits for one :class:`AggregateQueryService`.
+
+    ``None`` means unlimited (the default — existing callers see no
+    behaviour change).  This is the seam a network front-end's quotas
+    will sit on: reject at submit time, never mid-run.
+    """
+
+    #: live (non-terminal) queries the service accepts before shedding
+    max_pending: int | None = None
+    #: runs one query may have queued/active before refine() sheds
+    max_queued_runs: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ServiceError("ServiceLimits.max_pending must be >= 1")
+        if self.max_queued_runs is not None and self.max_queued_runs < 1:
+            raise ServiceError("ServiceLimits.max_queued_runs must be >= 1")
+
+
+#: recognised fault actions
+_ACTIONS = ("crash_worker", "raise", "hang")
+
+
+@dataclass
+class FaultSpec:
+    """One injectable fault: *where* (site + match), *what* (action), *how often*.
+
+    ``site`` names an injection point (``"worker_round"``,
+    ``"worker_prewarm"``, ``"dispatch_round"``, ``"slot"``,
+    ``"validate_batch"``, ``"recover"`` — any string a hook fires).
+    ``match`` filters on the context the site provides, e.g.
+    ``{"sequence": 3, "round": 2}``; an empty match hits every firing of
+    the site.  ``times`` bounds how often the spec triggers (``None`` =
+    unlimited).  Actions:
+
+    * ``"crash_worker"`` — the dispatch site ships a crash payload; the
+      worker process ``os._exit``\\ s *inside* the round (never while
+      holding a queue lock), deterministically losing exactly that job.
+    * ``"raise"`` — the site raises :attr:`exception` (or
+      :class:`FaultInjected`).
+    * ``"hang"`` — the site sleeps :attr:`seconds` then proceeds.  The
+      sleep is the fault *payload* (a slow worker), not a test
+      synchronization primitive.
+
+    ``callback`` (if set) runs on every trigger with the site's context —
+    the deterministic way for a test to act (cancel a handle, record an
+    event) at an exact point inside the scheduler, instead of sleeping
+    and hoping.
+    """
+
+    site: str
+    action: str = "raise"
+    match: dict = field(default_factory=dict)
+    times: int | None = 1
+    exception: BaseException | None = None
+    seconds: float = 0.0
+    callback: object | None = None
+    #: how often this spec has triggered (maintained by the plan)
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ServiceError(
+                f"unknown fault action {self.action!r}; choose from {_ACTIONS}"
+            )
+
+
+class FaultPlan:
+    """A thread-safe schedule of :class:`FaultSpec` to inject.
+
+    Sites call :meth:`fire` with their context.  The plan finds the first
+    armed spec matching ``(site, context)``, consumes one of its
+    ``times``, logs the hit, runs its callback, and *executes* ``raise``
+    and ``hang`` actions itself; ``crash_worker`` is returned to the
+    caller, which owns the mechanism (shipping the crash payload to the
+    worker).  With no matching spec, ``fire`` is a dictionary miss — and
+    production code never constructs a plan at all, so the hooks reduce
+    to one ``is None`` check.
+    """
+
+    def __init__(self, specs: tuple | list = ()) -> None:
+        self._specs = list(specs)
+        self._lock = threading.Lock()
+        #: (site, context) of every fault that triggered, in order
+        self.log: list[tuple[str, dict]] = []
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        """Append a spec; returns ``self`` for chaining."""
+        with self._lock:
+            self._specs.append(spec)
+        return self
+
+    @property
+    def specs(self) -> tuple:
+        return tuple(self._specs)
+
+    def _claim(self, site: str, context: dict) -> FaultSpec | None:
+        with self._lock:
+            for spec in self._specs:
+                if spec.site != site:
+                    continue
+                if spec.times is not None and spec.fired >= spec.times:
+                    continue
+                if any(
+                    context.get(key) != value
+                    for key, value in spec.match.items()
+                ):
+                    continue
+                spec.fired += 1
+                self.log.append((site, dict(context)))
+                return spec
+        return None
+
+    def fire(self, site: str, **context) -> FaultSpec | None:
+        """Trigger at an injection site; see the class docstring."""
+        spec = self._claim(site, context)
+        if spec is None:
+            return None
+        if spec.callback is not None:
+            spec.callback(dict(context))
+        if spec.action == "raise":
+            raise spec.exception or FaultInjected(
+                f"injected fault at {site} ({context})"
+            )
+        if spec.action == "hang":
+            if spec.seconds > 0:
+                time.sleep(spec.seconds)
+            return None
+        return spec  # crash_worker: the caller implements the mechanism
+
+    def payload_for(self, spec: FaultSpec | None) -> dict | None:
+        """The picklable worker-side payload for a claimed spec."""
+        if spec is None:
+            return None
+        if spec.action == "crash_worker":
+            return {"action": "crash"}
+        if spec.action == "hang":
+            return {"action": "hang", "seconds": spec.seconds}
+        return {"action": "raise", "message": str(spec.exception or "")}

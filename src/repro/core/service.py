@@ -81,13 +81,16 @@ from repro.core.executor import (
 )
 from repro.core.plan import QueryPlan
 from repro.core.planner import QueryPlanner
+from repro.core.resilience import FaultPlan, RetryPolicy, ServiceLimits
 from repro.core.result import ApproximateResult, GroupedResult, RoundTrace
 from repro.embedding.base import PredicateEmbedding
 from repro.embedding.predicate_space import PredicateVectorSpace
 from repro.errors import (
+    DeadlineExceededError,
     QueryCancelledError,
     ResultTimeoutError,
     ServiceError,
+    ServiceOverloadedError,
 )
 from repro.kg.graph import KnowledgeGraph
 from repro.query.aggregate import AggregateQuery
@@ -150,6 +153,8 @@ class _QueryRecord:
     result: ApproximateResult | GroupedResult | None = None
     exception: BaseException | None = None
     cancel_requested: bool = False
+    #: absolute expiry on the service clock, or None for no deadline
+    deadline_at: float | None = None
 
 
 class QueryHandle:
@@ -205,9 +210,14 @@ class QueryHandle:
         """Block until every queued run finished and return the result.
 
         Raises :class:`ResultTimeoutError` when ``timeout`` (seconds)
-        expires first, :class:`QueryCancelledError` for cancelled queries,
-        and re-raises the original error for failed ones.  A deferred
-        handle (``start=False``) with no run ever queued raises
+        expires first and :class:`QueryCancelledError` for cancelled
+        queries.  A failed query raises a *fresh* exception per call —
+        :class:`DeadlineExceededError` (carrying the anytime trace) when
+        the deadline expired, otherwise a :class:`ServiceError` whose
+        ``__cause__`` chains the stored original — so concurrent and
+        repeated callers never re-raise (and thereby mutate the traceback
+        of) one shared exception object.  A deferred handle
+        (``start=False``) with no run ever queued raises
         :class:`ServiceError` instead of blocking forever.
         """
         record = self._record
@@ -241,7 +251,17 @@ class QueryHandle:
             )
         if record.status is QueryStatus.FAILED:
             assert record.exception is not None
-            raise record.exception
+            original = record.exception
+            if isinstance(original, DeadlineExceededError):
+                wrapper: ServiceError = DeadlineExceededError(
+                    str(original), trace=original.trace
+                )
+            else:
+                wrapper = ServiceError(
+                    f"query #{record.sequence} failed: "
+                    f"{type(original).__name__}: {original}"
+                )
+            raise wrapper from original
         assert record.result is not None
         return record.result
 
@@ -293,6 +313,9 @@ class ExecutionBackend:
 
     name = "cooperative"
 
+    #: fault-injection schedule; None in production (hooks are inert)
+    fault_plan: FaultPlan | None = None
+
     def run_cohort(self, service: "AggregateQueryService", cohort) -> None:
         """Advance every cohort record by one slot."""
         for record in cohort:
@@ -301,6 +324,10 @@ class ExecutionBackend:
     def run_prewarm(self, service: "AggregateQueryService", jobs) -> list[float]:
         """Execute the cross-query validation batches; seconds per job."""
         return [job.run() for job in jobs]
+
+    def health(self) -> dict:
+        """Backend-side counters merged into ``service.health()``."""
+        return {"backend": self.name}
 
     def close(self) -> None:
         """Release backend resources (pools, shared segments)."""
@@ -339,6 +366,9 @@ class _ThreadBackend(ExecutionBackend):
         futures = [self._pool.submit(job.run) for job in jobs]
         return [future.result() for future in futures]
 
+    def health(self) -> dict:
+        return {"backend": self.name, "workers": self.workers}
+
     def close(self) -> None:
         # every slot is one round for every kind, so waiting is bounded;
         # records are already settled by the service, an in-flight round
@@ -353,6 +383,7 @@ def _make_backend(
     config: EngineConfig,
     workers: int | None,
     start_method: str | None,
+    retry: RetryPolicy | None,
 ) -> ExecutionBackend:
     """Resolve a backend name (or pass a ready-made backend through)."""
     if isinstance(backend, ExecutionBackend):
@@ -369,7 +400,12 @@ def _make_backend(
         from repro.store.workers import ProcessBackend
 
         return ProcessBackend(
-            kg, space, config, workers=workers, start_method=start_method
+            kg,
+            space,
+            config,
+            workers=workers,
+            start_method=start_method,
+            retry=retry,
         )
     raise ServiceError(
         f"unknown execution backend {backend!r}; choose from {BACKENDS}"
@@ -405,6 +441,10 @@ class AggregateQueryService:
         backend: "str | ExecutionBackend" = "cooperative",
         workers: int | None = None,
         start_method: str | None = None,
+        limits: ServiceLimits | None = None,
+        retry: RetryPolicy | None = None,
+        default_deadline: float | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self._kg = kg
         self._space = (
@@ -424,8 +464,27 @@ class AggregateQueryService:
             else QueryExecutor(kg, self._space, self.config, self._planner)
         )
         self._backend = _make_backend(
-            backend, kg, self._space, self.config, workers, start_method
+            backend, kg, self._space, self.config, workers, start_method, retry
         )
+        self._limits = limits if limits is not None else ServiceLimits()
+        self._default_deadline = default_deadline
+        self._fault_plan = fault_plan
+        if fault_plan is not None:
+            # instance attributes shadow the inert class-level None
+            self._backend.fault_plan = fault_plan
+            self._executor.fault_hook = fault_plan
+        #: monkeypatchable monotonic clock read at submit and round
+        #: boundaries — deadline tests drive it instead of sleeping
+        self._clock = time.monotonic
+        #: submissions rejected by admission control
+        self._sheds = 0
+        #: queries settled as DeadlineExceededError
+        self._deadline_expiries = 0
+        #: what the scheduler thread is doing (named by close() when stuck)
+        self._phase = "idle"
+        #: how long close() waits for the scheduler before declaring it
+        #: stuck (tests shrink this; the error path must not cost 5s)
+        self._join_timeout = 5.0
         self._condition = threading.Condition()
         self._records: list[_QueryRecord] = []
         self._sequence = 0
@@ -446,6 +505,37 @@ class AggregateQueryService:
         """The execution backend running this service's scheduler slots."""
         return self._backend
 
+    @property
+    def limits(self) -> ServiceLimits:
+        """The admission-control limits this service enforces."""
+        return self._limits
+
+    def health(self) -> dict:
+        """A point-in-time snapshot of the service's resilience counters.
+
+        Service-side: live queries, admission sheds, deadline expiries
+        and the configured limits.  Backend-side (merged in): the
+        backend name plus, for the processes backend, worker count and
+        the respawn / retry / in-process-fallback counters the
+        supervisor maintains.  Cheap enough to poll from a monitoring
+        endpoint.
+        """
+        with self._condition:
+            live = sum(
+                1 for r in self._records if r.status not in _TERMINAL
+            )
+            info = {
+                "closed": self._shutdown,
+                "scheduler_phase": self._phase,
+                "live_queries": live,
+                "sheds": self._sheds,
+                "deadline_expiries": self._deadline_expiries,
+                "max_pending": self._limits.max_pending,
+                "max_queued_runs": self._limits.max_queued_runs,
+            }
+        info.update(self._backend.health())
+        return info
+
     def submit(
         self,
         aggregate_query: AggregateQuery | str,
@@ -454,28 +544,51 @@ class AggregateQueryService:
         confidence: float | None = None,
         seed: int | None = None,
         max_rounds: int | None = None,
+        deadline: float | None = None,
         start: bool = True,
     ) -> QueryHandle:
         """Register a query and return its handle immediately.
 
         ``error_bound`` / ``confidence`` default to the service config;
-        ``seed`` overrides the config seed for this query only.  With
-        ``start=False`` the query is initialised (S1 + initial sample)
-        but no rounds run until :meth:`QueryHandle.refine` — the hook
-        interactive sessions hang off.
+        ``seed`` overrides the config seed for this query only.
+        ``deadline`` (seconds from now; default the service's
+        ``default_deadline``) bounds the query's wall-clock budget: past
+        it the scheduler abandons the run at the next round boundary and
+        the query settles as :class:`DeadlineExceededError` carrying the
+        anytime trace collected so far.  With ``start=False`` the query
+        is initialised (S1 + initial sample) but no rounds run until
+        :meth:`QueryHandle.refine` — the hook interactive sessions hang
+        off.  Raises :class:`ServiceOverloadedError` when admission
+        control (``limits.max_pending``) sheds the submission.
         """
         aggregate_query = self._coerce(aggregate_query)
         executor = self._executor_for(confidence)
         kind = kind_for(aggregate_query)
+        if deadline is None:
+            deadline = self._default_deadline
         with self._condition:
             if self._shutdown:
                 raise ServiceError("the query service has been closed")
+            limit = self._limits.max_pending
+            if limit is not None:
+                pending = sum(
+                    1 for r in self._records if r.status not in _TERMINAL
+                )
+                if pending >= limit:
+                    self._sheds += 1
+                    raise ServiceOverloadedError(
+                        f"service is serving {pending} live queries "
+                        f"(max_pending={limit}); retry after backoff"
+                    )
             record = _QueryRecord(
                 sequence=self._sequence,
                 aggregate_query=aggregate_query,
                 seed=seed,
                 executor=executor,
                 kind=kind,
+                deadline_at=(
+                    None if deadline is None else self._clock() + deadline
+                ),
             )
             self._sequence += 1
             self._records.append(record)
@@ -501,11 +614,15 @@ class AggregateQueryService:
         error_bound: float | None = None,
         confidence: float | None = None,
         seed: int | None = None,
+        deadline: float | None = None,
     ) -> list[QueryHandle]:
         """Submit several queries at once; the scheduler interleaves them.
 
         ``queries`` is an iterable of :class:`AggregateQuery` (or AQL
         strings, or ``(query, seed)`` pairs to give each its own seed).
+        Admission control applies per query: a shed raises
+        :class:`ServiceOverloadedError` mid-batch, leaving the already
+        accepted handles running undisturbed.
         """
         handles = []
         for entry in queries:
@@ -518,6 +635,7 @@ class AggregateQueryService:
                     error_bound=error_bound,
                     confidence=confidence,
                     seed=query_seed,
+                    deadline=deadline,
                 )
             )
         return handles
@@ -538,6 +656,12 @@ class AggregateQueryService:
         backend (thread/process pools, shared segments) torn down — a
         handle can end up ``SUCCEEDED`` (its round finished first) or
         ``CANCELLED``, but never stuck ``RUNNING``.
+
+        If the scheduler thread fails to stop within its join timeout,
+        close() raises :class:`ServiceError` naming the phase the thread
+        is stuck in rather than silently leaking it — tearing down the
+        backend under a live scheduler would turn one stuck thread into
+        a corrupted pool.
         """
         with self._condition:
             self._shutdown = True
@@ -547,7 +671,14 @@ class AggregateQueryService:
             self._condition.notify_all()
         thread = self._thread
         if thread is not None and thread.is_alive():
-            thread.join(timeout=5.0)
+            thread.join(timeout=self._join_timeout)
+            if thread.is_alive():
+                raise ServiceError(
+                    "the scheduler thread did not stop within "
+                    f"{self._join_timeout:.1f}s (stuck in phase: "
+                    f"{self._phase!r}); backend resources were left in "
+                    "place — retry close() once the thread unblocks"
+                )
         with self._condition:
             for record in self._records:
                 if record.status not in _TERMINAL:
@@ -580,12 +711,15 @@ class AggregateQueryService:
         """
         if confidence is None or confidence == self.config.confidence_level:
             return self._executor
-        return QueryExecutor(
+        executor = QueryExecutor(
             self._kg,
             self._space,
             self.config.with_(confidence_level=confidence),
             self._planner,
         )
+        if self._fault_plan is not None:
+            executor.fault_hook = self._fault_plan
+        return executor
 
     def _queue_run(
         self,
@@ -605,6 +739,18 @@ class AggregateQueryService:
                 raise ServiceError(
                     f"cannot refine a {record.status.value} query"
                 )
+            limit = self._limits.max_queued_runs
+            if limit is not None:
+                backlog = len(record.queued_runs) + (
+                    1 if record.active_run is not None else 0
+                )
+                if backlog >= limit:
+                    self._sheds += 1
+                    raise ServiceOverloadedError(
+                        f"query #{record.sequence} already has {backlog} "
+                        f"queued/active runs (max_queued_runs={limit}); "
+                        "wait for the backlog to drain"
+                    )
             record.queued_runs.append(
                 _Run(error_bound=error_bound, max_rounds=max_rounds)
             )
@@ -668,6 +814,7 @@ class AggregateQueryService:
     def _loop(self) -> None:
         while True:
             with self._condition:
+                self._phase = "idle"
                 while not self._shutdown and not self._has_work_locked():
                     self._condition.wait()
                 if self._shutdown:
@@ -692,12 +839,40 @@ class AggregateQueryService:
         self._condition.notify_all()
 
     def _tick(self) -> None:
-        """One scheduler pass: cancellations, inits, one step per cohort member."""
+        """One scheduler pass: cancellations, deadlines, inits, one step per
+        cohort member."""
+        self._phase = "cancellation/deadline sweep"
         with self._condition:
             live = [r for r in self._records if r.status not in _TERMINAL]
             for record in live:
                 if record.cancel_requested:
                     self._finish_cancelled_locked(record)
+            # deadline sweep: round boundaries are the cooperative
+            # preemption points, so an expired query settles here — its
+            # anytime trace travels inside the error, preserving the
+            # loosest guaranteed estimate + CI the rounds produced
+            now = self._clock()
+            for record in live:
+                if (
+                    record.deadline_at is not None
+                    and record.status not in _TERMINAL
+                    and now >= record.deadline_at
+                ):
+                    trace = (
+                        tuple(record.state.rounds)
+                        if record.state is not None
+                        else ()
+                    )
+                    self._deadline_expiries += 1
+                    self._finish_failed_locked(
+                        record,
+                        DeadlineExceededError(
+                            f"query #{record.sequence} exceeded its "
+                            f"deadline after {len(trace)} completed "
+                            "round(s)",
+                            trace=trace,
+                        ),
+                    )
             live = [r for r in live if r.status not in _TERMINAL]
             # prune finished records: handles keep their record alive for
             # result()/progress(), but the scheduler must not retain every
@@ -710,6 +885,7 @@ class AggregateQueryService:
                     record.status = QueryStatus.RUNNING
             to_init = [r for r in live if r.state is None]
 
+        self._phase = "initialise (S1)"
         for record in to_init:
             self._initialise(record)
 
@@ -729,6 +905,7 @@ class AggregateQueryService:
             # completed rounds steps first; submission order breaks ties.
             cohort.sort(key=lambda r: (len(r.state.rounds), r.sequence))
 
+        self._phase = "prewarm (cross-query validation)"
         prewarm_started = time.perf_counter()
         self._prewarm_cohort(cohort)
         prewarm_seconds = time.perf_counter() - prewarm_started
@@ -739,6 +916,7 @@ class AggregateQueryService:
                     record.state, STAGE_SCHEDULER, overhead / len(cohort)
                 )
 
+        self._phase = "execute cohort"
         self._backend.run_cohort(self, cohort)
 
     def _initialise(self, record: _QueryRecord) -> None:
@@ -941,6 +1119,14 @@ class AggregateQueryService:
             return
         run, state = slot
         executor = record.executor
+        fault_plan = self._backend.fault_plan
+        if fault_plan is not None:
+            fault_plan.fire(
+                "slot",
+                sequence=record.sequence,
+                round=run.steps_taken + 1,
+                kind=record.kind,
+            )
         grow_seconds = self._grow_for_run(record, run, state)
         if record.kind is _KIND_GROUPED:
             outcome = executor.step_grouped(

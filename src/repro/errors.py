@@ -3,6 +3,59 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still being able to distinguish specific failure modes.
+
+Errors taxonomy
+---------------
+
+**Input/model errors** — the request itself is unusable; retrying the same
+call cannot succeed:
+
+* :class:`QueryError` / :class:`MappingNodeNotFoundError` — the query
+  graph is invalid or names a specific node the KG does not have.
+* :class:`GraphError` (:class:`NodeNotFoundError`,
+  :class:`EdgeNotFoundError`) — a dangling node/edge reference.
+* :class:`EmbeddingError` — the predicate embedding is misconfigured or
+  missing the query's predicates.
+* :class:`DatasetError` — inconsistent synthetic-dataset parameters.
+
+**Data-dependent errors** — the pipeline ran but the data could not
+support an answer; retrying without changing the graph or the query is
+pointless, but the error is *honest* (never a fabricated estimate):
+
+* :class:`SamplingError` — empty scope, no candidate answers.
+* :class:`EstimationError` — an estimator applied to an unusable sample
+  (e.g. zero correct draws for AVG).
+* :class:`ConvergenceError` — an iterative procedure exhausted its budget.
+
+**Persistence errors**:
+
+* :class:`StoreError` — a snapshot/plan *store-format* problem (bad
+  manifest, stale key, corrupt segment).  Serving-lifecycle failures
+  (a closed pool, a stuck scheduler) are :class:`ServiceError`, never
+  ``StoreError``.
+
+**Serving-lifecycle errors** — all derive from :class:`ServiceError`;
+these describe the state of the *service*, not the query's data:
+
+* :class:`ServiceError` — closed service, invalid handle operation,
+  a query that failed inside the scheduler (the original error is
+  chained as ``__cause__``).  Not retryable as-is.
+* :class:`QueryCancelledError` — the caller (or ``close()``) cancelled
+  the query.  Not retryable; resubmit if the cancel was accidental.
+* :class:`ResultTimeoutError` — ``result(timeout=...)`` expired while
+  the query kept running.  **Retryable**: call ``result()`` again; the
+  query was not disturbed.
+* :class:`DeadlineExceededError` — the query's own deadline expired
+  mid-run.  Carries the last anytime trace (``.trace``): the loosest
+  guaranteed estimate + CI is still available even though the run was
+  abandoned.  **Retryable** with a larger deadline.
+* :class:`ServiceOverloadedError` — admission control shed the request
+  before any work ran (``max_pending`` / ``max_queued_runs``).
+  **Retryable** after backoff: in-flight queries were not disturbed.
+
+Worker crashes never surface as an error: the supervisor respawns the
+pool and replays the lost round (byte-identical — growth/RNG lives in
+the scheduler), falling back in-process after ``RetryPolicy.max_attempts``.
 """
 
 from __future__ import annotations
@@ -70,3 +123,27 @@ class QueryCancelledError(ServiceError):
 
 class ResultTimeoutError(ServiceError, TimeoutError):
     """``QueryHandle.result(timeout=...)`` expired before the run finished."""
+
+
+class DeadlineExceededError(ServiceError, TimeoutError):
+    """A query's deadline expired mid-run.
+
+    The anytime contract survives the failure: :attr:`trace` holds the
+    query's :class:`~repro.core.result.RoundTrace` tuple as of expiry, so
+    the caller still gets the loosest guaranteed estimate + CI the rounds
+    produced before the budget ran out.
+    """
+
+    def __init__(self, message: str, *, trace: tuple = ()) -> None:
+        super().__init__(message)
+        #: the last anytime ``progress()`` trace (may be empty if the
+        #: deadline expired before the first round completed)
+        self.trace = tuple(trace)
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a submission (service at its limits).
+
+    Raised *before* any work runs, so in-flight queries are undisturbed;
+    the request is safe to retry after backoff.
+    """

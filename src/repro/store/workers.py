@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from dataclasses import dataclass, field
 
 from repro.core.config import EngineConfig
 from repro.core.executor import (
@@ -42,9 +44,10 @@ from repro.core.executor import (
 )
 from repro.core.plan import PlanArtifacts, QueryPlan, extract_artifacts, plan_from_artifacts
 from repro.core.planner import build_validator
+from repro.core.resilience import RetryPolicy
 from repro.core.service import ExecutionBackend
 from repro.embedding.predicate_space import PredicateVectorSpace
-from repro.errors import ServiceError, StoreError
+from repro.errors import ServiceError
 from repro.kg.csr import csr_from_arrays, csr_snapshot, install_snapshot
 from repro.kg.graph import KnowledgeGraph
 from repro.store.shared import SharedSnapshotStore
@@ -181,9 +184,33 @@ def _require_context() -> _WorkerContext:
     return _CONTEXT
 
 
-def _worker_round(payload: tuple[RoundWorkItem, tuple[dict, ...], dict]):
+def _apply_worker_fault(fault: dict | None) -> None:
+    """Execute an injected fault payload inside the worker process.
+
+    ``crash`` exits from *inside* the task function — the worker holds no
+    queue lock here, so the pool's queues stay intact and exactly this
+    job is lost, deterministically (an external kill races task pickup
+    and may lose nothing, or corrupt the inqueue).  ``hang`` and
+    ``raise`` simulate a slow and a faulty worker.  No-op (production)
+    when ``fault`` is None.
+    """
+    if not fault:
+        return
+    action = fault.get("action")
+    if action == "crash":
+        os._exit(70)  # EX_SOFTWARE: simulated worker death mid-round
+    if action == "hang":
+        time.sleep(float(fault.get("seconds", 0.0)))
+    elif action == "raise":
+        raise ServiceError(fault.get("message") or "injected worker fault")
+
+
+def _worker_round(
+    payload: tuple[RoundWorkItem, tuple[dict, ...], dict, dict | None]
+):
     """Pool target: execute one exported round against shared segments."""
-    item, tickets, joint_ticket = payload
+    item, tickets, joint_ticket, fault = payload
+    _apply_worker_fault(fault)
     context = _require_context()
     plans = [context.resolve_plan(ticket) for ticket in tickets]
     joint = context.resolve_joint(joint_ticket)
@@ -191,9 +218,10 @@ def _worker_round(payload: tuple[RoundWorkItem, tuple[dict, ...], dict]):
     return execute_round_item(item, plans, joint, executor)
 
 
-def _worker_prewarm(payload: tuple[PrewarmWorkItem, dict]):
+def _worker_prewarm(payload: tuple[PrewarmWorkItem, dict, dict | None]):
     """Pool target: one cross-query validation batch for a shared plan."""
-    item, ticket = payload
+    item, ticket, fault = payload
+    _apply_worker_fault(fault)
     context = _require_context()
     plan = context.resolve_plan(ticket)
     executor = context.executor_for(item.config)
@@ -242,6 +270,8 @@ class WorkerPool:
         self._joints: dict[int, tuple[object, dict]] = {}
         self._token_counter = 0
         self._closed = False
+        #: how many times a broken pool has been replaced (supervision)
+        self.respawns = 0
 
         # Publish the CSR snapshot before any worker exists: fork-started
         # workers inherit the compiled snapshot copy-on-write, spawn-started
@@ -249,13 +279,19 @@ class WorkerPool:
         snapshot = csr_snapshot(kg)
         metadata, arrays = snapshot.export_arrays()
         snapshot_manifest = self._store.publish("csr-snapshot", metadata, arrays)
-        context = multiprocessing.get_context(start_method)
+        self._context = multiprocessing.get_context(start_method)
+        #: kept verbatim for respawn(): the manifest stays published, so
+        #: a replacement pool attaches the same shared segments
+        self._initargs = (kg, space, config, snapshot_manifest)
         # a classic Pool forks/spawns all workers eagerly, *here*, in the
         # caller's thread — not lazily from the scheduler thread later
-        self._pool = context.Pool(
+        self._pool = self._spawn_pool()
+
+    def _spawn_pool(self):
+        return self._context.Pool(
             processes=self.workers,
             initializer=_worker_init,
-            initargs=(kg, space, config, snapshot_manifest),
+            initargs=self._initargs,
         )
 
     # ------------------------------------------------------------------
@@ -268,13 +304,60 @@ class WorkerPool:
         """
         return self._kg.version == self._graph_version
 
+    def worker_pids(self) -> frozenset[int]:
+        """The pids of the pool's current worker processes.
+
+        This is the liveness signal the supervisor polls:
+        ``multiprocessing.Pool``'s maintenance thread quietly replaces a
+        dead worker with a fresh process, so exitcodes are unreliable —
+        but the replacement changes the pid set, and *any* change since a
+        job was dispatched means some worker died and may have taken its
+        in-flight job with it.
+        """
+        return frozenset(proc.pid for proc in self._pool._pool)
+
+    def kill_worker(self) -> int | None:
+        """Hard-kill one live worker process (crash drills); its pid.
+
+        Prefer a ``crash_worker`` :class:`~repro.core.resilience.FaultSpec`
+        in tests — the worker then exits *inside* a chosen job, which is
+        deterministic; an external kill races task pickup.
+        """
+        for proc in self._pool._pool:
+            if proc.is_alive():
+                proc.kill()
+                return proc.pid
+        return None
+
+    def respawn(self) -> None:
+        """Replace a broken pool with a fresh one; published state survives.
+
+        The snapshot store, every plan/joint ticket and the pinned plan
+        references are untouched: the manifests stay valid, so respawned
+        workers attach the same shared segments on first use and no
+        artefact is republished.  ``fresh()`` is deliberately *not*
+        reset — a respawn recovers from a crash, it is not a statement
+        that the workers' graph copy caught up with parent mutations
+        (plan segments were extracted from the original plans either
+        way).
+        """
+        if self._closed:
+            raise ServiceError("the worker pool has been closed")
+        old = self._pool
+        old.terminate()
+        old.join()
+        self._pool = self._spawn_pool()
+        self.respawns += 1
+
     def ticket_for(self, plan: QueryPlan) -> dict:
         """The (cached) shm ticket for ``plan``, publishing on first use."""
         cached = self._tickets.get(id(plan))
         if cached is not None:
             return cached[1]
         if self._closed:
-            raise StoreError("the worker pool has been closed")
+            # a serving-lifecycle failure, not a store-format one: the
+            # segments were fine, the pool's life simply ended
+            raise ServiceError("the worker pool has been closed")
         token = f"plan-{self._token_counter}"
         self._token_counter += 1
         artifacts = extract_artifacts(plan)
@@ -299,7 +382,7 @@ class WorkerPool:
         if cached is not None:
             return cached[1]
         if self._closed:
-            raise StoreError("the worker pool has been closed")
+            raise ServiceError("the worker pool has been closed")
         token = f"joint-{self._token_counter}"
         self._token_counter += 1
         manifest = self._store.publish(
@@ -328,8 +411,18 @@ class WorkerPool:
         if entry is not None and not self._closed:
             self._store.unpublish(entry[1]["token"])
 
-    def dispatch_round(self, item: RoundWorkItem, plans: list[QueryPlan], state):
-        """Submit one round; returns the pool's async result handle."""
+    def dispatch_round(
+        self,
+        item: RoundWorkItem,
+        plans: list[QueryPlan],
+        state,
+        fault: dict | None = None,
+    ):
+        """Submit one round; returns the pool's async result handle.
+
+        ``fault`` is an injected worker-side payload (tests only; see
+        :func:`_apply_worker_fault`) — None, and free, in production.
+        """
         tickets = tuple(self.ticket_for(plan) for plan in plans)
         if len(plans) == 1 and state.joint is plans[0].distribution:
             # the common single-component case: the joint IS the plan's
@@ -343,13 +436,15 @@ class WorkerPool:
         else:
             joint_ticket = self.joint_ticket_for(state)
         return self._pool.apply_async(
-            _worker_round, ((item, tickets, joint_ticket),)
+            _worker_round, ((item, tickets, joint_ticket, fault),)
         )
 
-    def dispatch_prewarm(self, item: PrewarmWorkItem, plan: QueryPlan):
+    def dispatch_prewarm(
+        self, item: PrewarmWorkItem, plan: QueryPlan, fault: dict | None = None
+    ):
         """Submit one cross-query validation batch."""
         ticket = self.ticket_for(plan)
-        return self._pool.apply_async(_worker_prewarm, ((item, ticket),))
+        return self._pool.apply_async(_worker_prewarm, ((item, ticket, fault),))
 
     def close(self) -> None:
         """Terminate the workers and unlink every shared segment."""
@@ -369,17 +464,49 @@ class WorkerPool:
         self.close()
 
 
+@dataclass(eq=False)
+class _PendingWork:
+    """One dispatched job under supervision (a round or a prewarm batch)."""
+
+    item: object
+    #: round jobs
+    record: object = None
+    run: object = None
+    state: object = None
+    #: prewarm jobs
+    job: object = None
+    #: dispatch state
+    handle: object = None
+    pids: frozenset = field(default_factory=frozenset)
+    attempts: int = 1
+    #: terminal state (exactly one ends up set / True)
+    result: object = None
+    error: BaseException | None = None
+    needs_fallback: bool = False  # retry budget spent: run in-process
+    abandoned: bool = False  # service closing mid-await
+    skipped: bool = False  # record settled (cancel/close) before dispatch
+
+
 class ProcessBackend(ExecutionBackend):
     """``backend="processes"``: whole rounds fan out to a WorkerPool.
 
     Every kind of round — guaranteed aggregates, GROUP-BY, MAX/MIN — and
     the cohort pre-warm batches execute in worker processes; growth (the
     only RNG) stays in the scheduler thread, so fixed-seed results are
-    byte-identical to the cooperative backend.  The single in-process
-    fallback left is a mutated graph under a live pool (stale workers
-    must never serve old attribute values); :attr:`local_fallbacks`
-    counts how many slots it claimed.  Merging is deterministic — see
-    :func:`repro.core.executor.apply_round_result`.
+    byte-identical to the cooperative backend.  Merging is deterministic
+    — see :func:`repro.core.executor.apply_round_result`.
+
+    The backend also *supervises* the pool: a worker death (OOM kill,
+    segfault) is detected by polling the pool's pid set while awaiting
+    results, already-finished results are salvaged, the pool is respawned
+    against the still-published snapshot store, and the lost jobs are
+    re-dispatched — byte-identical, because the exported items carry the
+    already-grown sample.  A job that exhausts
+    :class:`~repro.core.resilience.RetryPolicy.max_attempts` executes
+    in-process instead (the same code path workers run), extending the
+    stale-graph fallback.  :attr:`local_fallbacks` counts in-process
+    slots, :attr:`retries` counts re-dispatches; pool respawns are on
+    ``pool.respawns`` — all surfaced through :meth:`health`.
     """
 
     name = "processes"
@@ -392,13 +519,18 @@ class ProcessBackend(ExecutionBackend):
         *,
         workers: int | None = None,
         start_method: str | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self._pool = WorkerPool(
             kg, space, config, workers=workers, start_method=start_method
         )
-        #: slots executed in-process because the pool went stale; stays 0
-        #: for a clean (unmutated) graph — asserted by the backend tests
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: slots executed in-process because the pool went stale or a
+        #: job's retry budget ran out; stays 0 for a clean graph and a
+        #: healthy pool — asserted by the backend tests
         self.local_fallbacks = 0
+        #: lost jobs re-dispatched after a pool respawn
+        self.retries = 0
 
     @property
     def workers(self) -> int:
@@ -409,6 +541,15 @@ class ProcessBackend(ExecutionBackend):
     def pool(self) -> WorkerPool:
         """The underlying worker pool (teardown tests)."""
         return self._pool
+
+    def health(self) -> dict:
+        return {
+            "backend": self.name,
+            "workers": self.workers,
+            "respawns": self._pool.respawns,
+            "retries": self.retries,
+            "local_fallbacks": self.local_fallbacks,
+        }
 
     # -- ExecutionBackend interface ------------------------------------
     def run_cohort(self, service, cohort) -> None:
@@ -422,7 +563,7 @@ class ProcessBackend(ExecutionBackend):
             self._release_settled(cohort)
             return
 
-        pending = []
+        entries: list[_PendingWork] = []
         for record in cohort:
             slot = service._begin_slot(record)
             if slot is None:
@@ -437,21 +578,41 @@ class ProcessBackend(ExecutionBackend):
                     record.executor.config,
                     kind=record.kind,
                 )
-                handle = self._pool.dispatch_round(item, state.components, state)
             except BaseException as exc:
                 service._fail_record(record, exc)
                 continue
-            pending.append((record, run, state, handle))
+            entry = _PendingWork(item=item, record=record, run=run, state=state)
+            self._dispatch_round_entry(service, entry)
+            entries.append(entry)
 
-        for record, run, state, handle in pending:
+        self._harvest(service, entries, self._dispatch_round_entry)
+
+        for entry in entries:
+            if entry.abandoned or entry.skipped:
+                continue  # settled elsewhere (close()/cancel)
+            if entry.needs_fallback:
+                # replay budget spent: run the exported item in-process —
+                # the exact function the workers run, on the live plans
+                self.local_fallbacks += 1
+                try:
+                    entry.result = execute_round_item(
+                        entry.item,
+                        entry.state.components,
+                        entry.state.joint,
+                        entry.record.executor,
+                    )
+                except BaseException as exc:
+                    entry.error = exc
+            if entry.error is not None:
+                service._fail_record(entry.record, entry.error)
+                continue
+            if entry.result is None:
+                continue
             try:
-                result = self._await(service, handle)
-                if result is None:
-                    continue  # service closing: record already cancelled
-                outcome = apply_round_result(state, result)
-                service._finish_slot(record, run, state, outcome)
+                outcome = apply_round_result(entry.state, entry.result)
+                service._finish_slot(entry.record, entry.run, entry.state, outcome)
             except BaseException as exc:
-                service._fail_record(record, exc)
+                service._fail_record(entry.record, exc)
         self._release_settled(cohort)
 
     def _release_settled(self, cohort) -> None:
@@ -469,21 +630,134 @@ class ProcessBackend(ExecutionBackend):
             ):
                 self._pool.release_state(record.state)
 
-    def _await(self, service, handle):
-        """Gather one worker result without out-living ``service.close()``.
+    # -- supervision ----------------------------------------------------
+    def _dispatch_round_entry(self, service, entry: _PendingWork) -> None:
+        record = entry.record
+        if record.status.terminal or record.cancel_requested:
+            entry.skipped = True  # a cancel landed before (re-)dispatch
+            return
+        fault = None
+        plan = self.fault_plan
+        try:
+            if plan is not None:
+                context = {
+                    "sequence": record.sequence,
+                    "round": entry.run.steps_taken + 1,
+                    "kind": record.kind,
+                    "attempt": entry.attempts,
+                }
+                plan.fire("dispatch_round", **context)
+                fault = plan.payload_for(plan.fire("worker_round", **context))
+            entry.handle = self._pool.dispatch_round(
+                entry.item, entry.state.components, entry.state, fault=fault
+            )
+            entry.pids = self._pool.worker_pids()
+        except BaseException as exc:
+            entry.error = exc
+
+    def _dispatch_prewarm_entry(self, service, entry: _PendingWork) -> None:
+        fault = None
+        plan = self.fault_plan
+        try:
+            if plan is not None:
+                context = {
+                    "nodes": len(entry.item.node_ids),
+                    "attempt": entry.attempts,
+                }
+                fault = plan.payload_for(plan.fire("worker_prewarm", **context))
+            entry.handle = self._pool.dispatch_prewarm(
+                entry.item, entry.job.plan, fault=fault
+            )
+            entry.pids = self._pool.worker_pids()
+        except BaseException as exc:
+            entry.error = exc
+
+    @staticmethod
+    def _undecided(entry: _PendingWork) -> bool:
+        """True while the entry still needs a worker result gathered."""
+        return (
+            entry.handle is not None
+            and entry.result is None
+            and entry.error is None
+            and not entry.needs_fallback
+            and not entry.abandoned
+            and not entry.skipped
+        )
+
+    def _harvest(self, service, entries, redispatch) -> None:
+        """Gather every entry's result, recovering from worker deaths."""
+        for entry in entries:
+            while self._undecided(entry):
+                status, value = self._await_one(service, entry)
+                if status == "ok":
+                    entry.result = value
+                elif status == "error":
+                    entry.error = value
+                elif status == "shutdown":
+                    entry.abandoned = True
+                else:  # "lost": a worker died under this batch
+                    self._recover(service, entries, redispatch)
+
+    def _await_one(self, service, entry: _PendingWork):
+        """Poll one handle: ``(status, value)``.
 
         A plain ``handle.get()`` never returns once ``close()`` has
-        terminated the pool mid-round, stranding the scheduler thread (and
-        everything it references) forever; polling lets the thread notice
-        the shutdown flag and abandon the round — its record was already
-        cancelled by ``close()``.
+        terminated the pool mid-round — or once the worker holding the
+        job died — stranding the scheduler thread forever.  Polling lets
+        the thread notice the shutdown flag (``"shutdown"``) and compare
+        the pool's pid set against the dispatch-time set (``"lost"``):
+        the pool's maintenance thread replaces dead workers, so a changed
+        set, not an exitcode, is the reliable death signal.
         """
         while True:
             try:
-                return handle.get(timeout=0.1)
+                return "ok", entry.handle.get(timeout=0.1)
             except multiprocessing.TimeoutError:
                 if service._shutdown or self._pool._closed:
-                    return None
+                    return "shutdown", None
+                if self._pool.worker_pids() != entry.pids:
+                    return "lost", None
+            except BaseException as exc:
+                return "error", exc
+
+    def _recover(self, service, entries, redispatch) -> None:
+        """A worker died: salvage, back off, respawn, re-dispatch.
+
+        Results that finished before the death are harvested off the
+        dying pool first; the rest are re-dispatched to a fresh pool
+        attached to the same published snapshot/plan segments.  Replay is
+        byte-identical because every exported item carries its
+        already-grown sample — the RNG ran in the scheduler thread.
+        Entries out of retry budget are marked for in-process fallback.
+        """
+        plan = self.fault_plan
+        if plan is not None:
+            plan.fire("recover", respawns=self._pool.respawns + 1)
+        for entry in entries:
+            if self._undecided(entry) and entry.handle.ready():
+                try:
+                    entry.result = entry.handle.get(timeout=0)
+                except BaseException as exc:
+                    entry.error = exc
+        unfinished = [e for e in entries if self._undecided(e)]
+        if service._shutdown or self._pool._closed:
+            for entry in unfinished:
+                entry.abandoned = True
+            return
+        delay = self.retry.delay_for(
+            min((e.attempts for e in unfinished), default=1)
+        )
+        if delay > 0:
+            time.sleep(delay)
+        self._pool.respawn()
+        for entry in unfinished:
+            entry.handle = None
+            if entry.attempts >= self.retry.max_attempts:
+                entry.needs_fallback = True
+                continue
+            entry.attempts += 1
+            self.retries += 1
+            redispatch(service, entry)
 
     def run_prewarm(self, service, jobs) -> list[float]:
         if not self._pool.fresh():
@@ -491,7 +765,7 @@ class ProcessBackend(ExecutionBackend):
             # and poison the live plans' memos — same correctness rule as
             # run_cohort's local fallback
             return super().run_prewarm(service, jobs)
-        pending = []
+        entries: list[_PendingWork] = []
         for job in jobs:
             item = PrewarmWorkItem(
                 config=job.executor.config,
@@ -499,15 +773,32 @@ class ProcessBackend(ExecutionBackend):
                 chain_memo=dict(job.plan.chain_prefix_memo),
                 node_ids=tuple(int(node) for node in job.nodes),
             )
-            pending.append(self._pool.dispatch_prewarm(item, job.plan))
+            entry = _PendingWork(item=item, job=job)
+            self._dispatch_prewarm_entry(service, entry)
+            entries.append(entry)
+
+        self._harvest(service, entries, self._dispatch_prewarm_entry)
+
         seconds: list[float] = []
-        for job, handle in zip(jobs, pending):
-            result = self._await(service, handle)
-            if result is None:
+        for entry in entries:
+            if entry.needs_fallback:
+                # a prewarm is an optimization: after the retry budget,
+                # run the batch in-process rather than give up on it
+                self.local_fallbacks += 1
+                try:
+                    entry.result = execute_prewarm_item(
+                        entry.item, entry.job.plan, entry.job.executor
+                    )
+                except BaseException:
+                    entry.result = None
+            if entry.result is None:
+                # abandoned (closing) or failed: the memo stays cold and
+                # each query's own validation pass fills it — prewarm
+                # failures degrade throughput, never results
                 seconds.append(0.0)
                 continue
-            apply_prewarm_result(job.plan, result)
-            seconds.append(result.seconds)
+            apply_prewarm_result(entry.job.plan, entry.result)
+            seconds.append(entry.result.seconds)
         return seconds
 
     def close(self) -> None:

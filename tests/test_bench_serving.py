@@ -55,6 +55,14 @@ def test_smoke_bench_runs_fast_and_reports_speedup(tmp_path):
     assert report["mixed"]["kinds"]["extreme"] >= 1
     assert report["mixed"]["interleaved_passes"] >= 1
     assert report["mixed"]["extreme_passes"] >= 2
+    # an injected worker crash recovered: the pool respawned, the lost
+    # round replayed (or fell back in-process) and results stayed
+    # byte-identical to sequential execution
+    assert report["resilience"]["crash_equivalent"] is True
+    assert report["resilience"]["respawns"] >= 1
+    assert report["resilience"]["retries"] + report["resilience"][
+        "local_fallbacks"
+    ] >= 1
 
 
 def test_checked_in_report_meets_acceptance():
@@ -66,3 +74,5 @@ def test_checked_in_report_meets_acceptance():
     assert report["serving"]["speedup_vs_cold"] >= 2.0
     assert report["mixed"]["interleaved_passes"] >= 1
     assert report["mixed"]["extreme_passes"] >= 2
+    assert report["resilience"]["crash_equivalent"] is True
+    assert report["resilience"]["respawns"] >= 1

@@ -34,7 +34,7 @@ from repro import (
     QueryStatus,
 )
 from repro.core.plan import shared_plan_cache
-from repro.errors import QueryCancelledError, ServiceError, StoreError
+from repro.errors import QueryCancelledError, ServiceError
 
 BACKENDS = ("cooperative", "threads", "processes")
 
@@ -168,8 +168,10 @@ class TestWorkerPoolLifecycle:
         for handle in handles:
             handle.result()
         service.close()
-        # the pool refuses new work and every shared segment is unlinked
-        with pytest.raises(StoreError):
+        # the pool refuses new work — a serving-lifecycle failure, so a
+        # ServiceError (StoreError is reserved for store-format problems)
+        # — and every shared segment is unlinked
+        with pytest.raises(ServiceError):
             backend.pool.ticket_for(object())
         assert backend.pool._store.keys == ()
         service.close()  # idempotent
