@@ -1,0 +1,342 @@
+#!/usr/bin/env python
+"""Compiled validation kernels vs the per-pop Python residue.
+
+The batched validation service (PR 2) removed the per-answer loop but
+left three pure-Python hot paths: the best-first fallback search (heap of
+tuple states, dict-probed beams), the recursive one-endpoint-at-a-time
+chain-prefix enumeration, and the per-entry CNARW set-intersection loop.
+The kernels layer (:mod:`repro.semantics.kernels`) compiles each into
+array programs.  This bench times, on the largest dataset preset
+(yago2-like):
+
+* **fallback search** — per-answer ``validate`` over the engine's real
+  validated workload: the kernels-off dict/heap path vs the compiled
+  context + flat-array search (plus the numba jit variant when numba is
+  installed — it is optional and never required);
+* **chain prefix** — filling a chain plan's prefix memo for the engine's
+  real chain workload: the recursive per-endpoint driver vs the batched
+  per-level driver over the shared compiled trace;
+* **CNARW weights** — the per-pair Python set intersections vs the
+  vectorised small-side probe kernel, on the hub scope's full pair set.
+
+Every path is verified outcome-identical before timing: search outcomes
+against :class:`repro.semantics.reference.ReferenceValidator` (the seed
+oracle), chain memos entry-for-entry, CNARW weights byte-for-byte.  The
+numbers land in a JSON report (checked in as ``BENCH_kernels.json``).
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_kernels.py [--smoke]
+
+``--smoke`` shrinks the dataset and repeat count so the whole script
+finishes in a few seconds; the tier-1 suite runs it on every test pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import (  # noqa: E402
+    AggregateFunction,
+    AggregateQuery,
+    ApproximateAggregateEngine,
+    EngineConfig,
+    QueryGraph,
+)
+from repro.core.executor import QueryExecutor  # noqa: E402
+from repro.core.plan import PlanCache, shared_plan_cache  # noqa: E402
+from repro.core.planner import QueryPlanner  # noqa: E402
+from repro.datasets import yago_like  # noqa: E402
+from repro.kg.csr import csr_snapshot  # noqa: E402
+from repro.sampling.scope import build_scope  # noqa: E402
+from repro.sampling.topology import cnarw_transition_model  # noqa: E402
+from repro.semantics import kernels  # noqa: E402
+from repro.semantics.reference import ReferenceValidator  # noqa: E402
+from repro.semantics.validation import CorrectnessValidator  # noqa: E402
+
+import numpy as np  # noqa: E402
+
+#: the benchmarked hub: the largest of the yago2-like preset
+HUB_NAME = "Spain"
+HUB_TYPES = ("Country",)
+QUERY_PREDICATE = "bornIn"
+TARGET_TYPE = "SoccerPlayer"
+#: the preset's chain schema for the same hub
+CHAIN_HOPS = [("league", ["League"]), ("playerIn", [TARGET_TYPE])]
+
+
+def _time_best(function, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``function()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _validator(kg, space, config: EngineConfig, *, use_kernels: bool,
+               use_jit: bool = False) -> CorrectnessValidator:
+    return CorrectnessValidator(
+        kg,
+        space,
+        repeat_factor=config.repeat_factor,
+        max_length=config.n_bound,
+        floor=config.similarity_floor,
+        expansion_budget=config.validation_expansions,
+        use_kernels=use_kernels,
+        use_jit=use_jit,
+    )
+
+
+def bench_search(kg, space, config: EngineConfig, repeats: int) -> dict:
+    """Per-answer fallback search: dict/heap residue vs compiled arrays."""
+    aggregate_query = AggregateQuery(
+        query=QueryGraph.simple(HUB_NAME, HUB_TYPES, QUERY_PREDICATE, [TARGET_TYPE]),
+        function=AggregateFunction.COUNT,
+    )
+    shared_plan_cache().clear()
+    engine = ApproximateAggregateEngine(kg, space, config)
+    engine.execute(aggregate_query)
+    component = aggregate_query.query.components[0]
+    plan = engine._prepared_cache[component]
+    answers = sorted(plan.similarity_cache)
+    tau = config.tau
+    visiting_mapping = {
+        node: float(probability)
+        for node, probability in enumerate(plan.visiting)
+        if probability > 0.0
+    }
+
+    # -- equivalence gate: both paths against the seed oracle ----------
+    oracle = ReferenceValidator(
+        kg,
+        space,
+        repeat_factor=config.repeat_factor,
+        max_length=config.n_bound,
+        floor=config.similarity_floor,
+        expansion_budget=config.validation_expansions,
+    )
+    expected = {
+        answer: oracle.validate(
+            plan.source, answer, QUERY_PREDICATE, visiting_mapping, tau
+        )
+        for answer in answers
+    }
+    for use_kernels in (False, True):
+        validator = _validator(kg, space, config, use_kernels=use_kernels)
+        for answer in answers:
+            outcome = validator.validate(
+                plan.source, answer, QUERY_PREDICATE, plan.visiting, tau
+            )
+            assert outcome == expected[answer], (
+                f"kernels={use_kernels} diverged from the seed oracle "
+                f"on answer {answer}"
+            )
+
+    def per_answer_pass(use_kernels: bool, use_jit: bool = False):
+        validator = _validator(
+            kg, space, config, use_kernels=use_kernels, use_jit=use_jit
+        )
+
+        def run() -> None:
+            for answer in answers:
+                validator.validate(
+                    plan.source, answer, QUERY_PREDICATE, plan.visiting, tau
+                )
+            # a fresh context per timed call: the compiled context (and
+            # the legacy expansion dicts) must be rebuilt, not amortised
+            # into oblivion across repeats
+            validator._reset_cache("<flush>", np.zeros(0))
+
+        return run
+
+    legacy_seconds = _time_best(per_answer_pass(False), repeats)
+    kernel_seconds = _time_best(per_answer_pass(True), repeats)
+    report = {
+        "workload_answers": len(answers),
+        "legacy_seconds": legacy_seconds,
+        "kernel_seconds": kernel_seconds,
+        "speedup": legacy_seconds / kernel_seconds,
+    }
+    if kernels.jit_available():
+        jit_validator = _validator(
+            kg, space, config, use_kernels=True, use_jit=True
+        )
+        for answer in answers:  # equivalence + warm the compile
+            assert jit_validator.validate(
+                plan.source, answer, QUERY_PREDICATE, plan.visiting, tau
+            ) == expected[answer], f"jit diverged on answer {answer}"
+        jit_seconds = _time_best(per_answer_pass(True, use_jit=True), repeats)
+        report["jit_seconds"] = jit_seconds
+        report["jit_speedup"] = legacy_seconds / jit_seconds
+    return report
+
+
+def bench_chain_prefix(kg, space, config: EngineConfig, repeats: int) -> dict:
+    """Chain-prefix memo fill: recursive residue vs batched levels."""
+    chain_query = AggregateQuery(
+        query=QueryGraph.chain(HUB_NAME, HUB_TYPES, CHAIN_HOPS),
+        function=AggregateFunction.COUNT,
+    )
+    component = chain_query.query.components[0]
+    num_hops = component.num_hops
+
+    shared_plan_cache().clear()
+    engine = ApproximateAggregateEngine(kg, space, config)
+    engine.execute(chain_query)
+    answers = sorted(engine._prepared_cache[component].similarity_cache)
+
+    def variant(compiled: bool):
+        """(executor, plan) pair built under its own private cache."""
+        variant_config = EngineConfig(
+            seed=config.seed, compiled_kernels=compiled, kernel_jit=False
+        )
+        planner = QueryPlanner(kg, space, variant_config, cache=PlanCache())
+        executor = QueryExecutor(kg, space, variant_config, planner)
+        return executor, planner.plan_for(component)
+
+    recursive_executor, recursive_plan = variant(False)
+    batched_executor, batched_plan = variant(True)
+
+    def recursive_pass() -> None:
+        recursive_plan.chain_prefix_memo.clear()
+        for answer in answers:
+            recursive_executor._chain_prefix(recursive_plan, num_hops, answer)
+
+    def batched_pass() -> None:
+        batched_plan.chain_prefix_memo.clear()
+        batched_executor._chain_prefix_batch(batched_plan, num_hops, answers)
+
+    # -- equivalence gate: identical memo rows from both drivers -------
+    recursive_pass()
+    batched_pass()
+    assert batched_plan.chain_prefix_memo == recursive_plan.chain_prefix_memo, (
+        "batched chain-prefix memo diverged from the recursive driver"
+    )
+
+    recursive_seconds = _time_best(recursive_pass, repeats)
+    batched_seconds = _time_best(batched_pass, repeats)
+    return {
+        "workload_answers": len(answers),
+        "memo_rows": len(recursive_plan.chain_prefix_memo),
+        "recursive_seconds": recursive_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": recursive_seconds / batched_seconds,
+    }
+
+
+def bench_cnarw(kg, config: EngineConfig, repeats: int) -> dict:
+    """CNARW weights: per-pair set intersections vs the probe kernel."""
+    hub = kg.node_by_name(HUB_NAME)
+    scope = build_scope(kg, hub, config.n_bound, frozenset([TARGET_TYPE]))
+    model = cnarw_transition_model(kg, scope)
+    _, rows, cols, _ = model._gather_scope_entries(kg)
+    snapshot = csr_snapshot(kg)
+    scope_nodes = np.asarray(scope.nodes)
+
+    expected = model._cnarw_weights(kg, rows, cols)
+    got = kernels.cnarw_weights(snapshot, scope_nodes, rows, cols)
+    assert got.tobytes() == expected.tobytes(), "CNARW kernel diverged"
+
+    loop_seconds = _time_best(lambda: model._cnarw_weights(kg, rows, cols), repeats)
+    kernel_seconds = _time_best(
+        lambda: kernels.cnarw_weights(snapshot, scope_nodes, rows, cols), repeats
+    )
+    return {
+        "scope_nodes": len(scope.nodes),
+        "pairs": len(rows),
+        "loop_seconds": loop_seconds,
+        "kernel_seconds": kernel_seconds,
+        "speedup": loop_seconds / kernel_seconds,
+    }
+
+
+def run(scale: float, repeats: int, seed: int) -> dict:
+    """Benchmark one configuration and return the report dict."""
+    bundle = yago_like(seed=seed, scale=scale)
+    kg = bundle.kg
+    space = bundle.space()
+    config = EngineConfig(seed=seed)
+
+    search = bench_search(kg, space, config, repeats)
+    chain = bench_chain_prefix(kg, space, config, repeats)
+    cnarw = bench_cnarw(kg, config, repeats)
+
+    return {
+        "preset": "yago2-like",
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "kg_nodes": kg.num_nodes,
+        "kg_edges": kg.num_edges,
+        "jit_available": kernels.jit_available(),
+        "search": search,
+        "chain_prefix": chain,
+        "cnarw": cnarw,
+        "equivalent": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale + few repeats; finishes in a few seconds",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_kernels.json",
+        help="where to write the JSON report",
+    )
+    arguments = parser.parse_args(argv)
+    scale = arguments.scale if arguments.scale is not None else (1.0 if arguments.smoke else 3.0)
+    repeats = arguments.repeats if arguments.repeats is not None else (3 if arguments.smoke else 7)
+
+    report = run(scale=scale, repeats=repeats, seed=arguments.seed)
+    report["smoke"] = arguments.smoke
+    arguments.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    search, chain, cnarw = report["search"], report["chain_prefix"], report["cnarw"]
+    print(
+        f"fallback search ({search['workload_answers']} answers): "
+        f"{search['legacy_seconds'] * 1e3:8.2f} ms -> "
+        f"{search['kernel_seconds'] * 1e3:8.2f} ms  "
+        f"({search['speedup']:.1f}x)"
+        + (
+            f"  [jit {search['jit_seconds'] * 1e3:.2f} ms, "
+            f"{search['jit_speedup']:.1f}x]"
+            if "jit_seconds" in search
+            else "  [numba not installed]"
+        )
+    )
+    print(
+        f"chain prefix    ({chain['workload_answers']} answers): "
+        f"{chain['recursive_seconds'] * 1e3:8.2f} ms -> "
+        f"{chain['batched_seconds'] * 1e3:8.2f} ms  "
+        f"({chain['speedup']:.1f}x)"
+    )
+    print(
+        f"CNARW weights   ({cnarw['pairs']} pairs):   "
+        f"{cnarw['loop_seconds'] * 1e3:8.2f} ms -> "
+        f"{cnarw['kernel_seconds'] * 1e3:8.2f} ms  "
+        f"({cnarw['speedup']:.1f}x)"
+    )
+    print(f"[saved to {arguments.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -93,6 +93,14 @@ class EngineConfig:
     #: batched pass; off = the seed's per-answer loop (equivalent outcomes,
     #: kept for the validation benchmark and equivalence tests)
     batched_validation: bool = True
+    #: run validation searches, shared-trace replay, chain-prefix batches
+    #: and CNARW weights over the array-compiled kernels
+    #: (:mod:`repro.semantics.kernels`); off = the dict/heap reference
+    #: paths (outcome-identical, kept for equivalence tests and benches)
+    compiled_kernels: bool = True
+    #: use the optional numba ``njit`` search kernel when numba is
+    #: importable; silently falls back to pure numpy otherwise
+    kernel_jit: bool = False
     # GROUP-BY: groups smaller than this many observed draws do not gate
     # termination (their CIs are reported as-is)
     min_group_draws: int = 8

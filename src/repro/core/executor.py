@@ -31,6 +31,7 @@ stage bucket (the paper's Table XII folds it into S2).
 
 from __future__ import annotations
 
+import itertools
 import math
 import time
 from dataclasses import dataclass, field
@@ -177,6 +178,14 @@ class RoundWorkItem:
     #: and before the first grouped round computed any key)
     support_group: np.ndarray | None = None
     support_group_known: np.ndarray | None = None
+    #: True — ``memos``/``chain_memos`` are full snapshots; the executing
+    #: plan replicas are cleared before the overlay.  False — they are
+    #: *deltas* (only entries past the receiving worker's known version;
+    #: see the version counters in :mod:`repro.store.workers`) and the
+    #: overlay is update-only.  Safe because memo entries are
+    #: deterministic pure values: a worker missing some entries only
+    #: recomputes identical values, so outcomes are unchanged either way.
+    full_memos: bool = True
 
 
 @dataclass(frozen=True)
@@ -203,6 +212,9 @@ class RoundWorkResult:
     #: GROUP-BY only: the round's per-group results (small dataclasses;
     #: the parent installs them as ``state.grouped_results``)
     grouped_results: dict | None = None
+    #: pid of the worker process that executed the item (-1 = in-process);
+    #: the pool's memo version table is keyed on it
+    worker_pid: int = -1
 
 
 @dataclass(frozen=True)
@@ -216,6 +228,8 @@ class PrewarmWorkItem:
     memo: dict
     chain_memo: dict
     node_ids: tuple[int, ...]
+    #: same contract as :attr:`RoundWorkItem.full_memos`
+    full_memos: bool = True
 
 
 @dataclass(frozen=True)
@@ -225,6 +239,22 @@ class PrewarmWorkResult:
     memo_updates: dict
     chain_memo_updates: dict
     seconds: float
+    #: pid of the worker process that executed the item (-1 = in-process)
+    worker_pid: int = -1
+
+
+def memo_delta(memo: dict, floor: int) -> dict:
+    """The entries added to ``memo`` since it had ``floor`` entries.
+
+    Memo dicts are append-only journals: every write site only inserts
+    missing keys (plain memoisation or ``setdefault`` merges), and dict
+    insertion order is preserved, so slicing the item view at a recorded
+    length yields exactly the entries added since that length was
+    recorded.
+    """
+    if floor <= 0:
+        return dict(memo)
+    return dict(itertools.islice(memo.items(), floor, None))
 
 
 def export_round_item(
@@ -233,8 +263,15 @@ def export_round_item(
     carried_seconds: float,
     config: EngineConfig,
     kind: str = KIND_ROUNDS,
+    memo_floors: "tuple[tuple[int, int], ...] | None" = None,
 ) -> RoundWorkItem:
-    """Snapshot ``state`` into a :class:`RoundWorkItem` (parent side)."""
+    """Snapshot ``state`` into a :class:`RoundWorkItem` (parent side).
+
+    ``memo_floors`` — per-component ``(similarity, chain)`` memo lengths
+    the executing worker is already known to hold — switches the item to
+    delta mode: only entries past each floor ship, and the worker's
+    overlay becomes update-only (see :attr:`RoundWorkItem.full_memos`).
+    """
     indices = state.distinct_support_indices()
     support_group = None
     support_group_known = None
@@ -242,13 +279,30 @@ def export_round_item(
         assert state.support_group_known is not None
         support_group = state.support_group[indices]
         support_group_known = state.support_group_known[indices]
+    if memo_floors is None:
+        memos = tuple(dict(plan.similarity_cache) for plan in state.components)
+        chain_memos = tuple(
+            dict(plan.chain_prefix_memo) for plan in state.components
+        )
+        full_memos = True
+    else:
+        memos = tuple(
+            memo_delta(plan.similarity_cache, floors[0])
+            for plan, floors in zip(state.components, memo_floors)
+        )
+        chain_memos = tuple(
+            memo_delta(plan.chain_prefix_memo, floors[1])
+            for plan, floors in zip(state.components, memo_floors)
+        )
+        full_memos = False
     return RoundWorkItem(
         config=config,
         aggregate_query=state.aggregate_query,
         error_bound=error_bound,
         carried_seconds=carried_seconds,
-        memos=tuple(dict(plan.similarity_cache) for plan in state.components),
-        chain_memos=tuple(dict(plan.chain_prefix_memo) for plan in state.components),
+        memos=memos,
+        chain_memos=chain_memos,
+        full_memos=full_memos,
         little_samples=tuple(state.little_samples),
         support_indices=indices,
         support_known=state.support_known[indices],
@@ -283,10 +337,15 @@ def execute_round_item(
     to what an in-process step would have written.
     """
     for plan, memo, chain_memo in zip(plans, item.memos, item.chain_memos):
-        plan.similarity_cache.clear()
+        if item.full_memos:
+            plan.similarity_cache.clear()
+            plan.chain_prefix_memo.clear()
         plan.similarity_cache.update(memo)
-        plan.chain_prefix_memo.clear()
         plan.chain_prefix_memo.update(chain_memo)
+    # Memo lengths after the overlay: memo writes are append-only, so the
+    # round's new entries are exactly the items past these positions.
+    memo_sizes = [len(plan.similarity_cache) for plan in plans]
+    chain_sizes = [len(plan.chain_prefix_memo) for plan in plans]
     support_size = joint.support_size
     indices = np.asarray(item.support_indices, dtype=np.int64)
     shipped_known = np.zeros(support_size, dtype=bool)
@@ -333,20 +392,12 @@ def execute_round_item(
         )
     updated = np.flatnonzero(state.support_known & ~shipped_known)
     memo_updates = tuple(
-        {
-            node: value
-            for node, value in plan.similarity_cache.items()
-            if node not in memo
-        }
-        for plan, memo in zip(plans, item.memos)
+        memo_delta(plan.similarity_cache, size)
+        for plan, size in zip(plans, memo_sizes)
     )
     chain_memo_updates = tuple(
-        {
-            key: value
-            for key, value in plan.chain_prefix_memo.items()
-            if key not in chain_memo
-        }
-        for plan, chain_memo in zip(plans, item.chain_memos)
+        memo_delta(plan.chain_prefix_memo, size)
+        for plan, size in zip(plans, chain_sizes)
     )
     updated_group_indices = None
     updated_group_values = None
@@ -420,24 +471,19 @@ def execute_prewarm_item(
     item: PrewarmWorkItem, plan: QueryPlan, executor: "QueryExecutor"
 ) -> PrewarmWorkResult:
     """Run one cross-query validation batch in this process (worker side)."""
-    plan.similarity_cache.clear()
+    if item.full_memos:
+        plan.similarity_cache.clear()
+        plan.chain_prefix_memo.clear()
     plan.similarity_cache.update(item.memo)
-    plan.chain_prefix_memo.clear()
     plan.chain_prefix_memo.update(item.chain_memo)
+    memo_size = len(plan.similarity_cache)
+    chain_size = len(plan.chain_prefix_memo)
     started = time.perf_counter()
     executor.prewarm_similarities([plan], list(item.node_ids))
     seconds = time.perf_counter() - started
     return PrewarmWorkResult(
-        memo_updates={
-            node: value
-            for node, value in plan.similarity_cache.items()
-            if node not in item.memo
-        },
-        chain_memo_updates={
-            key: value
-            for key, value in plan.chain_prefix_memo.items()
-            if key not in item.chain_memo
-        },
+        memo_updates=memo_delta(plan.similarity_cache, memo_size),
+        chain_memo_updates=memo_delta(plan.chain_prefix_memo, chain_size),
         seconds=seconds,
     )
 
@@ -471,6 +517,10 @@ class QueryExecutor:
         self._planner = planner
         self._typed_nodes_cache: dict[frozenset[str], frozenset[int]] = {}
         self._typed_nodes_version = kg.structure_version
+        #: compiled chain-enumeration contexts, keyed by query predicate;
+        #: follow the graph's structure version like plans and snapshots
+        self._chain_context_cache: dict[str, object] = {}
+        self._chain_context_version = kg.structure_version
 
     def _typed_nodes(self, types: frozenset[str]) -> frozenset[int]:
         """All KG nodes carrying any of ``types``.
@@ -486,6 +536,34 @@ class QueryExecutor:
             cached = frozenset(self._kg.nodes_with_any_type(types))
             self._typed_nodes_cache[types] = cached
         return cached
+
+    def _chain_context(self, predicate: str):
+        """Compiled chain-enumeration context for one query predicate.
+
+        Built once per ``(predicate, structure version)`` from the shared
+        CSR snapshot; every batched chain-prefix resolution over the same
+        predicate then enumerates through plain-list adjacency with
+        memoised per-predicate edge logs instead of re-paying the
+        ``neighbors``/``predicate_of``/``similarity`` call chain per path
+        extension.
+        """
+        from repro.kg.csr import csr_snapshot
+        from repro.semantics import kernels
+
+        if self._chain_context_version != self._kg.structure_version:
+            self._chain_context_cache.clear()
+            self._chain_context_version = self._kg.structure_version
+        context = self._chain_context_cache.get(predicate)
+        if context is None:
+            context = kernels.build_chain_context(
+                self._kg,
+                self._space,
+                csr_snapshot(self._kg),
+                predicate,
+                self.config.similarity_floor,
+            )
+            self._chain_context_cache[predicate] = context
+        return context
 
     # ------------------------------------------------------------------
     # Initialisation (S1 hand-off)
@@ -646,6 +724,116 @@ class QueryExecutor:
         plan.chain_prefix_memo[key] = result
         return result
 
+    def _chain_prefix_batch(
+        self, plan: QueryPlan, level: int, node_ids: list[int]
+    ) -> None:
+        """Resolve ``(level, node)`` chain prefixes for many endpoints at once.
+
+        The recursive :meth:`_chain_prefix` resolves one endpoint chain at
+        a time, so every level-1 leaf runs its own private validator
+        search.  Driven by arrays of endpoints instead, each level's whole
+        endpoint set resolves together: level 1 goes through one
+        :meth:`CorrectnessValidator.validate_batch` pass over the shared
+        compiled trace, deeper levels enumerate their answer-side matches
+        and batch the union of their endpoints one level down.  The
+        arithmetic per endpoint is exactly :meth:`_chain_prefix`'s, and
+        the memo rows written are the same ``(level, node) -> result``
+        entries, so the two drivers are interchangeable mid-query.
+
+        With compiled kernels on, the answer-side enumeration runs
+        through :func:`repro.semantics.kernels.chain_matches` over a
+        cached :class:`~repro.semantics.kernels.ChainContext` — same
+        matches, same order, list-indexed instead of call-chained.
+        """
+        from repro.semantics.matching import best_matches_iterative
+
+        memo = plan.chain_prefix_memo
+        frontier = [
+            node_id
+            for node_id in dict.fromkeys(node_ids)
+            if (level, node_id) not in memo
+        ]
+        if not frontier:
+            return
+        component = plan.component
+        config = self.config
+        predicate = component.predicates[level - 1]
+        if level == 1:
+            assert plan.validator is not None
+            outcomes = plan.validator.validate_batch(
+                plan.source,
+                frontier,
+                predicate,
+                plan.visiting,
+                stop_threshold=1.0,
+            )
+            for node_id in frontier:
+                outcome = outcomes[int(node_id)]
+                result: tuple[float, int] | None = None
+                if outcome.paths_found:
+                    result = (
+                        outcome.best_length
+                        * math.log(max(outcome.similarity, 1e-12)),
+                        outcome.best_length,
+                    )
+                memo[(1, node_id)] = result
+            return
+        required_types = component.hops[level - 2][1]
+        typed_nodes = self._typed_nodes(required_types)
+        if config.compiled_kernels:
+            from repro.semantics import kernels
+
+            context = self._chain_context(predicate)
+            matches_of = {
+                node_id: kernels.chain_matches(
+                    context,
+                    node_id,
+                    config.n_bound,
+                    typed_nodes,
+                    config.validation_expansions * 5,
+                )
+                for node_id in frontier
+            }
+        else:
+            matches_of = {
+                node_id: {
+                    endpoint: (match.similarity, match.length)
+                    for endpoint, match in best_matches_iterative(
+                        self._kg,
+                        self._space,
+                        predicate,
+                        node_id,
+                        config.n_bound,
+                        targets=typed_nodes,
+                        floor=config.similarity_floor,
+                        budget_per_level=config.validation_expansions * 5,
+                    ).items()
+                }
+                for node_id in frontier
+            }
+        endpoints = [
+            endpoint
+            for matches in matches_of.values()
+            for endpoint in matches
+        ]
+        self._chain_prefix_batch(plan, level - 1, endpoints)
+        for node_id, matches in matches_of.items():
+            best_mean = 0.0
+            result = None
+            for endpoint, (similarity, match_length) in matches.items():
+                prefix = self._chain_prefix(plan, level - 1, endpoint)
+                if prefix is None:
+                    continue
+                log_sum = prefix[0] + match_length * math.log(
+                    max(similarity, 1e-12)
+                )
+                length = prefix[1] + match_length
+                mean = math.exp(log_sum / length)
+                if mean > best_mean:
+                    best_mean = mean
+                    result = (log_sum, length)
+            memo[(level, node_id)] = result
+
     def _chain_similarity(self, plan: QueryPlan, node_id: int) -> float:
         """Eq. 2 geometric mean over the best chain match ending at ``node_id``."""
         prefix = self._chain_prefix(plan, plan.component.num_hops, node_id)
@@ -698,6 +886,16 @@ class QueryExecutor:
                 for node_id, outcome in outcomes.items():
                     plan.similarity_cache[node_id] = outcome.similarity
             else:
+                if (
+                    plan.chain is not None
+                    and batched
+                    and self.config.compiled_kernels
+                ):
+                    # resolve the whole batch's prefix levels together;
+                    # the per-node loop below then runs on warm memos
+                    self._chain_prefix_batch(
+                        plan, plan.component.num_hops, missing
+                    )
                 for node_id in missing:
                     self._component_similarity(plan, node_id)
 

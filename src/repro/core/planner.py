@@ -52,6 +52,8 @@ def build_validator(
         max_length=config.n_bound,
         floor=config.similarity_floor,
         expansion_budget=config.validation_expansions,
+        use_kernels=config.compiled_kernels,
+        use_jit=config.kernel_jit,
     )
 
 
@@ -188,7 +190,9 @@ class QueryPlanner:
             iterations = 0
         else:
             if config.sampler is SamplerKind.CNARW:
-                transition = cnarw_transition_model(self._kg, scope)
+                transition = cnarw_transition_model(
+                    self._kg, scope, use_kernels=config.compiled_kernels
+                )
             else:
                 transition = TransitionModel(
                     self._kg,

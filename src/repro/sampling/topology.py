@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import SamplingError
 from repro.kg.csr import csr_snapshot
 from repro.kg.graph import KnowledgeGraph
+from repro.semantics import kernels
 from repro.sampling.scope import SamplingScope
 from repro.sampling.transition import DEFAULT_SELF_LOOP_WEIGHT, TransitionModel
 from repro.utils.rng import ensure_rng
@@ -36,10 +37,10 @@ def uniform_transition_model(
 
 
 def cnarw_transition_model(
-    kg: KnowledgeGraph, scope: SamplingScope
+    kg: KnowledgeGraph, scope: SamplingScope, *, use_kernels: bool = True
 ) -> "SimpleTransitionModel":
     """CNARW-style walk: weight 1 - |N(u) ∩ N(v)| / min(d(u), d(v))."""
-    return SimpleTransitionModel(kg, scope, mode="cnarw")
+    return SimpleTransitionModel(kg, scope, mode="cnarw", use_kernels=use_kernels)
 
 
 class SimpleTransitionModel(TransitionModel):
@@ -49,10 +50,18 @@ class SimpleTransitionModel(TransitionModel):
     plumbing but replaces the Eq. 5 semantic weights with structural ones.
     """
 
-    def __init__(self, kg: KnowledgeGraph, scope: SamplingScope, mode: str) -> None:
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        scope: SamplingScope,
+        mode: str,
+        *,
+        use_kernels: bool = True,
+    ) -> None:
         if mode not in ("uniform", "cnarw"):
             raise SamplingError(f"unknown topology mode {mode!r}")
         self._mode = mode
+        self._use_kernels = use_kernels
         # Note: we bypass TransitionModel.__init__ and build rows directly —
         # the semantic constructor requires an embedding space we do not use.
         self.scope = scope
@@ -63,6 +72,10 @@ class SimpleTransitionModel(TransitionModel):
         source_index, rows, cols, edge_ids = self._gather_scope_entries(kg)
         if self._mode == "uniform":
             weights = np.ones(len(rows), dtype=np.float64)
+        elif self._use_kernels:
+            weights = kernels.cnarw_weights(
+                csr_snapshot(kg), np.asarray(self.scope.nodes), rows, cols
+            )
         else:
             weights = self._cnarw_weights(kg, rows, cols)
         self._install_rows(
@@ -81,9 +94,10 @@ class SimpleTransitionModel(TransitionModel):
         """CNARW weight 1 - |N(u) ∩ N(v)| / min(d(u), d(v)) per entry.
 
         Prefers neighbours sharing few common neighbours; the 0.05 floor
-        keeps the chain irreducible.  Set intersections stay per-entry
-        Python (this is a Fig. 5(a) baseline, not the paper's hot path),
-        but the neighbour sets come from CSR slices.
+        keeps the chain irreducible.  This is the per-entry Python
+        reference; the default build uses the byte-identical sorted-merge
+        kernel (:func:`repro.semantics.kernels.cnarw_weights`) — this loop
+        stays as the equivalence oracle and the ``use_kernels=False`` path.
         """
         snapshot = csr_snapshot(kg)
         nodes = self.scope.nodes

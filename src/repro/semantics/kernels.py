@@ -1,0 +1,1146 @@
+"""Array-compiled validation kernels (the per-pop Python residue, lowered).
+
+PR 2 batched S2 validation behind a shared expansion trace, but the paths
+the ROADMAP kept flagging as interpreter-bound survived it: the private
+fallback best-first searches, the per-answer trace replay, chain-prefix
+enumeration and the CNARW structural weights all still walked tuples,
+dicts and heaps one entry at a time.  This module compiles that residue
+into array programs, outcome-identical to the dict-based implementations
+in :mod:`repro.semantics.validation` and :mod:`repro.sampling.topology`:
+
+* :class:`CompiledContext` — per ``(query predicate, visiting)`` context,
+  the whole in-scope neighbourhood is gathered **once** into pruned
+  CSR-style arrays: deduplicated per-node adjacency with max
+  log-similarity per neighbour (the goal-shortcut table) and the
+  probability-ordered, branch-capped successor beam, in exactly the order
+  ``CorrectnessValidator._expand`` would have produced node by node.
+* :func:`search` — the flat-array best-first search over a compiled
+  context: parent-pointer paths instead of tuple concatenation, heap
+  entries reduced to ``(priority, tiebreak, slot)`` scalars, and an
+  optional :mod:`numba` ``njit`` fast path (see :func:`jit_available`)
+  with this pure-Python/numpy implementation as the always-present
+  fallback — the dependency stays optional.
+* :class:`SharedTrace` / :func:`replay` — the answer-independent pop
+  sequence compiled to arrays with *inverted* goal and beam-membership
+  tables sorted by neighbour id: replaying one answer touches only the
+  pops whose node is actually adjacent to it (two ``searchsorted`` calls)
+  instead of scanning all ``budget`` pops per answer.
+* :func:`cnarw_weights` — CNARW's per-entry Python set intersections
+  replaced by one sorted-key merge count over the pairs' CSR
+  neighbourhoods.
+
+Exactness notes.  All similarity arithmetic keeps the reference
+implementation's operation order and uses scalar :func:`math.exp` (numpy's
+SIMD ``exp`` may differ in the last ulp), so outcomes are byte-identical,
+not merely close.  NaN log-similarities (predicates the embedding does not
+cover) stay lazy: a per-node flag raises through
+:func:`~repro.semantics.similarity.require_known_predicates` only when the
+search actually expands an offending node, matching the seed's per-edge
+lookup failure timing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import warnings
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.semantics.similarity import clamp_similarity, require_known_predicates
+
+__all__ = [
+    "ChainContext",
+    "CompiledContext",
+    "SharedTrace",
+    "build_chain_context",
+    "build_context",
+    "build_trace",
+    "chain_matches",
+    "cnarw_weights",
+    "jit_available",
+    "replay",
+    "search",
+]
+
+
+# ---------------------------------------------------------------------------
+# Optional numba fast path
+# ---------------------------------------------------------------------------
+_JIT_SEARCH = None
+_JIT_STATE = "unprobed"  # "unprobed" | "ready" | "missing" | "failed"
+
+
+def jit_available() -> bool:
+    """True when numba is importable and the search kernel compiled.
+
+    numba is an *optional* dependency: when absent (or when its compile
+    fails) every caller transparently uses the pure-numpy implementations,
+    which are the equivalence-tested source of truth either way.
+    """
+    return _ensure_jit() is not None
+
+
+def _ensure_jit():
+    global _JIT_SEARCH, _JIT_STATE
+    if _JIT_STATE == "unprobed":
+        try:
+            import numba  # noqa: F401
+        except Exception:
+            _JIT_STATE = "missing"
+        else:
+            try:
+                _JIT_SEARCH = _compile_jit_search()
+                _JIT_STATE = "ready"
+            except Exception as error:  # pragma: no cover - numba-specific
+                _JIT_STATE = "failed"
+                warnings.warn(
+                    f"numba present but the search kernel failed to compile "
+                    f"({error!r}); using the pure-numpy fallback",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    return _JIT_SEARCH
+
+
+def _compile_jit_search():  # pragma: no cover - requires numba
+    """Compile the flat-array best-first search with numba.
+
+    The kernel mirrors :func:`_python_search` statement for statement over
+    the same compiled arrays: a manual binary heap on ``(priority,
+    tiebreak)`` keyed slots, parent-pointer path reconstruction, and
+    scalar ``math.exp`` for path similarities.  It returns
+    ``(similarity, paths_found, expansions, best_length, bad_node)`` where
+    ``bad_node >= 0`` signals an expanded node with NaN edges — the Python
+    wrapper then raises exactly like the interpreter path.
+    """
+    from numba import njit
+
+    @njit(cache=False)
+    def _jit_search(
+        adj_indptr,
+        adj_nbr,
+        adj_log,
+        beam_indptr,
+        beam_child,
+        beam_log,
+        beam_priority,
+        node_row,
+        nan_flag,
+        visiting,
+        source,
+        answer,
+        repeat_factor,
+        max_length,
+        budget,
+        stop_threshold,
+        use_stop,
+        branch_cap,
+    ):
+        capacity = budget * branch_cap + 2
+        slot_node = np.empty(capacity, dtype=np.int64)
+        slot_log = np.empty(capacity, dtype=np.float64)
+        slot_parent = np.empty(capacity, dtype=np.int64)
+        slot_depth = np.empty(capacity, dtype=np.int64)
+        heap_priority = np.empty(capacity, dtype=np.float64)
+        heap_tiebreak = np.empty(capacity, dtype=np.int64)
+        heap_slot = np.empty(capacity, dtype=np.int64)
+
+        source_probability = 0.0
+        if source < visiting.shape[0]:
+            source_probability = visiting[source]
+        if source_probability <= 0.0:
+            source_probability = 1.0
+        slot_node[0] = source
+        slot_log[0] = 0.0
+        slot_parent[0] = -1
+        slot_depth[0] = 0
+        slots = 1
+        heap_priority[0] = -source_probability
+        heap_tiebreak[0] = 0
+        heap_slot[0] = 0
+        heap_size = 1
+        tiebreak = 1
+
+        best_similarity = 0.0
+        best_length = 0
+        paths_found = 0
+        expansions = 0
+        done = False
+        path = np.empty(max_length + 2, dtype=np.int64)
+
+        while heap_size > 0 and not done and expansions < budget:
+            # heappop: take the root, move the last entry down.
+            top_priority = heap_priority[0]
+            top_tiebreak = heap_tiebreak[0]
+            top_slot = heap_slot[0]
+            heap_size -= 1
+            if heap_size > 0:
+                move_priority = heap_priority[heap_size]
+                move_tiebreak = heap_tiebreak[heap_size]
+                move_slot = heap_slot[heap_size]
+                position = 0
+                while True:
+                    child = 2 * position + 1
+                    if child >= heap_size:
+                        break
+                    right = child + 1
+                    if right < heap_size and (
+                        heap_priority[right] < heap_priority[child]
+                        or (
+                            heap_priority[right] == heap_priority[child]
+                            and heap_tiebreak[right] < heap_tiebreak[child]
+                        )
+                    ):
+                        child = right
+                    if heap_priority[child] < move_priority or (
+                        heap_priority[child] == move_priority
+                        and heap_tiebreak[child] < move_tiebreak
+                    ):
+                        heap_priority[position] = heap_priority[child]
+                        heap_tiebreak[position] = heap_tiebreak[child]
+                        heap_slot[position] = heap_slot[child]
+                        position = child
+                    else:
+                        break
+                heap_priority[position] = move_priority
+                heap_tiebreak[position] = move_tiebreak
+                heap_slot[position] = move_slot
+            _ = top_priority
+            _ = top_tiebreak
+
+            node = slot_node[top_slot]
+            log_sum = slot_log[top_slot]
+            depth = slot_depth[top_slot]
+            expansions += 1
+            if depth >= max_length:
+                continue
+            row = -1
+            if node < node_row.shape[0]:
+                row = node_row[node]
+            if row < 0:
+                # out-of-scope node (only ever the source): the Python
+                # wrapper pre-checks this, but guard anyway
+                return (best_similarity, paths_found, expansions, best_length, -2)
+            if nan_flag[row]:
+                return (best_similarity, paths_found, expansions, best_length, node)
+
+            # reconstruct the on-path node set via parent pointers
+            path_length = 0
+            cursor = top_slot
+            while cursor != -1:
+                path[path_length] = slot_node[cursor]
+                path_length += 1
+                cursor = slot_parent[cursor]
+
+            lo = adj_indptr[row]
+            hi = adj_indptr[row + 1]
+            goal_position = lo + np.searchsorted(adj_nbr[lo:hi], answer)
+            if goal_position < hi and adj_nbr[goal_position] == answer:
+                answer_on_path = False
+                for index in range(path_length):
+                    if path[index] == answer:
+                        answer_on_path = True
+                        break
+                if not answer_on_path:
+                    similarity = math.exp(
+                        (log_sum + adj_log[goal_position]) / (depth + 1)
+                    )
+                    paths_found += 1
+                    if similarity > best_similarity:
+                        best_similarity = similarity
+                        best_length = depth + 1
+                    if paths_found >= repeat_factor or (
+                        use_stop and best_similarity >= stop_threshold
+                    ):
+                        done = True
+                        continue
+
+            for position in range(beam_indptr[row], beam_indptr[row + 1]):
+                child_node = beam_child[position]
+                if child_node == answer:
+                    continue
+                skip = False
+                for index in range(path_length):
+                    if path[index] == child_node:
+                        skip = True
+                        break
+                if skip:
+                    continue
+                slot_node[slots] = child_node
+                slot_log[slots] = log_sum + beam_log[position]
+                slot_parent[slots] = top_slot
+                slot_depth[slots] = depth + 1
+                # heappush: append then bubble up
+                entry_priority = beam_priority[position]
+                entry_tiebreak = tiebreak
+                tiebreak += 1
+                index = heap_size
+                heap_size += 1
+                while index > 0:
+                    parent = (index - 1) // 2
+                    if entry_priority < heap_priority[parent] or (
+                        entry_priority == heap_priority[parent]
+                        and entry_tiebreak < heap_tiebreak[parent]
+                    ):
+                        heap_priority[index] = heap_priority[parent]
+                        heap_tiebreak[index] = heap_tiebreak[parent]
+                        heap_slot[index] = heap_slot[parent]
+                        index = parent
+                    else:
+                        break
+                heap_priority[index] = entry_priority
+                heap_tiebreak[index] = entry_tiebreak
+                heap_slot[index] = slots
+                slots += 1
+
+        return (best_similarity, paths_found, expansions, best_length, -1)
+
+    # Force one compilation now so a broken kernel fails at probe time
+    # (and falls back) instead of mid-query.
+    empty_i = np.zeros(1, dtype=np.int64)
+    empty_f = np.zeros(1, dtype=np.float64)
+    _jit_search(
+        np.zeros(2, dtype=np.int64),
+        empty_i,
+        empty_f,
+        np.zeros(2, dtype=np.int64),
+        empty_i,
+        empty_f,
+        empty_f,
+        np.zeros(1, dtype=np.int64),
+        np.zeros(1, dtype=np.bool_),
+        np.ones(1, dtype=np.float64),
+        0,
+        0,
+        1,
+        1,
+        1,
+        0.0,
+        False,
+        1,
+    )
+    return _jit_search
+
+
+# ---------------------------------------------------------------------------
+# Context compilation
+# ---------------------------------------------------------------------------
+@dataclass
+class CompiledContext:
+    """One ``(query predicate, visiting)`` context lowered to arrays.
+
+    ``rows`` index the in-scope nodes (``visiting > 0``).  Per row the
+    context holds the deduplicated adjacency (ascending neighbour id, max
+    log-similarity per neighbour — the goal-shortcut table) and the
+    probability-ordered branch-capped beam, entry-for-entry identical to
+    what ``CorrectnessValidator._expand`` computes per node.  Out-of-scope
+    search sources (the mapping node can sit outside its own scope) are
+    expanded lazily into ``extra`` with the same per-node math.
+    """
+
+    kg: object
+    space: object
+    snapshot: object
+    log_row: np.ndarray
+    visiting: np.ndarray
+    branch_cap: int
+    num_nodes: int
+    node_row: np.ndarray  # node id -> row index, -1 outside the scope
+    row_node: np.ndarray  # row index -> node id
+    adj_indptr: np.ndarray
+    adj_nbr: np.ndarray  # ascending within each row
+    adj_log: np.ndarray  # max log-similarity per (row, neighbour)
+    beam_indptr: np.ndarray
+    beam_child: np.ndarray
+    beam_log: np.ndarray
+    beam_priority: np.ndarray  # negated visiting probability
+    nan_flag: np.ndarray  # per row: some incident edge has a NaN log-sim
+    #: lazily expanded out-of-scope nodes: node -> (sorted neighbour ids,
+    #: log-sims, beam list, beam child set)
+    extra: dict = field(default_factory=dict)
+    #: per-node beam lists materialised for the scalar search loop
+    _beam_lists: dict = field(default_factory=dict)
+    #: per-node ``{neighbour: log-sim}`` goal tables for the scalar loop —
+    #: a dict probe per pop beats a binary search plus array boxing
+    _goal_maps: dict = field(default_factory=dict)
+
+    # -- per-node views -------------------------------------------------
+    def beam(self, node: int) -> list:
+        """``[(priority, child, log_similarity), ...]`` — may raise on NaN."""
+        cached = self._beam_lists.get(node)
+        if cached is not None:
+            return cached
+        row = int(self.node_row[node]) if node < self.num_nodes else -1
+        if row >= 0:
+            if self.nan_flag[row]:
+                self._raise_unknown(node)
+            start, end = int(self.beam_indptr[row]), int(self.beam_indptr[row + 1])
+            beam = list(
+                zip(
+                    self.beam_priority[start:end].tolist(),
+                    self.beam_child[start:end].tolist(),
+                    self.beam_log[start:end].tolist(),
+                )
+            )
+        else:
+            beam = self._expand_extra(node)[2]
+        self._beam_lists[node] = beam
+        return beam
+
+    def goal_log(self, node: int, answer: int) -> float | None:
+        """Max log-similarity of a direct ``node -> answer`` edge, if any."""
+        row = int(self.node_row[node]) if node < self.num_nodes else -1
+        if row < 0:
+            nbr, logs, _beam, _beam_set = self._expand_extra(node)
+        else:
+            start, end = int(self.adj_indptr[row]), int(self.adj_indptr[row + 1])
+            nbr = self.adj_nbr[start:end]
+            logs = self.adj_log[start:end]
+        position = int(np.searchsorted(nbr, answer))
+        if position < len(nbr) and int(nbr[position]) == answer:
+            return float(logs[position])
+        return None
+
+    def goal_map(self, node: int) -> dict:
+        """``{neighbour: max log-similarity}`` for one (expanded) node."""
+        cached = self._goal_maps.get(node)
+        if cached is None:
+            nbr, logs = self.adjacency_arrays(node)
+            cached = dict(zip(nbr.tolist(), logs.tolist()))
+            self._goal_maps[node] = cached
+        return cached
+
+    def adjacency_arrays(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(sorted neighbour ids, log-sims)`` for one (expanded) node."""
+        row = int(self.node_row[node]) if node < self.num_nodes else -1
+        if row < 0:
+            nbr, logs, _beam, _beam_set = self._expand_extra(node)
+            return nbr, logs
+        start, end = int(self.adj_indptr[row]), int(self.adj_indptr[row + 1])
+        return self.adj_nbr[start:end], self.adj_log[start:end]
+
+    def _expand_extra(self, node: int):
+        """Seed-style single-node expansion for out-of-scope sources."""
+        cached = self.extra.get(node)
+        if cached is not None:
+            return cached
+        edge_ids, neighbours = self.snapshot.neighbors(node)
+        predicate_ids = self.snapshot.edge_predicate_ids[edge_ids]
+        log_similarities = self.log_row[predicate_ids]
+        require_known_predicates(
+            self.kg, self.space, predicate_ids, log_similarities
+        )
+        distinct, inverse = np.unique(neighbours, return_inverse=True)
+        best = np.full(len(distinct), -np.inf, dtype=np.float64)
+        np.maximum.at(best, inverse, log_similarities)
+        probabilities = np.where(
+            distinct < len(self.visiting), self.visiting[np.minimum(distinct, len(self.visiting) - 1)], 0.0
+        ) if len(self.visiting) else np.zeros(len(distinct))
+        kept = np.flatnonzero(probabilities > 0.0)
+        order = kept[np.argsort(-probabilities[kept], kind="stable")]
+        order = order[: self.branch_cap]
+        beam = [
+            (-float(probabilities[index]), int(distinct[index]), float(best[index]))
+            for index in order
+        ]
+        entry = (distinct, best, beam, frozenset(child for _, child, _ in beam))
+        self.extra[node] = entry
+        return entry
+
+    def _raise_unknown(self, node: int) -> None:
+        """Raise the seed's lazy unknown-predicate error for ``node``."""
+        edge_ids, _neighbours = self.snapshot.neighbors(node)
+        predicate_ids = self.snapshot.edge_predicate_ids[edge_ids]
+        values = self.log_row[predicate_ids]
+        require_known_predicates(self.kg, self.space, predicate_ids, values)
+        raise AssertionError(  # pragma: no cover - flag implies NaN edges
+            f"node {node} flagged NaN but require_known_predicates passed"
+        )
+
+
+def build_context(
+    kg,
+    space,
+    snapshot,
+    log_row: np.ndarray,
+    visiting: np.ndarray,
+    branch_cap: int,
+) -> CompiledContext:
+    """Compile one visiting context into a :class:`CompiledContext`.
+
+    One vectorised gather over every in-scope node replaces the per-node
+    ``_expand`` calls: dedup by ``row * num_nodes + neighbour`` keys, max
+    log-similarity via ``np.maximum.at``, and the beam order via one
+    stable ``lexsort`` on ``(row, -probability, adjacency position)`` —
+    the exact ``(probability desc, id asc)`` order the dict path produces.
+    """
+    num_nodes = int(snapshot.num_nodes)
+    dense = visiting
+    limit = min(len(dense), num_nodes)
+    in_scope = np.flatnonzero(dense[:limit] > 0.0).astype(np.int64)
+    rows = len(in_scope)
+    node_row = np.full(num_nodes, -1, dtype=np.int64)
+    node_row[in_scope] = np.arange(rows, dtype=np.int64)
+
+    owner, neighbours, edge_ids = snapshot.gather_neighbors(in_scope)
+    predicate_ids = snapshot.edge_predicate_ids[edge_ids]
+    entry_log = log_row[predicate_ids]
+    entry_nan = np.isnan(entry_log)
+    nan_flag = np.zeros(rows, dtype=bool)
+    if entry_nan.any():
+        nan_flag = np.bincount(owner[entry_nan], minlength=rows) > 0
+
+    keys = owner * np.int64(num_nodes) + neighbours
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    best = np.full(len(unique_keys), -np.inf, dtype=np.float64)
+    # NaN entries (unknown predicates) flow through here on purpose — the
+    # lazy raise happens only if their node is actually expanded.
+    with np.errstate(invalid="ignore"):
+        np.maximum.at(best, inverse, entry_log)
+    adj_owner = unique_keys // num_nodes
+    adj_nbr = unique_keys % num_nodes
+    adj_indptr = np.searchsorted(adj_owner, np.arange(rows + 1, dtype=np.int64))
+
+    probabilities = np.where(adj_nbr < len(dense), dense[np.minimum(adj_nbr, max(len(dense) - 1, 0))], 0.0)
+    kept = np.flatnonzero(probabilities > 0.0)
+    kept_owner = adj_owner[kept]
+    kept_probability = probabilities[kept]
+    # (row, -probability, adjacency position): ascending neighbour id is
+    # the adjacency position, so ties replicate the stable-sort order.
+    order = np.lexsort((kept, -kept_probability, kept_owner))
+    sorted_owner = kept_owner[order]
+    # rank within each row, to apply the branch cap
+    if len(sorted_owner):
+        first = np.flatnonzero(
+            np.concatenate(([True], sorted_owner[1:] != sorted_owner[:-1]))
+        )
+        segment_start = np.repeat(first, np.diff(np.concatenate((first, [len(sorted_owner)]))))
+        rank = np.arange(len(sorted_owner), dtype=np.int64) - segment_start
+    else:
+        rank = np.zeros(0, dtype=np.int64)
+    capped = order[rank < branch_cap]
+    beam_take = kept[capped]
+    beam_owner = adj_owner[beam_take]
+    beam_counts = np.bincount(beam_owner, minlength=rows)
+    beam_indptr = np.zeros(rows + 1, dtype=np.int64)
+    np.cumsum(beam_counts, out=beam_indptr[1:])
+    beam_child = adj_nbr[beam_take]
+    beam_log = best[beam_take]
+    beam_priority = -probabilities[beam_take]
+
+    return CompiledContext(
+        kg=kg,
+        space=space,
+        snapshot=snapshot,
+        log_row=log_row,
+        visiting=dense,
+        branch_cap=branch_cap,
+        num_nodes=num_nodes,
+        node_row=node_row,
+        row_node=in_scope,
+        adj_indptr=adj_indptr,
+        adj_nbr=adj_nbr,
+        adj_log=best,
+        beam_indptr=beam_indptr,
+        beam_child=beam_child,
+        beam_log=beam_log,
+        beam_priority=beam_priority,
+        nan_flag=nan_flag,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Flat-array best-first search
+# ---------------------------------------------------------------------------
+def search(
+    context: CompiledContext,
+    source: int,
+    answer: int,
+    repeat_factor: int,
+    max_length: int,
+    budget: int,
+    stop_threshold: float | None,
+    use_jit: bool = False,
+) -> tuple[float, int, int, int]:
+    """One best-first search; returns ``(similarity, paths, expansions, length)``.
+
+    Pop-for-pop identical to ``CorrectnessValidator._search``: the heap
+    carries ``(priority, tiebreak, slot)`` with parent-pointer paths, so
+    comparisons never reach beyond the unique tiebreak and the pop order
+    matches the reference tuple heap exactly.
+    """
+    if use_jit:
+        jit = _ensure_jit()
+        row = (
+            int(context.node_row[source])
+            if source < context.num_nodes
+            else -1
+        )
+        if jit is not None and row >= 0:
+            result = jit(
+                context.adj_indptr,
+                context.adj_nbr,
+                context.adj_log,
+                context.beam_indptr,
+                context.beam_child,
+                context.beam_log,
+                context.beam_priority,
+                context.node_row,
+                context.nan_flag,
+                context.visiting,
+                source,
+                answer,
+                repeat_factor,
+                max_length,
+                budget,
+                0.0 if stop_threshold is None else float(stop_threshold),
+                stop_threshold is not None,
+                context.branch_cap,
+            )
+            similarity, paths_found, expansions, best_length, bad_node = result
+            if bad_node == -1:
+                return float(similarity), int(paths_found), int(expansions), int(best_length)
+            if bad_node >= 0:
+                context._raise_unknown(int(bad_node))
+            # bad_node == -2: unexpected out-of-scope pop — fall through to
+            # the Python implementation, which handles it
+    return _python_search(
+        context, source, answer, repeat_factor, max_length, budget, stop_threshold
+    )
+
+
+def _python_search(
+    context: CompiledContext,
+    source: int,
+    answer: int,
+    repeat_factor: int,
+    max_length: int,
+    budget: int,
+    stop_threshold: float | None,
+) -> tuple[float, int, int, int]:
+    visiting = context.visiting
+    source_probability = float(visiting[source]) if source < len(visiting) else 0.0
+    if source_probability <= 0.0:
+        source_probability = 1.0
+    # one packed (node, log_sum, parent slot, depth) record per heap entry
+    slots = [(source, 0.0, -1, 0)]
+    slots_append = slots.append
+    heap: list[tuple[float, int, int]] = [(-source_probability, 0, 0)]
+    tiebreak = 1
+
+    best_similarity = 0.0
+    best_length = 0
+    paths_found = 0
+    expansions = 0
+    done = False
+    context_beam = context.beam
+    context_goal_map = context.goal_map
+    while heap and not done and expansions < budget:
+        _, _, slot = heappop(heap)
+        node, log_sum, parent, depth = slots[slot]
+        expansions += 1
+        if depth >= max_length:
+            continue
+        beam = context_beam(node)  # raises on NaN edges, like _expand
+        # on-path nodes via the parent chain (depth is at most max_length)
+        path = [node]
+        cursor = parent
+        while cursor != -1:
+            record = slots[cursor]
+            path.append(record[0])
+            cursor = record[2]
+        goal_log = context_goal_map(node).get(answer)
+        if goal_log is not None and answer not in path:
+            similarity = math.exp((log_sum + goal_log) / (depth + 1))
+            paths_found += 1
+            if similarity > best_similarity:
+                best_similarity = similarity
+                best_length = depth + 1
+            if paths_found >= repeat_factor or (
+                stop_threshold is not None and best_similarity >= stop_threshold
+            ):
+                done = True
+                continue
+        child_depth = depth + 1
+        for priority, child, log_similarity in beam:
+            if child == answer or child in path:
+                continue
+            slot_id = len(slots)
+            slots_append((child, log_sum + log_similarity, slot, child_depth))
+            heappush(heap, (priority, tiebreak, slot_id))
+            tiebreak += 1
+    return best_similarity, paths_found, expansions, best_length
+
+
+# ---------------------------------------------------------------------------
+# Shared trace + per-answer replay
+# ---------------------------------------------------------------------------
+@dataclass
+class SharedTrace:
+    """The answer-independent pop sequence, compiled for sparse replay.
+
+    The legacy replay walks every recorded pop per answer; here the goal
+    and divergence conditions are *inverted* into neighbour-sorted tables
+    (``goal_nbr``/``beam_nbr``), so one answer resolves to the handful of
+    pops whose node is actually adjacent to it.  Pops that never mention
+    the answer only contribute to the expansion count, which the replay
+    recovers from the pop index.
+    """
+
+    total_pops: int
+    pop_node: list
+    pop_log: list
+    pop_depth: list
+    pop_path: list  # tuple of on-path node ids per pop
+    pops_of: dict  # node -> [pop indices] (expanded pops only)
+    goal_nbr: np.ndarray  # sorted neighbour ids over expanded nodes
+    goal_node: np.ndarray  # owning (expanded) node per entry
+    goal_log: np.ndarray
+    beam_nbr: np.ndarray  # sorted beam-children ids over expanded nodes
+    beam_node: np.ndarray
+
+
+def build_trace(
+    context: CompiledContext, source: int, max_length: int, budget: int
+) -> SharedTrace:
+    """Record the no-goal budgeted pop sequence (``_shared_pops`` compiled)."""
+    visiting = context.visiting
+    source_probability = float(visiting[source]) if source < len(visiting) else 0.0
+    if source_probability <= 0.0:
+        source_probability = 1.0
+    slot_node = [source]
+    slot_log = [0.0]
+    slot_parent = [-1]
+    slot_depth = [0]
+    heap: list[tuple[float, int, int]] = [(-source_probability, 0, 0)]
+    tiebreak = 1
+
+    pop_node: list[int] = []
+    pop_log: list[float] = []
+    pop_depth: list[int] = []
+    pop_path: list[tuple] = []
+    pops_of: dict[int, list[int]] = {}
+    expanded_order: dict[int, None] = {}
+    expansions = 0
+    while heap and expansions < budget:
+        _, _, slot = heappop(heap)
+        node = slot_node[slot]
+        log_sum = slot_log[slot]
+        depth = slot_depth[slot]
+        index = expansions
+        expansions += 1
+        path = []
+        cursor = slot
+        while cursor != -1:
+            path.append(slot_node[cursor])
+            cursor = slot_parent[cursor]
+        pop_node.append(node)
+        pop_log.append(log_sum)
+        pop_depth.append(depth)
+        pop_path.append(tuple(path))
+        if depth >= max_length:
+            continue  # counted but not expanded, like the legacy trace
+        beam = context.beam(node)  # raises on NaN edges
+        pops_of.setdefault(node, []).append(index)
+        expanded_order.setdefault(node, None)
+        for priority, child, log_similarity in beam:
+            if child in path:
+                continue
+            slot_id = len(slot_node)
+            slot_node.append(child)
+            slot_log.append(log_sum + log_similarity)
+            slot_parent.append(slot)
+            slot_depth.append(depth + 1)
+            heappush(heap, (priority, tiebreak, slot_id))
+            tiebreak += 1
+
+    # Invert the expanded nodes' adjacency and beams into neighbour-sorted
+    # lookup tables for O(log) per-answer relevance queries.
+    goal_nbr_parts: list[np.ndarray] = []
+    goal_node_parts: list[np.ndarray] = []
+    goal_log_parts: list[np.ndarray] = []
+    beam_nbr_parts: list[np.ndarray] = []
+    beam_node_parts: list[np.ndarray] = []
+    for node in expanded_order:
+        nbr, logs = context.adjacency_arrays(node)
+        goal_nbr_parts.append(np.asarray(nbr, dtype=np.int64))
+        goal_node_parts.append(np.full(len(nbr), node, dtype=np.int64))
+        goal_log_parts.append(np.asarray(logs, dtype=np.float64))
+        children = np.fromiter(
+            (child for _, child, _ in context.beam(node)), dtype=np.int64
+        )
+        beam_nbr_parts.append(children)
+        beam_node_parts.append(np.full(len(children), node, dtype=np.int64))
+    if goal_nbr_parts:
+        goal_nbr = np.concatenate(goal_nbr_parts)
+        goal_node = np.concatenate(goal_node_parts)
+        goal_logs = np.concatenate(goal_log_parts)
+        order = np.argsort(goal_nbr, kind="stable")
+        goal_nbr = goal_nbr[order]
+        goal_node = goal_node[order]
+        goal_logs = goal_logs[order]
+    else:
+        goal_nbr = np.zeros(0, dtype=np.int64)
+        goal_node = np.zeros(0, dtype=np.int64)
+        goal_logs = np.zeros(0, dtype=np.float64)
+    if beam_nbr_parts:
+        beam_nbr = np.concatenate(beam_nbr_parts)
+        beam_node = np.concatenate(beam_node_parts)
+        order = np.argsort(beam_nbr, kind="stable")
+        beam_nbr = beam_nbr[order]
+        beam_node = beam_node[order]
+    else:
+        beam_nbr = np.zeros(0, dtype=np.int64)
+        beam_node = np.zeros(0, dtype=np.int64)
+    return SharedTrace(
+        total_pops=expansions,
+        pop_node=pop_node,
+        pop_log=pop_log,
+        pop_depth=pop_depth,
+        pop_path=pop_path,
+        pops_of=pops_of,
+        goal_nbr=goal_nbr,
+        goal_node=goal_node,
+        goal_log=goal_logs,
+        beam_nbr=beam_nbr,
+        beam_node=beam_node,
+    )
+
+
+def replay(
+    trace: SharedTrace,
+    answer: int,
+    repeat_factor: int,
+    stop_threshold: float | None,
+) -> tuple[float, int, int, int] | None:
+    """Replay the shared trace for one answer; ``None`` means must search.
+
+    Semantics match ``CorrectnessValidator._replay`` exactly — the goal
+    shortcut fires off the recorded adjacency, termination counts the
+    same expansions, and the first pop whose beam contains the answer
+    while off-path aborts the replay — but only the pops whose node is
+    adjacent to the answer (goal or beam table hit) are visited.
+    """
+    lo = int(np.searchsorted(trace.goal_nbr, answer, side="left"))
+    hi = int(np.searchsorted(trace.goal_nbr, answer, side="right"))
+    goal_map: dict[int, float] = {}
+    for position in range(lo, hi):
+        goal_map[int(trace.goal_node[position])] = float(trace.goal_log[position])
+    lo = int(np.searchsorted(trace.beam_nbr, answer, side="left"))
+    hi = int(np.searchsorted(trace.beam_nbr, answer, side="right"))
+    beam_owners = {int(node) for node in trace.beam_node[lo:hi]}
+
+    relevant_nodes = beam_owners.union(goal_map)
+    if not relevant_nodes:
+        return 0.0, 0, trace.total_pops, 0
+    relevant: list[int] = []
+    pops_of = trace.pops_of
+    for node in relevant_nodes:
+        indices = pops_of.get(node)
+        if indices:
+            relevant.extend(indices)
+    relevant.sort()
+
+    best_similarity = 0.0
+    best_length = 0
+    paths_found = 0
+    pop_node = trace.pop_node
+    pop_path = trace.pop_path
+    pop_log = trace.pop_log
+    pop_depth = trace.pop_depth
+    for index in relevant:
+        node = pop_node[index]
+        answer_on_path = answer in pop_path[index]
+        goal_log = goal_map.get(node)
+        if goal_log is not None and not answer_on_path:
+            depth = pop_depth[index]
+            similarity = math.exp((pop_log[index] + goal_log) / (depth + 1))
+            paths_found += 1
+            if similarity > best_similarity:
+                best_similarity = similarity
+                best_length = depth + 1
+            if paths_found >= repeat_factor or (
+                stop_threshold is not None and best_similarity >= stop_threshold
+            ):
+                return best_similarity, paths_found, index + 1, best_length
+        if node in beam_owners and not answer_on_path:
+            return None
+    return best_similarity, paths_found, trace.total_pops, best_length
+
+
+# ---------------------------------------------------------------------------
+# CNARW structural weights
+# ---------------------------------------------------------------------------
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values via sort + run mask.
+
+    Equivalent to ``np.unique`` but measurably faster on these int64 key
+    arrays (numpy 2.x routes ``unique`` through a hash table).
+    """
+    if len(values) == 0:
+        return values
+    ordered = np.sort(values)
+    return ordered[np.concatenate(([True], ordered[1:] != ordered[:-1]))]
+
+
+def cnarw_weights(
+    snapshot,
+    scope_nodes: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    floor: float = 0.05,
+) -> np.ndarray:
+    """``max(1 - |N(u) ∩ N(v)| / min(d(u), d(v)), floor)`` per (u, v) pair.
+
+    The per-entry Python set intersections become one vectorised
+    membership pass.  Like a set intersection (which iterates the smaller
+    set), only each pair's *smaller* neighbourhood expands — crucial
+    around hubs, whose huge neighbour lists would otherwise replicate
+    into every incident pair — into ``(larger node, neighbour)`` probe
+    keys resolved by binary search against one global sorted dedup
+    adjacency table.  The arithmetic replays the reference expression
+    operation for operation, so the weights are byte-identical to
+    :meth:`SimpleTransitionModel._cnarw_weights`'s loop.
+    """
+    scope_nodes = np.asarray(scope_nodes, dtype=np.int64)
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    num_nodes = np.int64(snapshot.num_nodes)
+    left_nodes = scope_nodes[rows]
+    right_nodes = scope_nodes[cols]
+    pairs = len(rows)
+    if pairs == 0:
+        return np.zeros(0, dtype=np.float64)
+
+    unique_nodes = _sorted_unique(np.concatenate((left_nodes, right_nodes)))
+    owner, neighbours, _edge_ids = snapshot.gather_neighbors(unique_nodes)
+    # deduplicate each node's neighbour multiset (the reference uses sets)
+    keys = owner * num_nodes + neighbours
+    unique_keys = _sorted_unique(keys)
+    distinct_owner = unique_keys // num_nodes
+    distinct_nbr = unique_keys % num_nodes
+    degrees = np.bincount(distinct_owner, minlength=len(unique_nodes)).astype(np.int64)
+    indptr = np.zeros(len(unique_nodes) + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+
+    # O(1) node -> unique_nodes position gathers via a scatter table
+    position = np.full(int(num_nodes), -1, dtype=np.int64)
+    position[unique_nodes] = np.arange(len(unique_nodes), dtype=np.int64)
+    left_index = position[left_nodes]
+    right_index = position[right_nodes]
+    left_degree = degrees[left_index]
+    right_degree = degrees[right_index]
+
+    # Expand each pair's smaller neighbourhood; probe the larger node's
+    # adjacency in the global (owner index, neighbour) key table.
+    left_is_small = left_degree <= right_degree
+    small_index = np.where(left_is_small, left_index, right_index)
+    large_index = np.where(left_is_small, right_index, left_index)
+    small_degree = degrees[small_index]
+    total = int(small_degree.sum())
+    common = np.zeros(pairs, dtype=np.int64)
+    if total and len(unique_keys):
+        starts = indptr[small_index]
+        cumulative = np.concatenate(([0], np.cumsum(small_degree)))
+        gather = np.repeat(starts - cumulative[:-1], small_degree) + np.arange(
+            total, dtype=np.int64
+        )
+        pair_of = np.repeat(np.arange(pairs, dtype=np.int64), small_degree)
+        probe_keys = large_index[pair_of] * num_nodes + distinct_nbr[gather]
+        positions = np.searchsorted(unique_keys, probe_keys)
+        positions = np.minimum(positions, len(unique_keys) - 1)
+        common_mask = unique_keys[positions] == probe_keys
+        common = np.bincount(pair_of[common_mask], minlength=pairs)
+
+    denominator = np.maximum(1, np.minimum(left_degree, right_degree))
+    weights = np.maximum(1.0 - common / denominator, floor)
+    return weights.astype(np.float64, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# Chain-prefix enumeration
+# ---------------------------------------------------------------------------
+@dataclass
+class ChainContext:
+    """Flattened per-predicate enumeration context for chain prefixes.
+
+    :func:`~repro.semantics.matching.best_matches_from` pays four Python
+    calls per path extension — ``kg.neighbors``, ``kg.predicate_of``,
+    ``space.similarity`` and ``clamp_similarity`` — and the batched
+    chain-prefix driver re-pays them for every frontier node.  A chain
+    context hoists all of it out of the hot loop once per ``(query
+    predicate, graph structure version)``: the CSR snapshot's adjacency is
+    unpacked into plain Python lists (list indexing beats numpy scalar
+    extraction in an interpreter loop), each adjacency entry is mapped to
+    its predicate id, and per-predicate edge log-similarities memoise into
+    :attr:`predicate_log` *lazily* — an unknown predicate must keep
+    raising only when a traversal actually touches one of its edges,
+    exactly like the reference's per-edge lookup.
+
+    The CSR arrays list every node's neighbours in the same order as
+    ``KnowledgeGraph.neighbors``, so :func:`chain_matches` visits paths in
+    the reference's exact order — which makes its tie-breaks (strict ``>``
+    keeps the first-recorded match) and float accumulation identical.
+    """
+
+    query_predicate: str
+    #: CSR ``indptr`` over adjacency entries, as a Python list
+    indptr: list
+    #: adjacency entry -> neighbour node id
+    neighbours: list
+    #: adjacency entry -> predicate id of the connecting edge
+    entry_predicate: list
+    #: predicate id -> ``log(clamp(similarity))`` or ``None`` (unresolved)
+    predicate_log: list
+    #: adjacency entry -> resolved edge log, or ``None`` (warm-path cache:
+    #: one list probe per extension instead of entry -> predicate -> log)
+    entry_log: list
+    _kg: object
+    _space: object
+    _floor: float
+
+    def resolve_predicate(self, predicate_id: int) -> float:
+        """Compute + memoise one predicate's edge log-similarity.
+
+        Raises through ``space.similarity`` for predicates the embedding
+        does not cover, at first-touch time like the reference DFS.
+        """
+        value = math.log(
+            clamp_similarity(
+                self._space.similarity(
+                    self._kg.predicate_name(predicate_id), self.query_predicate
+                ),
+                self._floor,
+            )
+        )
+        self.predicate_log[predicate_id] = value
+        return value
+
+
+def build_chain_context(
+    kg, space, snapshot, query_predicate: str, floor: float
+) -> ChainContext:
+    """Compile one predicate's chain-enumeration context from a CSR snapshot."""
+    entry_predicate = snapshot.edge_predicate_ids[snapshot.edge_ids].tolist()
+    return ChainContext(
+        query_predicate=query_predicate,
+        indptr=snapshot.indptr.tolist(),
+        neighbours=snapshot.neighbor_ids.tolist(),
+        entry_predicate=entry_predicate,
+        predicate_log=[None] * len(kg.predicates),
+        entry_log=[None] * len(entry_predicate),
+        _kg=kg,
+        _space=space,
+        _floor=floor,
+    )
+
+
+def chain_matches(
+    context: ChainContext,
+    source: int,
+    max_length: int,
+    target_set: frozenset | set | None,
+    budget_per_level: int,
+) -> dict:
+    """``best_matches_iterative`` over a compiled context.
+
+    Returns ``{node: (similarity, path length)}`` — the two fields the
+    chain-prefix arithmetic consumes — with the same keys, values and
+    *insertion order* as the reference (order matters: the caller's
+    best-mean scan breaks similarity ties by iteration order).  Iterative
+    deepening, per-level budgets and the merge rule are replicated
+    verbatim.
+    """
+    merged: dict = {}
+    for depth in range(1, max_length + 1):
+        level = _chain_level(context, source, depth, target_set, budget_per_level)
+        for node, entry in level.items():
+            current = merged.get(node)
+            if current is None or entry[0] > current[0]:
+                merged[node] = entry
+    return merged
+
+
+def _chain_level(
+    context: ChainContext,
+    source: int,
+    max_length: int,
+    target_set,
+    max_expansions: int,
+) -> dict:
+    """One budgeted depth-limited DFS pass, statement-for-statement equal
+    to :func:`repro.semantics.matching.best_matches_from` (minus the path
+    tuples, which chain-prefix callers never read)."""
+    indptr = context.indptr
+    neighbours = context.neighbours
+    entry_log = context.entry_log
+    exp = math.exp
+
+    best: dict = {}
+    expansions = 0
+    depth = 0  # == len(edge_path) in the reference
+    log_sum = 0.0
+    log_stack: list = []
+    on_path = {source}
+    # the active frame lives in locals; only suspended frames hit the stacks
+    node_stack: list = []
+    index_stack: list = []
+    end_stack: list = []
+    node = source
+    index = indptr[source]
+    end = indptr[source + 1]
+
+    while True:
+        if index >= end or expansions >= max_expansions:
+            if depth:
+                depth -= 1
+                log_sum -= log_stack.pop()
+            if node != source:
+                on_path.discard(node)
+            if not node_stack:
+                break
+            node = node_stack.pop()
+            index = index_stack.pop()
+            end = end_stack.pop()
+            continue
+        neighbour = neighbours[index]
+        index += 1
+        if neighbour in on_path:
+            continue
+        expansions += 1
+        log_similarity = entry_log[index - 1]
+        if log_similarity is None:
+            log_similarity = _resolve_entry(context, index - 1)
+        log_sum += log_similarity
+        log_stack.append(log_similarity)
+        depth += 1
+        if target_set is None or neighbour in target_set:
+            similarity = exp(log_sum / depth)
+            current = best.get(neighbour)
+            if current is None or similarity > current[0]:
+                best[neighbour] = (similarity, depth)
+        if depth < max_length:
+            on_path.add(neighbour)
+            node_stack.append(node)
+            index_stack.append(index)
+            end_stack.append(end)
+            node = neighbour
+            index = indptr[neighbour]
+            end = indptr[neighbour + 1]
+        else:
+            depth -= 1
+            log_sum -= log_stack.pop()
+    return best
+
+
+def _resolve_entry(context: ChainContext, entry: int) -> float:
+    """Cold-path entry-log fill: predicate table first, embedding second."""
+    predicate_id = context.entry_predicate[entry]
+    value = context.predicate_log[predicate_id]
+    if value is None:
+        value = context.resolve_predicate(predicate_id)
+    context.entry_log[entry] = value
+    return value

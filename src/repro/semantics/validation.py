@@ -46,6 +46,7 @@ import numpy as np
 from repro.embedding.predicate_space import PredicateVectorSpace
 from repro.kg.csr import csr_snapshot
 from repro.kg.graph import KnowledgeGraph
+from repro.semantics import kernels
 from repro.semantics.similarity import SIMILARITY_FLOOR, require_known_predicates
 
 #: default cap on queue pops per validation; bounds worst-case latency.
@@ -100,6 +101,8 @@ class CorrectnessValidator:
         floor: float = SIMILARITY_FLOOR,
         expansion_budget: int = DEFAULT_EXPANSION_BUDGET,
         branch_cap: int = DEFAULT_BRANCH_CAP,
+        use_kernels: bool = True,
+        use_jit: bool = False,
     ) -> None:
         if repeat_factor < 1:
             raise ValueError("repeat_factor must be >= 1")
@@ -114,9 +117,18 @@ class CorrectnessValidator:
         self.floor = floor
         self.expansion_budget = expansion_budget
         self.branch_cap = branch_cap
+        self.use_kernels = use_kernels
+        self.use_jit = use_jit
         # caches are (query predicate, visiting context) specific; they
         # reset when the validator is reused for a different context
-        self._cache_key: tuple[str, int] | None = None
+        self._cache_predicate: str | None = None
+        #: strong reference to the context's visiting object: while it is
+        #: the cache key it cannot be collected, so ``is`` identity can
+        #: never alias a dead context (unlike the raw ``id()`` it replaced)
+        self._context_ref: VisitingProbabilities | None = None
+        #: monotone context counter — a stable identity token for the
+        #: current cache generation, unaffected by address reuse
+        self._context_token = 0
         self._children: dict[int, list[tuple[float, int, float]]] = {}
         self._beam_children: dict[int, frozenset[int]] = {}
         self._adjacency: dict[int, dict[int, float]] = {}
@@ -124,18 +136,32 @@ class CorrectnessValidator:
         self._visiting: np.ndarray | None = None
         #: per-source shared expansion traces (see :meth:`_shared_pops`)
         self._traces: dict[int, list[_TracedPop]] = {}
+        #: compiled-kernel state for the current context
+        self._compiled: kernels.CompiledContext | None = None
+        self._kernel_traces: dict[int, kernels.SharedTrace] = {}
 
     # ------------------------------------------------------------------
-    def _reset_cache(self, query_predicate: str, visiting_id: int) -> None:
-        key = (query_predicate, visiting_id)
-        if self._cache_key != key:
-            self._cache_key = key
-            self._children.clear()
-            self._beam_children.clear()
-            self._adjacency.clear()
-            self._log_row = None
-            self._visiting = None
-            self._traces.clear()
+    def _reset_cache(
+        self,
+        query_predicate: str,
+        visiting_probabilities: VisitingProbabilities,
+    ) -> None:
+        if (
+            self._context_ref is visiting_probabilities
+            and self._cache_predicate == query_predicate
+        ):
+            return
+        self._cache_predicate = query_predicate
+        self._context_ref = visiting_probabilities
+        self._context_token += 1
+        self._children.clear()
+        self._beam_children.clear()
+        self._adjacency.clear()
+        self._log_row = None
+        self._visiting = None
+        self._traces.clear()
+        self._compiled = None
+        self._kernel_traces.clear()
 
     def _visiting_array(
         self, visiting_probabilities: VisitingProbabilities
@@ -246,9 +272,50 @@ class CorrectnessValidator:
         found path reaches the threshold the >= tau verdict cannot change
         and the remaining repeat-factor paths are skipped.
         """
-        self._reset_cache(query_predicate, id(visiting_probabilities))
+        self._reset_cache(query_predicate, visiting_probabilities)
         visiting = self._visiting_array(visiting_probabilities)
+        if self.use_kernels:
+            context = self._compiled_context(query_predicate, visiting)
+            similarity, paths_found, expansions, best_length = kernels.search(
+                context,
+                source,
+                answer,
+                self.repeat_factor,
+                self.max_length,
+                self.expansion_budget,
+                stop_threshold,
+                use_jit=self.use_jit,
+            )
+            return ValidationOutcome(
+                answer=answer,
+                similarity=similarity,
+                paths_found=paths_found,
+                expansions=expansions,
+                best_length=best_length,
+            )
         return self._search(source, answer, query_predicate, visiting, stop_threshold)
+
+    def _compiled_context(
+        self, query_predicate: str, visiting: np.ndarray
+    ) -> kernels.CompiledContext:
+        """Compile the current context once; reused until the next reset.
+
+        Concurrent builders (the serving layer's thread backend shares
+        validators) produce identical contexts, so the last write winning
+        is benign — same reasoning as :meth:`_expand`'s publication note.
+        """
+        context = self._compiled
+        if context is None:
+            context = kernels.build_context(
+                self._kg,
+                self._space,
+                csr_snapshot(self._kg),
+                self._log_similarities(query_predicate),
+                visiting,
+                self.branch_cap,
+            )
+            self._compiled = context
+        return context
 
     def _search(
         self,
@@ -437,11 +504,46 @@ class CorrectnessValidator:
         whose presence would have altered the frontier.  Outcomes are
         exactly those of calling :meth:`validate` per answer.
         """
-        self._reset_cache(query_predicate, id(visiting_probabilities))
+        self._reset_cache(query_predicate, visiting_probabilities)
         visiting = self._visiting_array(visiting_probabilities)
         self._log_similarities(query_predicate)
-        pops = self._shared_pops(source, query_predicate, visiting)
         outcomes: dict[int, ValidationOutcome] = {}
+        if self.use_kernels:
+            context = self._compiled_context(query_predicate, visiting)
+            trace = self._kernel_traces.get(source)
+            if trace is None:
+                trace = kernels.build_trace(
+                    context, source, self.max_length, self.expansion_budget
+                )
+                self._kernel_traces[source] = trace
+            for answer in answers:
+                answer = int(answer)
+                if answer in outcomes:
+                    continue
+                result = kernels.replay(
+                    trace, answer, self.repeat_factor, stop_threshold
+                )
+                if result is None:
+                    result = kernels.search(
+                        context,
+                        source,
+                        answer,
+                        self.repeat_factor,
+                        self.max_length,
+                        self.expansion_budget,
+                        stop_threshold,
+                        use_jit=self.use_jit,
+                    )
+                similarity, paths_found, expansions, best_length = result
+                outcomes[answer] = ValidationOutcome(
+                    answer=answer,
+                    similarity=similarity,
+                    paths_found=paths_found,
+                    expansions=expansions,
+                    best_length=best_length,
+                )
+            return outcomes
+        pops = self._shared_pops(source, query_predicate, visiting)
         for answer in answers:
             answer = int(answer)
             if answer in outcomes:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.config import EngineConfig
 from repro.core.executor import (
@@ -41,6 +41,7 @@ from repro.core.executor import (
     execute_prewarm_item,
     execute_round_item,
     export_round_item,
+    memo_delta,
 )
 from repro.core.plan import PlanArtifacts, QueryPlan, extract_artifacts, plan_from_artifacts
 from repro.core.planner import build_validator
@@ -215,7 +216,10 @@ def _worker_round(
     plans = [context.resolve_plan(ticket) for ticket in tickets]
     joint = context.resolve_joint(joint_ticket)
     executor = context.executor_for(item.config)
-    return execute_round_item(item, plans, joint, executor)
+    result = execute_round_item(item, plans, joint, executor)
+    # pid-stamp the result: the parent's memo version table records which
+    # worker's replicas are warm with this round's entries
+    return replace(result, worker_pid=os.getpid())
 
 
 def _worker_prewarm(payload: tuple[PrewarmWorkItem, dict, dict | None]):
@@ -225,7 +229,8 @@ def _worker_prewarm(payload: tuple[PrewarmWorkItem, dict, dict | None]):
     context = _require_context()
     plan = context.resolve_plan(ticket)
     executor = context.executor_for(item.config)
-    return execute_prewarm_item(item, plan, executor)
+    result = execute_prewarm_item(item, plan, executor)
+    return replace(result, worker_pid=os.getpid())
 
 
 # ---------------------------------------------------------------------------
@@ -272,6 +277,11 @@ class WorkerPool:
         self._closed = False
         #: how many times a broken pool has been replaced (supervision)
         self.respawns = 0
+        #: (plan token, worker pid) -> (similarity, chain) memo lengths the
+        #: worker's replica is known to hold; the floor of these over the
+        #: live pid set bounds what a round item may omit (see
+        #: :meth:`memo_floors`)
+        self._memo_versions: dict[tuple[str, int], tuple[int, int]] = {}
 
         # Publish the CSR snapshot before any worker exists: fork-started
         # workers inherit the compiled snapshot copy-on-write, spawn-started
@@ -348,6 +358,9 @@ class WorkerPool:
         old.join()
         self._pool = self._spawn_pool()
         self.respawns += 1
+        # fresh processes hold no replica memos; the next round per plan
+        # ships a full snapshot again
+        self._memo_versions.clear()
 
     def ticket_for(self, plan: QueryPlan) -> dict:
         """The (cached) shm ticket for ``plan``, publishing on first use."""
@@ -369,6 +382,72 @@ class WorkerPool:
         }
         self._tickets[id(plan)] = (plan, ticket)
         return ticket
+
+    def memo_floors(
+        self, plans: list[QueryPlan]
+    ) -> tuple[tuple[int, int], ...]:
+        """Per-plan ``(similarity, chain)`` memo floors for delta shipping.
+
+        The floor is the componentwise minimum of the recorded versions
+        over the pool's *current* pids — ``apply_async`` does not let the
+        parent pick the executing worker, so an item may only omit what
+        every live worker already holds.  An unknown (plan, pid) pair
+        counts as 0 (full snapshot).  Floors are additionally clamped to
+        the live memo lengths, so even if some code path ever shrank a
+        plan memo the delta slice could not silently skip live entries.
+
+        Over-approximation is safe by design: memo entries are
+        deterministic pure values, so a worker that is missing some
+        entries merely recomputes identical values — outcomes are
+        byte-identical either way, only the (re)computation is wasted.
+        """
+        pids = self.worker_pids()
+        floors: list[tuple[int, int]] = []
+        for plan in plans:
+            cached = self._tickets.get(id(plan))
+            if cached is None or not pids:
+                floors.append((0, 0))
+                continue
+            token = cached[1]["token"]
+            versions = [
+                self._memo_versions.get((token, pid), (0, 0)) for pid in pids
+            ]
+            floors.append(
+                (
+                    min(
+                        min(version[0] for version in versions),
+                        len(plan.similarity_cache),
+                    ),
+                    min(
+                        min(version[1] for version in versions),
+                        len(plan.chain_prefix_memo),
+                    ),
+                )
+            )
+        return tuple(floors)
+
+    def commit_memo_versions(self, plans: list[QueryPlan], pid: int) -> None:
+        """Record that worker ``pid``'s replicas are warm up to the live memos.
+
+        Called after a worker's result merged into the live plans: the
+        worker holds everything it was shipped plus everything it
+        computed.  When rounds for one plan interleave across workers the
+        live length can over-state a single worker's holdings; that only
+        makes a future delta omit entries the worker then deterministically
+        recomputes once (see :meth:`memo_floors`).
+        """
+        if pid < 0:
+            return
+        for plan in plans:
+            cached = self._tickets.get(id(plan))
+            if cached is None:
+                continue
+            key = (cached[1]["token"], int(pid))
+            old = self._memo_versions.get(key, (0, 0))
+            self._memo_versions[key] = (
+                max(old[0], len(plan.similarity_cache)),
+                max(old[1], len(plan.chain_prefix_memo)),
+            )
 
     def joint_ticket_for(self, state) -> dict:
         """The shm ticket for a query state's (immutable) joint distribution.
@@ -520,6 +599,7 @@ class ProcessBackend(ExecutionBackend):
         workers: int | None = None,
         start_method: str | None = None,
         retry: RetryPolicy | None = None,
+        memo_deltas: bool = True,
     ) -> None:
         self._pool = WorkerPool(
             kg, space, config, workers=workers, start_method=start_method
@@ -531,6 +611,17 @@ class ProcessBackend(ExecutionBackend):
         self.local_fallbacks = 0
         #: lost jobs re-dispatched after a pool respawn
         self.retries = 0
+        #: ship memo deltas instead of full snapshots (see
+        #: :meth:`WorkerPool.memo_floors`); off = every round carries the
+        #: plans' complete verdict memos, like the original protocol
+        self.memo_deltas = memo_deltas
+        #: memo entries actually shipped to workers (delta or full)
+        self.memo_entries_shipped = 0
+        #: memo entries delta mode avoided shipping
+        self.memo_entries_saved = 0
+        #: dispatches that carried deltas vs full snapshots
+        self.delta_dispatches = 0
+        self.full_dispatches = 0
 
     @property
     def workers(self) -> int:
@@ -549,7 +640,20 @@ class ProcessBackend(ExecutionBackend):
             "respawns": self._pool.respawns,
             "retries": self.retries,
             "local_fallbacks": self.local_fallbacks,
+            "memo_deltas": self.memo_deltas,
+            "memo_entries_shipped": self.memo_entries_shipped,
+            "memo_entries_saved": self.memo_entries_saved,
+            "delta_dispatches": self.delta_dispatches,
+            "full_dispatches": self.full_dispatches,
         }
+
+    def _count_shipment(self, memos, chain_memos, totals) -> None:
+        """Track shipped-vs-saved memo entry counts for :meth:`health`."""
+        shipped = sum(len(memo) for memo in memos) + sum(
+            len(memo) for memo in chain_memos
+        )
+        self.memo_entries_shipped += shipped
+        self.memo_entries_saved += max(0, totals - shipped)
 
     # -- ExecutionBackend interface ------------------------------------
     def run_cohort(self, service, cohort) -> None:
@@ -571,12 +675,30 @@ class ProcessBackend(ExecutionBackend):
             run, state = slot
             try:
                 grow_seconds = service._grow_for_run(record, run, state)
+                memo_floors = (
+                    self._pool.memo_floors(state.components)
+                    if self.memo_deltas
+                    else None
+                )
                 item = export_round_item(
                     state,
                     run.error_bound,
                     grow_seconds,
                     record.executor.config,
                     kind=record.kind,
+                    memo_floors=memo_floors,
+                )
+                if memo_floors is None:
+                    self.full_dispatches += 1
+                else:
+                    self.delta_dispatches += 1
+                self._count_shipment(
+                    item.memos,
+                    item.chain_memos,
+                    sum(
+                        len(plan.similarity_cache) + len(plan.chain_prefix_memo)
+                        for plan in state.components
+                    ),
                 )
             except BaseException as exc:
                 service._fail_record(record, exc)
@@ -610,6 +732,9 @@ class ProcessBackend(ExecutionBackend):
                 continue
             try:
                 outcome = apply_round_result(entry.state, entry.result)
+                self._pool.commit_memo_versions(
+                    entry.state.components, entry.result.worker_pid
+                )
                 service._finish_slot(entry.record, entry.run, entry.state, outcome)
             except BaseException as exc:
                 service._fail_record(entry.record, exc)
@@ -767,11 +892,31 @@ class ProcessBackend(ExecutionBackend):
             return super().run_prewarm(service, jobs)
         entries: list[_PendingWork] = []
         for job in jobs:
-            item = PrewarmWorkItem(
-                config=job.executor.config,
-                memo=dict(job.plan.similarity_cache),
-                chain_memo=dict(job.plan.chain_prefix_memo),
-                node_ids=tuple(int(node) for node in job.nodes),
+            if self.memo_deltas:
+                # ensure the plan has a ticket (and so a version token)
+                # before reading floors, mirroring dispatch order
+                self._pool.ticket_for(job.plan)
+                floors = self._pool.memo_floors([job.plan])[0]
+                item = PrewarmWorkItem(
+                    config=job.executor.config,
+                    memo=memo_delta(job.plan.similarity_cache, floors[0]),
+                    chain_memo=memo_delta(job.plan.chain_prefix_memo, floors[1]),
+                    node_ids=tuple(int(node) for node in job.nodes),
+                    full_memos=False,
+                )
+                self.delta_dispatches += 1
+            else:
+                item = PrewarmWorkItem(
+                    config=job.executor.config,
+                    memo=dict(job.plan.similarity_cache),
+                    chain_memo=dict(job.plan.chain_prefix_memo),
+                    node_ids=tuple(int(node) for node in job.nodes),
+                )
+                self.full_dispatches += 1
+            self._count_shipment(
+                (item.memo,),
+                (item.chain_memo,),
+                len(job.plan.similarity_cache) + len(job.plan.chain_prefix_memo),
             )
             entry = _PendingWork(item=item, job=job)
             self._dispatch_prewarm_entry(service, entry)
@@ -798,6 +943,9 @@ class ProcessBackend(ExecutionBackend):
                 seconds.append(0.0)
                 continue
             apply_prewarm_result(entry.job.plan, entry.result)
+            self._pool.commit_memo_versions(
+                [entry.job.plan], entry.result.worker_pid
+            )
             seconds.append(entry.result.seconds)
         return seconds
 

@@ -1,0 +1,596 @@
+"""Array-compiled validation kernels vs the dict/heap reference paths.
+
+The compiled kernels (:mod:`repro.semantics.kernels`) are a pure
+performance layer: for identical inputs they must reproduce the seed
+validator (:mod:`repro.semantics.reference`), the kernels-off
+:class:`~repro.semantics.validation.CorrectnessValidator` paths, and the
+per-entry CNARW loop **exactly** — equal outcome dataclasses, byte-equal
+transition arrays, the same lazy unknown-predicate failures.  Randomised
+worlds here include multi-edges, self-loops and out-of-scope sources; the
+jit variant runs automatically when numba is installed and is skipped
+otherwise (the pure-numpy fallback is always exercised).
+
+Also pinned here: the validator cache-identity regression (satellite of
+the kernels PR) — context caches keyed on ``id(visiting)`` could alias a
+dead context after GC address reuse; the fix keys on object identity with
+a strong reference plus a monotone generation token.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AggregateFunction,
+    AggregateQuery,
+    AggregateQueryService,
+    EngineConfig,
+    LookupEmbedding,
+    PredicateVectorSpace,
+    QueryGraph,
+)
+from repro.core.plan import plan_fingerprint, shared_plan_cache
+from repro.errors import EmbeddingError
+from repro.kg import KnowledgeGraph, csr_snapshot
+from repro.sampling.scope import build_scope
+from repro.sampling.stationary import dense_visiting_array, stationary_distribution
+from repro.sampling.topology import SimpleTransitionModel, cnarw_transition_model
+from repro.sampling.transition import TransitionModel
+from repro.semantics import kernels
+from repro.semantics.reference import ReferenceValidator
+from repro.semantics.validation import CorrectnessValidator
+
+TYPE_POOL = ("Car", "Person", "City", "Club", "Thing")
+PREDICATE_POOL = ("product", "assembly", "designer", "country", "misc", "rare")
+
+#: jit variants: the numpy fallback always runs; the njit kernel only when
+#: numba is importable (it is an optional dependency, never required).
+JIT_VARIANTS = [False] + ([True] if kernels.jit_available() else [])
+
+
+def random_world(
+    seed: int,
+    num_nodes: int = 60,
+    num_edges: int = 150,
+    known_predicates: tuple[str, ...] = PREDICATE_POOL,
+):
+    """A random multi-typed, multi-edged KG plus a predicate space."""
+    rng = np.random.default_rng(seed)
+    kg = KnowledgeGraph(f"kernel-random-{seed}")
+    for index in range(num_nodes):
+        num_types = int(rng.integers(1, 3))
+        types = rng.choice(TYPE_POOL, size=num_types, replace=False)
+        kg.add_node(f"node_{index}", types, {"value": float(rng.uniform(0, 100))})
+    for _ in range(num_edges):
+        subject = int(rng.integers(0, num_nodes))
+        obj = int(rng.integers(0, num_nodes))  # self-loops allowed
+        predicate = str(rng.choice(PREDICATE_POOL))
+        kg.add_edge(subject, predicate, obj)
+    vectors = {name: rng.normal(size=12) for name in known_predicates}
+    space = PredicateVectorSpace(LookupEmbedding(vectors))
+    return kg, space
+
+
+def search_context(kg, space, seed: int, predicate: str = "product"):
+    """A (source, visiting mapping, candidate answers) validation context."""
+    rng = np.random.default_rng(seed + 5000)
+    source = int(rng.integers(0, kg.num_nodes))
+    scope = build_scope(kg, source, 3, frozenset(TYPE_POOL))
+    transition = TransitionModel(kg, scope, space, predicate)
+    stationary = stationary_distribution(transition)
+    visiting = dict(
+        zip((int(n) for n in scope.nodes), stationary.probabilities.tolist())
+    )
+    answers = list(scope.candidate_answers[:12])
+    # off-scope and on-path corner cases
+    answers.append(source)
+    answers.append(int(rng.integers(0, kg.num_nodes)))
+    return source, visiting, answers
+
+
+def synthetic_context(kg, seed: int):
+    """Scope + synthetic visiting probabilities, no embedding involved.
+
+    The unknown-predicate tests need validation to be the *first* place a
+    "rare" edge is touched; a real transition build would fail during S1
+    instead.  Deterministic pseudo-probabilities keep the search shaped
+    like a genuine stationary map (distinct values, hubs first).
+    """
+    rng = np.random.default_rng(seed + 7000)
+    source = int(rng.integers(0, kg.num_nodes))
+    scope = build_scope(kg, source, 3, frozenset(TYPE_POOL))
+    probabilities = rng.uniform(0.01, 1.0, size=len(scope.nodes))
+    probabilities /= probabilities.sum()
+    visiting = dict(
+        zip((int(n) for n in scope.nodes), probabilities.tolist())
+    )
+    answers = list(scope.candidate_answers[:12]) + [source]
+    return source, visiting, answers
+
+
+def make_validator(kg, space, *, use_kernels: bool, use_jit: bool = False,
+                   **overrides) -> CorrectnessValidator:
+    return CorrectnessValidator(
+        kg, space, use_kernels=use_kernels, use_jit=use_jit, **overrides
+    )
+
+
+@pytest.mark.parametrize("use_jit", JIT_VARIANTS)
+@pytest.mark.parametrize("seed", range(5))
+class TestSearchEquivalence:
+    """kernels.search == seed ReferenceValidator == kernels-off validator."""
+
+    def test_validate_matches_reference(self, seed, use_jit):
+        kg, space = random_world(seed)
+        source, visiting, answers = search_context(kg, space, seed)
+        reference = ReferenceValidator(kg, space)
+        legacy = make_validator(kg, space, use_kernels=False)
+        compiled = make_validator(kg, space, use_kernels=True, use_jit=use_jit)
+        for answer in answers:
+            for stop in (None, 0.5, 0.9):
+                expected = reference.validate(
+                    source, answer, "product", visiting, stop_threshold=stop
+                )
+                assert legacy.validate(
+                    source, answer, "product", visiting, stop_threshold=stop
+                ) == expected
+                assert compiled.validate(
+                    source, answer, "product", visiting, stop_threshold=stop
+                ) == expected
+
+    def test_validate_batch_matches_legacy(self, seed, use_jit):
+        kg, space = random_world(seed)
+        source, visiting, answers = search_context(kg, space, seed)
+        legacy = make_validator(kg, space, use_kernels=False)
+        compiled = make_validator(kg, space, use_kernels=True, use_jit=use_jit)
+        # duplicate answers exercise the per-answer dedup
+        batch = answers + answers[:3]
+        for stop in (None, 0.75):
+            expected = legacy.validate_batch(
+                source, batch, "product", visiting, stop_threshold=stop
+            )
+            assert compiled.validate_batch(
+                source, batch, "product", visiting, stop_threshold=stop
+            ) == expected
+
+    def test_tight_budgets_and_caps(self, seed, use_jit):
+        """Small budgets/beams magnify any pop-order or tie-break drift."""
+        kg, space = random_world(seed)
+        source, visiting, answers = search_context(kg, space, seed)
+        for budget, cap, max_length in ((5, 2, 1), (17, 3, 2), (40, 16, 3)):
+            legacy = make_validator(
+                kg, space, use_kernels=False,
+                expansion_budget=budget, branch_cap=cap, max_length=max_length,
+            )
+            compiled = make_validator(
+                kg, space, use_kernels=True, use_jit=use_jit,
+                expansion_budget=budget, branch_cap=cap, max_length=max_length,
+            )
+            for answer in answers[:8]:
+                assert compiled.validate(
+                    source, answer, "product", visiting
+                ) == legacy.validate(source, answer, "product", visiting)
+
+
+@pytest.mark.parametrize("use_jit", JIT_VARIANTS)
+class TestUnknownPredicateFailures:
+    """The lazy NaN raise fires at the same expansions as the seed's."""
+
+    def test_raises_match_legacy(self, use_jit):
+        # "rare" edges exist in the graph but are unknown to the embedding;
+        # validation fails only when the search actually expands a node
+        # with a "rare" edge — never earlier, never later.
+        kg, space = random_world(11, known_predicates=PREDICATE_POOL[:-1])
+        source, visiting, answers = synthetic_context(kg, 11)
+        legacy = make_validator(kg, space, use_kernels=False)
+        compiled = make_validator(kg, space, use_kernels=True, use_jit=use_jit)
+        failures = 0
+        for answer in answers:
+            try:
+                expected = legacy.validate(source, answer, "product", visiting)
+            except EmbeddingError:
+                failures += 1
+                with pytest.raises(EmbeddingError):
+                    compiled.validate(source, answer, "product", visiting)
+            else:
+                assert compiled.validate(
+                    source, answer, "product", visiting
+                ) == expected
+        assert failures > 0, "world must exercise the unknown-predicate path"
+
+    def test_batch_raises_match_legacy(self, use_jit):
+        kg, space = random_world(11, known_predicates=PREDICATE_POOL[:-1])
+        source, visiting, answers = synthetic_context(kg, 11)
+        legacy = make_validator(kg, space, use_kernels=False)
+        compiled = make_validator(kg, space, use_kernels=True, use_jit=use_jit)
+        try:
+            expected = legacy.validate_batch(source, answers, "product", visiting)
+        except EmbeddingError:
+            with pytest.raises(EmbeddingError):
+                compiled.validate_batch(source, answers, "product", visiting)
+        else:
+            assert compiled.validate_batch(
+                source, answers, "product", visiting
+            ) == expected
+
+
+class TestCnarwEquivalence:
+    """The vectorised CNARW weights are byte-identical to the loop."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_weights_byte_identical(self, seed):
+        kg, _ = random_world(seed, num_nodes=80, num_edges=260)
+        rng = np.random.default_rng(seed + 9000)
+        source = int(rng.integers(0, kg.num_nodes))
+        scope = build_scope(kg, source, 3, frozenset(TYPE_POOL))
+        legacy = SimpleTransitionModel(kg, scope, "cnarw", use_kernels=False)
+        compiled = SimpleTransitionModel(kg, scope, "cnarw", use_kernels=True)
+        for name in ("_indptr", "_neighbours", "_probabilities", "_edge_ids"):
+            ours, theirs = getattr(compiled, name), getattr(legacy, name)
+            assert ours.dtype == theirs.dtype
+            assert ours.tobytes() == theirs.tobytes(), name
+
+    def test_kernel_function_matches_reference_loop(self, toy):
+        scope = build_scope(toy.kg, toy.germany, 3, frozenset(["Automobile"]))
+        model = cnarw_transition_model(toy.kg, scope)
+        _, rows, cols, _ = model._gather_scope_entries(toy.kg)
+        expected = model._cnarw_weights(toy.kg, rows, cols)
+        got = kernels.cnarw_weights(
+            csr_snapshot(toy.kg), np.asarray(scope.nodes), rows, cols
+        )
+        assert got.tobytes() == expected.tobytes()
+
+    def test_empty_pairs(self, toy):
+        got = kernels.cnarw_weights(
+            csr_snapshot(toy.kg),
+            np.asarray([toy.germany]),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+        assert got.shape == (0,)
+
+
+class TestContextCacheIdentity:
+    """Regression: context caches must never alias via ``id()`` reuse."""
+
+    def test_same_object_keeps_cache_generation(self, toy):
+        validator = make_validator(toy.kg, toy.space, use_kernels=True)
+        source, visiting, answers = search_context(toy.kg, toy.space, 0)
+        validator.validate(source, answers[0], "product", visiting)
+        token = validator._context_token
+        compiled = validator._compiled
+        validator.validate(source, answers[1], "product", visiting)
+        assert validator._context_token == token
+        assert validator._compiled is compiled
+
+    def test_equal_but_distinct_object_resets(self, toy):
+        validator = make_validator(toy.kg, toy.space, use_kernels=True)
+        source, visiting, answers = search_context(toy.kg, toy.space, 0)
+        validator.validate(source, answers[0], "product", visiting)
+        token = validator._context_token
+        validator.validate(source, answers[0], "product", dict(visiting))
+        assert validator._context_token == token + 1
+
+    def test_context_pinned_against_collection(self, toy):
+        """The cached context object cannot be garbage collected while it
+        is the cache key, so a recycled address can never impersonate it."""
+        validator = make_validator(toy.kg, toy.space, use_kernels=True)
+        source, visiting, answers = search_context(toy.kg, toy.space, 0)
+        validator.validate(source, answers[0], "product", visiting)
+        assert validator._context_ref is visiting
+
+    @pytest.mark.parametrize("use_kernels", [False, True])
+    def test_gc_address_reuse_never_serves_stale_caches(self, toy, use_kernels):
+        """The original bug: caches keyed on ``id(visiting)`` survived the
+        dict's death; a fresh context allocated at the recycled address
+        then reused a dead context's expansions.  Fresh short-lived dicts
+        per iteration make CPython recycle addresses aggressively; every
+        outcome must match a cold validator's."""
+        shared = make_validator(toy.kg, toy.space, use_kernels=use_kernels)
+        source, base_visiting, answers = search_context(toy.kg, toy.space, 0)
+        rng = np.random.default_rng(42)
+        for trial in range(12):
+            scale = float(rng.uniform(0.25, 4.0))
+            visiting = {
+                node: probability * scale
+                for node, probability in base_visiting.items()
+            }
+            got = shared.validate(source, answers[trial % len(answers)],
+                                  "product", visiting)
+            cold = make_validator(
+                toy.kg, toy.space, use_kernels=use_kernels
+            ).validate(source, answers[trial % len(answers)], "product", visiting)
+            assert got == cold, f"stale cache served on trial {trial}"
+            del visiting  # free the dict so the next trial may reuse its address
+
+
+class TestJitFallback:
+    def test_jit_flag_safe_without_numba(self, toy):
+        """use_jit=True must silently fall back when numba is missing."""
+        validator = make_validator(
+            toy.kg, toy.space, use_kernels=True, use_jit=True
+        )
+        reference = ReferenceValidator(toy.kg, toy.space)
+        source, visiting, answers = search_context(toy.kg, toy.space, 3)
+        for answer in answers[:6]:
+            assert validator.validate(
+                source, answer, "product", visiting
+            ) == reference.validate(source, answer, "product", visiting)
+
+    def test_jit_availability_probe_is_stable(self):
+        assert kernels.jit_available() == kernels.jit_available()
+
+
+class TestPlanFingerprintStability:
+    def test_kernel_flags_do_not_split_plans(self, toy):
+        """Outcome-identical flags must share plans, memos and snapshots."""
+        base = EngineConfig(seed=7)
+        for on, jit in ((False, False), (True, False), (True, True)):
+            variant = EngineConfig(seed=7, compiled_kernels=on, kernel_jit=jit)
+            assert plan_fingerprint(variant) == plan_fingerprint(base)
+
+
+def _chain_query() -> AggregateQuery:
+    return AggregateQuery(
+        query=QueryGraph.chain(
+            "Germany",
+            ["Country"],
+            [("nationality", ["Person"]), ("designer", ["Automobile"])],
+        ),
+        function=AggregateFunction.COUNT,
+    )
+
+
+def _result_fingerprint(result) -> tuple:
+    return (
+        result.value,
+        result.moe,
+        result.converged,
+        result.total_draws,
+        result.correct_draws,
+        result.distinct_answers,
+        tuple(
+            (t.round_index, t.total_draws, t.correct_draws, t.estimate,
+             t.satisfied, t.guaranteed)
+            for t in result.rounds
+        ),
+    )
+
+
+class TestChainKernelEquivalence:
+    """kernels.chain_matches == matching.best_matches_iterative, exactly."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_reference_values_and_order(self, seed):
+        from repro.semantics.matching import best_matches_iterative
+        from repro.semantics.similarity import SIMILARITY_FLOOR
+
+        kg, space = random_world(seed)
+        context = kernels.build_chain_context(
+            kg, space, csr_snapshot(kg), "designer", SIMILARITY_FLOOR
+        )
+        rng = np.random.default_rng(seed + 9000)
+        targets = frozenset(kg.nodes_with_any_type(["Person", "Club"]))
+        for source in rng.integers(0, kg.num_nodes, size=6):
+            source = int(source)
+            for max_length, budget in ((1, 3000), (2, 3000), (3, 3000),
+                                       (3, 37), (2, 5)):
+                expected = {
+                    node: (match.similarity, match.length)
+                    for node, match in best_matches_iterative(
+                        kg,
+                        space,
+                        "designer",
+                        source,
+                        max_length,
+                        targets=targets,
+                        floor=SIMILARITY_FLOOR,
+                        budget_per_level=budget,
+                    ).items()
+                }
+                got = kernels.chain_matches(
+                    context, source, max_length, targets, budget
+                )
+                # same keys, same floats, same *insertion order* (the
+                # chain-prefix best-mean scan tie-breaks by iteration order)
+                assert list(got.items()) == list(expected.items())
+
+    def test_unknown_predicate_raises_like_reference(self):
+        from repro.semantics.matching import best_matches_iterative
+        from repro.semantics.similarity import SIMILARITY_FLOOR
+
+        kg, space = random_world(11, known_predicates=PREDICATE_POOL[:-1])
+        # building the context must NOT touch the embedding eagerly
+        context = kernels.build_chain_context(
+            kg, space, csr_snapshot(kg), "designer", SIMILARITY_FLOOR
+        )
+        targets = frozenset(range(kg.num_nodes))
+        outcomes = []
+        for source in range(0, kg.num_nodes, 7):
+            try:
+                expected = {
+                    node: (match.similarity, match.length)
+                    for node, match in best_matches_iterative(
+                        kg, space, "designer", source, 3, targets=targets
+                    ).items()
+                }
+            except EmbeddingError:
+                expected = EmbeddingError
+            try:
+                got = kernels.chain_matches(context, source, 3, targets, 3000)
+            except EmbeddingError:
+                got = EmbeddingError
+            if expected is EmbeddingError or got is EmbeddingError:
+                assert got is expected
+            else:
+                assert list(got.items()) == list(expected.items())
+            outcomes.append(expected)
+        assert EmbeddingError in outcomes  # the corner case actually fired
+
+    def test_batched_memo_equals_recursive_driver(self, toy):
+        """The bench's equivalence gate, in-tree: same memo rows."""
+        from repro.core.executor import QueryExecutor
+        from repro.core.plan import PlanCache
+        from repro.core.planner import QueryPlanner
+
+        component = _chain_query().query.components[0]
+        num_hops = component.num_hops
+
+        def fill(compiled: bool, batched: bool) -> dict:
+            config = EngineConfig(seed=7, compiled_kernels=compiled)
+            planner = QueryPlanner(toy.kg, toy.space, config, cache=PlanCache())
+            executor = QueryExecutor(toy.kg, toy.space, config, planner)
+            plan = planner.plan_for(component)
+            answers = sorted(plan.distribution.answers.tolist())
+            if batched:
+                executor._chain_prefix_batch(plan, num_hops, answers)
+            else:
+                for answer in answers:
+                    executor._chain_prefix(plan, num_hops, answer)
+            return plan.chain_prefix_memo
+
+        baseline = fill(compiled=False, batched=False)
+        assert baseline  # non-trivial workload
+        assert fill(compiled=True, batched=True) == baseline
+        assert fill(compiled=False, batched=True) == baseline
+
+
+class TestEngineLevelEquivalence:
+    """Kernels on/off is invisible to fixed-seed engine results."""
+
+    @pytest.mark.parametrize("query_name", ["count", "chain"])
+    def test_kernel_flag_does_not_change_results(self, toy, query_name):
+        from repro import ApproximateAggregateEngine
+
+        query = toy.count_query() if query_name == "count" else _chain_query()
+        fingerprints = []
+        for on in (False, True):
+            shared_plan_cache().clear()
+            config = EngineConfig(seed=7, max_rounds=8, compiled_kernels=on)
+            engine = ApproximateAggregateEngine(toy.kg, toy.embedding, config)
+            fingerprints.append(_result_fingerprint(engine.execute(query)))
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_cross_backend_byte_identity_with_kernels(self, toy_world_factory):
+        """The parallel acceptance gate holds with the kernels enabled."""
+        world = toy_world_factory()
+        workload = [
+            (world.count_query(), 3),
+            (world.avg_query(), 4),
+            (_chain_query(), 5),
+        ]
+
+        def run(backend: str) -> list[tuple]:
+            shared_plan_cache().clear()
+            config = EngineConfig(seed=7, max_rounds=8, compiled_kernels=True)
+            with AggregateQueryService(
+                world.kg, world.embedding, config, backend=backend, workers=2
+            ) as service:
+                handles = service.submit_batch(workload)
+                return [_result_fingerprint(h.result()) for h in handles]
+
+        baseline = run("cooperative")
+        for backend in ("threads", "processes"):
+            assert run(backend) == baseline, f"{backend} diverged"
+
+
+class TestMemoDeltas:
+    """Process-backend memo shipping: deltas are invisible but cheaper."""
+
+    def test_memo_delta_slices_past_floor(self):
+        from repro.core.executor import memo_delta
+
+        memo = {("p", index): float(index) for index in range(6)}
+        assert memo_delta(memo, 0) == memo
+        assert memo_delta(memo, 4) == {("p", 4): 4.0, ("p", 5): 5.0}
+        assert memo_delta(memo, 6) == {}
+        # floors beyond the live length must not wrap or raise
+        assert memo_delta(memo, 10) == {}
+
+    def _run_processes(self, world, memo_deltas: bool):
+        from repro.store.workers import ProcessBackend
+
+        shared_plan_cache().clear()
+        config = EngineConfig(seed=7, max_rounds=8)
+        backend = ProcessBackend(
+            world.kg, world.space, config, workers=2, memo_deltas=memo_deltas
+        )
+        with AggregateQueryService(
+            world.kg, world.embedding, config, backend=backend
+        ) as service:
+            handles = service.submit_batch(
+                [(world.count_query(), 3), (world.avg_query(), 4),
+                 (world.sum_query(), 5), (_chain_query(), 6)]
+            )
+            fingerprints = [_result_fingerprint(h.result()) for h in handles]
+            return fingerprints, backend.health()
+
+    def test_delta_mode_matches_full_mode(self, toy_world_factory):
+        world = toy_world_factory()
+        delta_results, delta_health = self._run_processes(world, True)
+        full_results, full_health = self._run_processes(world, False)
+        assert delta_results == full_results
+
+        assert delta_health["memo_deltas"] is True
+        assert delta_health["delta_dispatches"] > 0
+        assert delta_health["full_dispatches"] == 0
+        assert full_health["memo_deltas"] is False
+        assert full_health["full_dispatches"] > 0
+        assert full_health["delta_dispatches"] == 0
+
+    def test_delta_mode_ships_fewer_memo_entries(self, toy_world_factory):
+        world = toy_world_factory()
+        _, delta_health = self._run_processes(world, True)
+        _, full_health = self._run_processes(world, False)
+        # repeated rounds over one shared plan re-ship the whole verdict
+        # memo in full mode; delta mode ships each entry roughly once
+        assert (
+            delta_health["memo_entries_shipped"]
+            < full_health["memo_entries_shipped"]
+        )
+        assert delta_health["memo_entries_saved"] > 0
+
+    def test_version_floors_bounded_by_live_memos(self, toy_world_factory):
+        from repro.store.workers import ProcessBackend
+
+        world = toy_world_factory()
+        shared_plan_cache().clear()
+        config = EngineConfig(seed=7, max_rounds=8)
+        backend = ProcessBackend(
+            world.kg, world.space, config, workers=2, memo_deltas=True
+        )
+        with AggregateQueryService(
+            world.kg, world.embedding, config, backend=backend
+        ) as service:
+            service.submit(world.count_query(), seed=3).result()
+            pool = backend.pool
+            assert pool._memo_versions, "round results must commit versions"
+            plans = list(service.planner.plans.values())
+            for plan, floors in zip(plans, pool.memo_floors(plans)):
+                assert 0 <= floors[0] <= len(plan.similarity_cache)
+                assert 0 <= floors[1] <= len(plan.chain_prefix_memo)
+
+    def test_respawn_resets_version_floors(self, toy_world_factory):
+        """After a pool respawn the fresh workers hold no memos; floors
+        must drop to zero so the next dispatch re-ships everything."""
+        from repro.store.workers import ProcessBackend
+
+        world = toy_world_factory()
+        shared_plan_cache().clear()
+        config = EngineConfig(seed=7, max_rounds=8)
+        backend = ProcessBackend(
+            world.kg, world.space, config, workers=2, memo_deltas=True
+        )
+        with AggregateQueryService(
+            world.kg, world.embedding, config, backend=backend
+        ) as service:
+            service.submit(world.count_query(), seed=3).result()
+            pool = backend.pool
+            assert pool._memo_versions
+            pool.respawn()
+            assert not pool._memo_versions
+            plans = list(service.planner.plans.values())
+            assert pool.memo_floors(plans) == tuple(
+                (0, 0) for _ in plans
+            )
