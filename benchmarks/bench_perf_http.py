@@ -1,0 +1,260 @@
+#!/usr/bin/env python
+"""S6 HTTP benchmark: the wire tax of serving over HTTP + SSE.
+
+The network front-end (``repro.server``) must add protocol plumbing, not
+query work: every submission still lands in the same
+:class:`AggregateQueryService`, so the only new cost is HTTP parsing,
+JSON encoding and the per-round SSE fan-out.  This bench measures that
+tax directly on the S4 acceptance workload — the 8-query yago2-like
+batch from ``bench_perf_serving.py`` — two ways:
+
+* **direct** — ``service.submit_batch`` in-process, ``handle.result()``
+  per query: the PR-5 serving path, no network anywhere;
+* **http** — the same batch through ``POST /v1/queries:batch`` against a
+  loopback :class:`ReproHTTPServer`, with one concurrent SSE stream per
+  query consuming every round event until the terminal ``result`` frame.
+
+Before anything is timed, the HTTP path is gated on *equivalence*: each
+query's HTTP result must be byte-identical (as canonical JSON, timings
+stripped) to the direct result, and the rounds streamed over SSE must
+match the result's trace entry-for-entry.  The AQL strings submitted
+over the wire are themselves gated against ``bench_perf_serving``'s
+workload objects, so both benches measure the same queries forever.
+
+The headline number is ``overhead_ratio`` (http seconds / direct
+seconds) plus the absolute per-query wire tax in milliseconds.
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_http.py [--smoke]
+
+``--smoke`` shrinks the dataset and repeat count so the whole script
+finishes in a few seconds; the tier-1 suite runs it on every test pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import AggregateQueryService, EngineConfig  # noqa: E402
+from repro.core.plan import shared_plan_cache  # noqa: E402
+from repro.query.parser import parse_query  # noqa: E402
+from repro.server import ReproClient, encode_result, serve_in_thread  # noqa: E402
+from repro.datasets import yago_like  # noqa: E402
+
+#: the S4 acceptance workload, expressed as what actually crosses the
+#: wire: AQL strings (gated below against bench_perf_serving._workload())
+WORKLOAD_AQL = [
+    "COUNT(*) MATCH (Spain:Country)-[league]->(a:League)"
+    "-[playerIn]->(x:SoccerPlayer)",
+    "AVG(age) MATCH (Spain:Country)-[league]->(a:League)"
+    "-[playerIn]->(x:SoccerPlayer)",
+    "SUM(transfer_value) MATCH (Spain:Country)-[league]->(a:League)"
+    "-[playerIn]->(x:SoccerPlayer)",
+    "COUNT(*) MATCH (Spain:Country)-[bornIn]->(x:SoccerPlayer)",
+    "AVG(age) MATCH (Spain:Country)-[bornIn]->(x:SoccerPlayer)",
+    "COUNT(*) MATCH (England:Country)-[locatedIn]->(x:Museum)",
+    "AVG(visitors) MATCH (England:Country)-[locatedIn]->(x:Museum)",
+    "COUNT(*) MATCH (China:Country)-[country]->(x:City)",
+]
+
+
+def _load_serving_bench():
+    specification = importlib.util.spec_from_file_location(
+        "bench_perf_serving", REPO_ROOT / "benchmarks" / "bench_perf_serving.py"
+    )
+    module = importlib.util.module_from_spec(specification)
+    sys.modules.setdefault(specification.name, module)
+    specification.loader.exec_module(module)
+    return module
+
+
+def _strip_timings(payload):
+    """Drop wall-clock fields recursively; what equivalence compares."""
+    if isinstance(payload, dict):
+        return {
+            key: _strip_timings(value)
+            for key, value in payload.items()
+            if key not in ("stage_ms", "seconds")
+        }
+    if isinstance(payload, list):
+        return [_strip_timings(item) for item in payload]
+    return payload
+
+
+def _canonical(payload) -> bytes:
+    return json.dumps(_strip_timings(payload), sort_keys=True).encode()
+
+
+def run(scale: float, repeats: int, seed: int) -> dict:
+    """Benchmark one configuration and return the report dict."""
+    serving_bench = _load_serving_bench()
+    queries = [parse_query(aql) for aql in WORKLOAD_AQL]
+    assert queries == serving_bench._workload(), (
+        "the AQL workload drifted from bench_perf_serving's query objects"
+    )
+
+    bundle = yago_like(seed=seed, scale=scale)
+    kg, embedding = bundle.kg, bundle.embedding
+    config = EngineConfig(seed=seed)
+    seeds = [seed + 11 + position for position in range(len(queries))]
+
+    def direct() -> list[dict]:
+        shared_plan_cache().clear()
+        with AggregateQueryService(kg, embedding, config) as service:
+            handles = service.submit_batch(list(zip(queries, seeds)))
+            return [
+                encode_result(handle.result(), timings=False)
+                for handle in handles
+            ]
+
+    def over_http() -> tuple[list[dict], list[list[dict]], int]:
+        """The batch over the wire: results, streamed rounds, SSE events."""
+        shared_plan_cache().clear()
+        service = AggregateQueryService(kg, embedding, config)
+        runner = serve_in_thread(service, owns_service=True)
+        try:
+            client = ReproClient(*runner.address)
+            batch = client.submit_batch(
+                [
+                    {"aql": aql, "seed": query_seed}
+                    for aql, query_seed in zip(WORKLOAD_AQL, seeds)
+                ]
+            )
+            assert batch["rejected"] == 0, batch
+            ids = [entry["id"] for entry in batch["queries"]]
+            results: list = [None] * len(ids)
+            streamed: list = [None] * len(ids)
+            errors: list = []
+
+            def consume(position: int, query_id: str) -> None:
+                rounds = []
+                try:
+                    for event, data in client.events(query_id):
+                        if event == "round":
+                            rounds.append(data)
+                        elif event == "result":
+                            results[position] = data["result"]
+                        else:
+                            errors.append((query_id, event, data))
+                except Exception as exc:  # surfaced after join
+                    errors.append((query_id, "exception", repr(exc)))
+                streamed[position] = rounds
+
+            readers = [
+                threading.Thread(target=consume, args=(position, query_id))
+                for position, query_id in enumerate(ids)
+            ]
+            for reader in readers:
+                reader.start()
+            for reader in readers:
+                reader.join()
+            assert not errors, f"SSE streams failed: {errors}"
+            events_total = sum(len(rounds) + 1 for rounds in streamed)
+            return results, streamed, events_total
+        finally:
+            runner.stop()
+
+    # -- equivalence gate (before anything is timed) -------------------
+    direct_results = direct()
+    http_results, http_streams, sse_events = over_http()
+    rounds_streamed = sum(len(rounds) for rounds in http_streams)
+    for position, (direct_result, http_result, rounds) in enumerate(
+        zip(direct_results, http_results, http_streams)
+    ):
+        assert http_result is not None, f"query {position} never settled"
+        assert _canonical(http_result) == _canonical(direct_result), (
+            f"query {position}: HTTP result diverged from direct submit_batch"
+        )
+        assert (
+            _strip_timings(rounds) == _strip_timings(http_result["rounds"])
+        ), (
+            f"query {position}: SSE rounds diverged from the result trace"
+        )
+
+    # -- timing --------------------------------------------------------
+    def best_seconds(function) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            function()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    direct_seconds = best_seconds(direct)
+    http_seconds = best_seconds(over_http)
+    overhead_seconds = http_seconds - direct_seconds
+
+    return {
+        "preset": "yago2-like",
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "kg_nodes": kg.num_nodes,
+        "kg_edges": kg.num_edges,
+        "batch_size": len(queries),
+        "http": {
+            "direct_seconds": direct_seconds,
+            "http_seconds": http_seconds,
+            "overhead_ratio": http_seconds / direct_seconds,
+            "overhead_seconds": overhead_seconds,
+            "overhead_ms_per_query": (
+                overhead_seconds * 1e3 / len(queries)
+            ),
+            "rounds_streamed": rounds_streamed,
+            "sse_events": sse_events,
+        },
+        "equivalent": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale + few repeats; finishes in a few seconds",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_http.json",
+        help="where to write the JSON report",
+    )
+    arguments = parser.parse_args(argv)
+    scale = arguments.scale if arguments.scale is not None else (1.0 if arguments.smoke else 3.0)
+    repeats = arguments.repeats if arguments.repeats is not None else (1 if arguments.smoke else 5)
+
+    report = run(scale=scale, repeats=repeats, seed=arguments.seed)
+    report["smoke"] = arguments.smoke
+    arguments.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    http = report["http"]
+    print(
+        f"8-query batch, byte-identical over the wire "
+        f"({http['rounds_streamed']} rounds streamed over SSE):"
+    )
+    print(f"  direct submit_batch: {http['direct_seconds'] * 1e3:8.1f} ms")
+    print(
+        f"  HTTP + SSE:          {http['http_seconds'] * 1e3:8.1f} ms  "
+        f"({http['overhead_ratio']:.2f}x, "
+        f"+{http['overhead_ms_per_query']:.1f} ms per query)"
+    )
+    print(f"[saved to {arguments.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -141,7 +141,32 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = commands.add_parser(
         "serve",
-        help="serve AQL queries from stdin concurrently (one per line)",
+        help="serve AQL queries from stdin (one per line, one JSON result "
+        "line each) or over HTTP/SSE with --http HOST:PORT",
+    )
+    serve.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve over HTTP instead of stdin: POST /v1/queries, "
+        "per-round SSE at /v1/queries/{id}/events, /healthz "
+        "(port 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--quota-rps",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="HTTP mode: per-client token-bucket rate (requests/second) "
+        "shedding with 429 before the service queue fills "
+        "(default: no per-client quota)",
+    )
+    serve.add_argument(
+        "--quota-burst",
+        type=int,
+        default=10,
+        metavar="N",
+        help="HTTP mode: per-client burst size for --quota-rps (default: 10)",
     )
     serve.add_argument("--dataset", default="dbpedia-like")
     serve.add_argument("--seed", type=int, default=0)
@@ -344,17 +369,9 @@ def _run_query_batch(bundle, config: EngineConfig, queries, args) -> int:
     return exit_code
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    """Read AQL lines from stdin and serve them through the service."""
-    bundle = _load_bundle(args)
-    if bundle is None:
-        return 2
-    config = _query_config(args)
-    print(f"serving {bundle.name} ({bundle.kg.num_nodes:,} nodes); "
-          "one AQL query per line, blank/# lines ignored", file=sys.stderr)
-    submitted: list[tuple[int, str, object]] = []
-    exit_code = 0
-    with AggregateQueryService(
+def _service_for(bundle, config: EngineConfig, args) -> AggregateQueryService:
+    """A service wired up with the shared serving flags."""
+    return AggregateQueryService(
         bundle.kg,
         bundle.embedding,
         config,
@@ -362,30 +379,151 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         default_deadline=args.deadline,
         limits=ServiceLimits(max_pending=args.max_pending),
-    ) as service:
-        for line_number, raw_line in enumerate(sys.stdin, start=1):
-            aql = raw_line.strip()
-            if not aql or aql.startswith("#"):
-                continue
-            try:
-                handle = service.submit(aql)
-            except ReproError as exc:
-                print(f"[line {line_number}] error: {exc}", file=sys.stderr)
-                exit_code = 1
-                continue
-            submitted.append((line_number, aql, handle))
-            print(f"[line {line_number}] accepted: {aql}")
-        for line_number, aql, handle in submitted:
-            try:
-                result = handle.result()
-            except ReproError as exc:
-                print(f"[line {line_number}] error: {exc}", file=sys.stderr)
-                exit_code = 1
-                continue
-            print(f"[line {line_number}] {result.describe()}")
-            if args.trace:
-                _print_round_trace(result)
-    print(f"served {len(submitted)} queries")
+    )
+
+
+def _print_health(service: AggregateQueryService) -> None:
+    """Dump ``service.health()`` to stderr (the SIGINT farewell)."""
+    import json
+
+    print(
+        "health: " + json.dumps(service.health(), sort_keys=True),
+        file=sys.stderr,
+    )
+
+
+def _wait_for_interrupt(runner) -> None:
+    """Block until SIGINT stops the HTTP server.
+
+    A module-level hook so tests can drive requests against the bound
+    address and then raise :class:`KeyboardInterrupt` themselves.
+    """
+    while True:
+        time.sleep(0.25)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve AQL queries: JSON lines over stdin, or HTTP with ``--http``."""
+    bundle = _load_bundle(args)
+    if bundle is None:
+        return 2
+    config = _query_config(args)
+    if args.http is not None:
+        return _serve_http(bundle, config, args)
+    return _serve_stdin(bundle, config, args)
+
+
+def _serve_http(bundle, config: EngineConfig, args) -> int:
+    from repro.server import ClientQuota, ReproHTTPServer, ServerThread
+
+    host, _, port_text = args.http.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"--http expects HOST:PORT, got {args.http!r}", file=sys.stderr)
+        return 2
+    quota = None
+    if args.quota_rps is not None:
+        quota = ClientQuota(rate=args.quota_rps, burst=args.quota_burst)
+    service = _service_for(bundle, config, args)
+    runner = ServerThread(
+        ReproHTTPServer(
+            service, host or "127.0.0.1", port, quota=quota, owns_service=True
+        )
+    )
+    try:
+        runner.start()
+    except Exception as exc:
+        service.close()
+        print(f"cannot bind {args.http!r}: {exc}", file=sys.stderr)
+        return 2
+    bound_host, bound_port = runner.address
+    print(
+        f"serving {bundle.name} ({bundle.kg.num_nodes:,} nodes) on "
+        f"http://{bound_host}:{bound_port} (backend={args.backend}); "
+        "Ctrl-C stops gracefully",
+        file=sys.stderr,
+    )
+    try:
+        _wait_for_interrupt(runner)
+    except KeyboardInterrupt:
+        _print_health(service)
+        runner.stop()
+        return 130
+    runner.stop()
+    return 0
+
+
+def _serve_stdin(bundle, config: EngineConfig, args) -> int:
+    """One AQL query per stdin line; one flushed JSON result line each."""
+    import json
+    from collections import deque
+
+    from repro.server.app import encode_result, error_payload
+
+    print(f"serving {bundle.name} ({bundle.kg.num_nodes:,} nodes); "
+          "one AQL query per line, blank/# lines ignored", file=sys.stderr)
+    exit_code = 0
+    served = 0
+
+    def emit(line_number: int, aql: str, payload: dict) -> None:
+        record = {"line": line_number, "aql": aql, **payload}
+        # one self-contained JSON object per line, flushed immediately so
+        # a pipe consumer sees each result as soon as it settles
+        print(json.dumps(record, sort_keys=True), flush=True)
+
+    def settle(line_number: int, aql: str, handle, trace: bool) -> None:
+        nonlocal exit_code, served
+        try:
+            result = handle.result()
+        except ReproError as exc:
+            emit(line_number, aql, {
+                "status": handle.status.value,
+                "error": error_payload(exc),
+            })
+            exit_code = 1
+            return
+        emit(line_number, aql, {
+            "status": "succeeded",
+            "result": encode_result(result),
+        })
+        served += 1
+        if trace:
+            _print_round_trace(result)
+
+    pending: deque = deque()
+    with _service_for(bundle, config, args) as service:
+        try:
+            for line_number, raw_line in enumerate(sys.stdin, start=1):
+                aql = raw_line.strip()
+                if not aql or aql.startswith("#"):
+                    continue
+                try:
+                    handle = service.submit(aql)
+                except ReproError as exc:
+                    emit(line_number, aql, {
+                        "status": "rejected",
+                        "error": error_payload(exc),
+                    })
+                    exit_code = 1
+                    continue
+                pending.append((line_number, aql, handle))
+                # flush whatever already settled, keeping submission order
+                while pending and pending[0][2].status.terminal:
+                    settle(*pending.popleft(), args.trace)
+            while pending:  # EOF: wait out the stragglers
+                settle(*pending.popleft(), args.trace)
+        except KeyboardInterrupt:
+            # SIGINT mid-serve: report health, let the context manager
+            # cancel what's still running, and exit without a stack trace
+            _print_health(service)
+            print(
+                f"interrupted; served {served} queries "
+                f"({len(pending)} cancelled)",
+                file=sys.stderr,
+            )
+            return 130
+    print(f"served {served} queries", file=sys.stderr)
     return exit_code
 
 

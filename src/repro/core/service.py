@@ -155,6 +155,9 @@ class _QueryRecord:
     cancel_requested: bool = False
     #: absolute expiry on the service clock, or None for no deadline
     deadline_at: float | None = None
+    #: round/settlement listeners registered via QueryHandle.subscribe();
+    #: called from scheduler/backend threads and must never block
+    listeners: list = field(default_factory=list)
 
 
 class QueryHandle:
@@ -179,6 +182,16 @@ class QueryHandle:
     def query(self) -> AggregateQuery:
         """The aggregate query behind this handle."""
         return self._record.aggregate_query
+
+    @property
+    def sequence(self) -> int:
+        """The query's service-unique submission sequence number."""
+        return self._record.sequence
+
+    @property
+    def kind(self) -> str:
+        """The query's scheduler kind: ``rounds``, ``grouped`` or ``extreme``."""
+        return self._record.kind
 
     @property
     def status(self) -> QueryStatus:
@@ -283,6 +296,39 @@ class QueryHandle:
         progress stays readable via :meth:`progress`).
         """
         return self._service._cancel(self._record)
+
+    def subscribe(self, callback) -> None:
+        """Register a push listener for this query's lifecycle events.
+
+        ``callback(event, payload)`` is invoked by whichever thread
+        completes the work — the scheduler thread or a backend pool
+        thread — with:
+
+        * ``("round", (position, trace))`` after each completed round,
+          where ``position`` is the trace's index in :meth:`progress`
+          (monotonically increasing, exactly one call per round); and
+        * ``("settled", status)`` once, when the query reaches a terminal
+          :class:`QueryStatus` (succeeded, failed or cancelled).
+
+        This is the hook streaming front-ends (SSE) hang off instead of
+        polling :meth:`progress`.  Callbacks MUST be non-blocking and
+        must not call back into the service (some events fire under the
+        service lock); hand the payload to a queue and return.  A round
+        completed before subscription is *not* replayed — combine the
+        subscription with one :meth:`progress` snapshot to catch up.
+        Listener exceptions are swallowed: a broken listener must never
+        take down the scheduler.
+        """
+        with self._service._condition:
+            self._record.listeners.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        """Remove a listener registered with :meth:`subscribe` (idempotent)."""
+        with self._service._condition:
+            try:
+                self._record.listeners.remove(callback)
+            except ValueError:
+                pass
 
 
 @dataclass(eq=False)
@@ -476,6 +522,8 @@ class AggregateQueryService:
         #: monkeypatchable monotonic clock read at submit and round
         #: boundaries — deadline tests drive it instead of sleeping
         self._clock = time.monotonic
+        #: service birth on the same clock; health() reports the delta
+        self._started_at = self._clock()
         #: submissions rejected by admission control
         self._sheds = 0
         #: queries settled as DeadlineExceededError
@@ -521,13 +569,16 @@ class AggregateQueryService:
         endpoint.
         """
         with self._condition:
-            live = sum(
-                1 for r in self._records if r.status not in _TERMINAL
-            )
+            live_by_kind = {kind: 0 for kind in ("rounds", "grouped", "extreme")}
+            for record in self._records:
+                if record.status not in _TERMINAL:
+                    live_by_kind[record.kind] += 1
             info = {
                 "closed": self._shutdown,
                 "scheduler_phase": self._phase,
-                "live_queries": live,
+                "uptime_s": max(0.0, self._clock() - self._started_at),
+                "live_queries": sum(live_by_kind.values()),
+                "live_by_kind": live_by_kind,
                 "sheds": self._sheds,
                 "deadline_expiries": self._deadline_expiries,
                 "max_pending": self._limits.max_pending,
@@ -779,11 +830,27 @@ class AggregateQueryService:
             self._condition.notify_all()
         return True
 
+    @staticmethod
+    def _notify(record: _QueryRecord, event: str, payload) -> None:
+        """Deliver one lifecycle event to the record's listeners.
+
+        Listeners are called synchronously (round events from the slot
+        that completed the round, settlement events possibly under the
+        service lock), so they must be non-blocking; exceptions are
+        swallowed — a broken subscriber must never corrupt scheduling.
+        """
+        for listener in list(record.listeners):
+            try:
+                listener(event, payload)
+            except Exception:  # noqa: BLE001 - listener bugs stay theirs
+                pass
+
     def _finish_cancelled_locked(self, record: _QueryRecord) -> None:
         record.cancel_requested = True
         record.queued_runs.clear()
         record.active_run = None
         record.status = QueryStatus.CANCELLED
+        self._notify(record, "settled", QueryStatus.CANCELLED)
         self._condition.notify_all()
 
     # ------------------------------------------------------------------
@@ -836,6 +903,7 @@ class AggregateQueryService:
         record.queued_runs.clear()
         record.active_run = None
         record.status = QueryStatus.FAILED
+        self._notify(record, "settled", QueryStatus.FAILED)
         self._condition.notify_all()
 
     def _tick(self) -> None:
@@ -1073,6 +1141,12 @@ class AggregateQueryService:
         """
         run.steps_taken += 1
         run.last = outcome.trace
+        # push the fresh anytime trace entry to subscribers (SSE streams)
+        # before any completion bookkeeping, so round events always
+        # precede the settlement event
+        self._notify(
+            record, "round", (len(state.rounds) - 1, outcome.trace)
+        )
         budget = self._run_budget(record, run)
         if not (
             outcome.satisfied
@@ -1150,4 +1224,5 @@ class AggregateQueryService:
             record.active_run = None
             if not record.queued_runs and not record.cancel_requested:
                 record.status = QueryStatus.SUCCEEDED
+                self._notify(record, "settled", QueryStatus.SUCCEEDED)
             self._condition.notify_all()

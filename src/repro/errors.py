@@ -56,6 +56,44 @@ these describe the state of the *service*, not the query's data:
 Worker crashes never surface as an error: the supervisor respawns the
 pool and replays the lost round (byte-identical — growth/RNG lives in
 the scheduler), falling back in-process after ``RetryPolicy.max_attempts``.
+
+HTTP status mapping
+-------------------
+
+The network front-end (:mod:`repro.server`) maps the taxonomy onto
+status codes (:func:`repro.server.app.status_for`).  A bare
+:class:`ServiceError` whose ``__cause__`` chains a library error — how
+``QueryHandle.result()`` wraps scheduler-side failures — is unwrapped
+first, so the wire reports the *original* failure:
+
+===================================  ======  ===================================
+error                                status  wire semantics
+===================================  ======  ===================================
+:class:`QueryError` (incl. parse),   400     the request itself is unusable;
+:class:`EmbeddingError`,                     don't retry unchanged
+:class:`GraphError`,
+:class:`DatasetError`
+unknown query id                     404     (no library error; server-side)
+:class:`QueryCancelledError`         409     the resource settled as cancelled
+:class:`SamplingError`,              422     the pipeline ran but the data
+:class:`EstimationError`,                    could not support an answer;
+:class:`ConvergenceError`                    honest refusal, not a server bug
+:class:`ServiceOverloadedError`      429     shed before any work ran; retry
+                                             after ``Retry-After`` seconds
+(per-client quota shed)              429     same semantics, shed even earlier
+:class:`StoreError`,                 503     the service (not the query) is the
+:class:`ResultTimeoutError`,                 problem; retryable once it recovers
+:class:`ServiceError` (lifecycle)
+:class:`DeadlineExceededError`       504     the response carries the preserved
+                                             partial ``trace`` — the anytime
+                                             contract survives over the wire
+anything else                        500     a server bug, loudly
+===================================  ======  ===================================
+
+One deliberate divergence: ``POST /v1/queries/{id}/refine`` maps a plain
+:class:`ServiceError` to **400**, because there it means the client asked
+to refine the wrong kind of query (or one already failed/cancelled) — a
+statement about the request, not the service.
 """
 
 from __future__ import annotations

@@ -1,0 +1,164 @@
+"""A stdlib HTTP client for the ``repro.server`` front-end.
+
+Thin on purpose: ``http.client`` requests against the v1 endpoints, JSON
+in and out, plus an incremental SSE reader for the per-round event
+stream.  The tests, the benchmark and ``examples/http_serving.py`` all
+drive the server through this client, so the wire format is exercised by
+a *second* independent implementation rather than the server talking to
+itself.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.errors import ReproError, ResultTimeoutError
+
+__all__ = ["HttpStatusError", "ReproClient"]
+
+
+class HttpStatusError(ReproError):
+    """A non-2xx response from the server, carrying its JSON error body."""
+
+    def __init__(self, status: int, payload: dict, headers: dict[str, str]):
+        message = payload.get("message") or f"HTTP {status}"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.headers = headers
+
+    @property
+    def retry_after(self) -> str | None:
+        """The ``Retry-After`` value on 429 responses, if any."""
+        return self.headers.get("retry-after")
+
+
+class ReproClient:
+    """One server address; a fresh connection per request (the server is
+    ``Connection: close``), so a client instance is cheap and stateless."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            if response.status >= 400:
+                raise HttpStatusError(
+                    response.status,
+                    decoded,
+                    {name.lower(): value for name, value in response.getheaders()},
+                )
+            return decoded
+        finally:
+            connection.close()
+
+    # -- the v1 surface -------------------------------------------------
+    def submit(self, aql: str, **params) -> dict:
+        """``POST /v1/queries``; the acceptance payload (with ``id``)."""
+        return self._request("POST", "/v1/queries", {"aql": aql, **params})
+
+    def submit_batch(self, specs: list[dict], **defaults) -> dict:
+        """``POST /v1/queries:batch``; per-entry acceptance outcomes."""
+        return self._request(
+            "POST", "/v1/queries:batch", {"queries": specs, **defaults}
+        )
+
+    def status(self, query_id: str) -> dict:
+        """``GET /v1/queries/{id}``: status + latest anytime estimate."""
+        return self._request("GET", f"/v1/queries/{query_id}")
+
+    def cancel(self, query_id: str) -> dict:
+        return self._request("DELETE", f"/v1/queries/{query_id}")
+
+    def refine(self, query_id: str, error_bound: float) -> dict:
+        return self._request(
+            "POST",
+            f"/v1/queries/{query_id}/refine",
+            {"error_bound": error_bound},
+        )
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def wait(
+        self, query_id: str, timeout: float = 60.0, poll_interval: float = 0.02
+    ) -> dict:
+        """Poll the status endpoint until the query settles."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.status(query_id)
+            if payload["status"] in ("succeeded", "failed", "cancelled"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise ResultTimeoutError(
+                    f"query {query_id} did not settle within {timeout:.1f}s"
+                )
+            time.sleep(poll_interval)
+
+    # -- SSE ------------------------------------------------------------
+    def events(self, query_id: str):
+        """Yield ``(event, data)`` pairs from the query's SSE stream.
+
+        Incremental: each event is yielded the moment its frame arrives,
+        so callers observe rounds as the scheduler completes them.  The
+        generator ends when the server closes the stream after the
+        terminal event; closing the generator early closes the socket
+        (how "client hangs up mid-stream" is expressed).
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/v1/queries/{query_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+                raise HttpStatusError(
+                    response.status,
+                    decoded,
+                    {name.lower(): value for name, value in response.getheaders()},
+                )
+            event_name = None
+            data_lines: list[str] = []
+            while True:
+                line = response.readline()
+                if not line:
+                    return  # server closed the stream
+                text = line.decode("utf-8").rstrip("\r\n")
+                if not text:  # blank line ends one frame
+                    if event_name is not None or data_lines:
+                        data = "\n".join(data_lines)
+                        yield (
+                            event_name or "message",
+                            json.loads(data) if data else None,
+                        )
+                    event_name = None
+                    data_lines = []
+                elif text.startswith(":"):
+                    continue  # keep-alive comment
+                elif text.startswith("event:"):
+                    event_name = text[len("event:") :].strip()
+                elif text.startswith("data:"):
+                    data_lines.append(text[len("data:") :].strip())
+        finally:
+            connection.close()

@@ -1,0 +1,236 @@
+"""Minimal HTTP/1.1 + Server-Sent-Events plumbing over asyncio streams.
+
+The front-end must run anywhere the library runs, so this is stdlib-only:
+no web framework, no event-loop add-ons — one request parser over an
+``asyncio.StreamReader``, JSON response helpers over the matching writer,
+and an SSE stream writer.  The protocol surface is deliberately narrow:
+
+* one request per connection (every response carries
+  ``Connection: close``), which keeps the server loop trivial and works
+  with every stdlib client (``urllib``, ``http.client``);
+* bodies are read by ``Content-Length`` only (no chunked *requests*);
+* streaming responses (SSE) send no ``Content-Length`` and end when the
+  server closes the connection — exactly the pre-chunked HTTP/1.x
+  streaming model, which ``http.client`` reads incrementally.
+
+Every JSON byte goes through ``json.dumps(..., allow_nan=False)``: a NaN
+anywhere in a payload is a server bug (the engine's extreme rounds carry
+a 0.0 MoE sentinel for exactly this reason) and must fail loudly rather
+than emit invalid JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "SseStream",
+    "read_request",
+    "send_json",
+]
+
+#: request-line + headers may not exceed this many bytes in total
+MAX_HEADER_BYTES = 16 * 1024
+#: request bodies above this are rejected with 413
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Content",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """An error that maps directly onto an HTTP response.
+
+    Raised anywhere inside request handling; the connection loop turns it
+    into a JSON error response with ``status``, optional extra
+    ``headers`` (e.g. ``Retry-After``) and optional extra ``payload``
+    fields merged into the error body.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: dict[str, str] | None = None,
+        payload: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = dict(headers or {})
+        self.payload = dict(payload or {})
+
+    def body(self) -> dict:
+        """The JSON error body: payload fields under a stable envelope."""
+        body = {
+            "error": self.payload.pop("error", "HttpError"),
+            "message": str(self),
+            "status": self.status,
+        }
+        body.update(self.payload)
+        return body
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, decoded path, query params, headers, body."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body decoded as a JSON object; HttpError(400) otherwise."""
+        if not self.body:
+            return {}
+        try:
+            decoded = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(decoded, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return decoded
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one HTTP/1.x request; None on a clean EOF before any bytes."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise HttpError(400, "malformed HTTP request line")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    header_bytes = len(request_line)
+    while True:
+        line = await reader.readline()
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(431, "request headers too large")
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise HttpError(400, "connection closed mid-headers")
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line: {name.strip()!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    raw_length = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise HttpError(400, f"invalid Content-Length: {raw_length!r}")
+    if length < 0:
+        raise HttpError(400, f"invalid Content-Length: {raw_length!r}")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "connection closed mid-body")
+
+    path, _, query_string = target.partition("?")
+    return HttpRequest(
+        method=method.upper(),
+        path=urllib.parse.unquote(path),
+        query=dict(urllib.parse.parse_qsl(query_string)),
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, headers: dict[str, str]) -> bytes:
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {phrase}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    *,
+    headers: dict[str, str] | None = None,
+) -> None:
+    """Write one complete JSON response (Connection: close semantics)."""
+    body = json.dumps(payload, allow_nan=False).encode("utf-8") + b"\n"
+    all_headers = {
+        "Content-Type": "application/json",
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+        "Cache-Control": "no-store",
+    }
+    if headers:
+        all_headers.update(headers)
+    writer.write(_head(status, all_headers) + body)
+    await writer.drain()
+
+
+class SseStream:
+    """A ``text/event-stream`` response being written incrementally.
+
+    Events carry JSON payloads; the stream ends when the server closes
+    the connection after the terminal event (``result`` / ``error`` /
+    ``cancelled``), which is how clients know the query settled.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        #: events written so far (server counters aggregate this)
+        self.events_sent = 0
+
+    async def start(self) -> None:
+        """Send the response head; events may follow immediately."""
+        self._writer.write(
+            _head(
+                200,
+                {
+                    "Content-Type": "text/event-stream",
+                    "Cache-Control": "no-store",
+                    "Connection": "close",
+                },
+            )
+        )
+        await self._writer.drain()
+
+    async def emit(self, event: str, data: dict) -> None:
+        """Write one named event with a single-line JSON data payload."""
+        payload = json.dumps(data, allow_nan=False)
+        self._writer.write(f"event: {event}\ndata: {payload}\n\n".encode("utf-8"))
+        await self._writer.drain()
+        self.events_sent += 1
+
+    async def comment(self, text: str) -> None:
+        """Write a comment line (the SSE keep-alive idiom)."""
+        self._writer.write(f": {text}\n\n".encode("utf-8"))
+        await self._writer.drain()

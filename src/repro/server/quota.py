@@ -1,0 +1,98 @@
+"""Per-client token-bucket quotas for the HTTP front-end.
+
+Admission control already exists one layer down —
+:class:`~repro.core.resilience.ServiceLimits` sheds submissions with
+:class:`~repro.errors.ServiceOverloadedError` once the *service* is
+saturated — but by then a single chatty client has already reached the
+scheduler's doorstep.  The front-end's token buckets shed *per client*
+first, so one client hammering ``POST /v1/queries`` exhausts its own
+bucket (429 + ``Retry-After``) while everyone else's requests still
+reach the service untouched.
+
+Deterministic on purpose: buckets are driven by an injectable monotonic
+clock, so tests advance time explicitly instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+__all__ = ["ClientQuota", "QuotaRegistry", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class ClientQuota:
+    """Token-bucket parameters applied to each distinct client.
+
+    ``burst`` requests may land back-to-back; sustained traffic refills
+    at ``rate`` requests per second.
+    """
+
+    rate: float
+    burst: int
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ValueError("quota rate must be positive (tokens per second)")
+        if self.burst < 1:
+            raise ValueError("quota burst must allow at least one request")
+
+
+class TokenBucket:
+    """One client's bucket: ``burst`` capacity refilled at ``rate``/s."""
+
+    def __init__(self, quota: ClientQuota, clock=time.monotonic) -> None:
+        self._quota = quota
+        self._clock = clock
+        self._tokens = float(quota.burst)
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._refilled_at)
+        self._refilled_at = now
+        self._tokens = min(
+            float(self._quota.burst), self._tokens + elapsed * self._quota.rate
+        )
+
+    def try_acquire(self) -> float:
+        """Take one token; 0.0 on success, else seconds until the next one.
+
+        The returned delay is what ``Retry-After`` advertises, rounded up
+        to whole seconds by the caller.
+        """
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self._quota.rate
+
+
+class QuotaRegistry:
+    """Buckets keyed by client identity (the connection's peer host)."""
+
+    def __init__(self, quota: ClientQuota, clock=time.monotonic) -> None:
+        self._quota = quota
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        #: requests shed by a bucket (the server's quota counter)
+        self.sheds = 0
+
+    def admit(self, client: str) -> float:
+        """Charge one request to ``client``; 0.0 = admitted, else retry delay."""
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self._quota, self._clock
+            )
+        delay = bucket.try_acquire()
+        if delay > 0.0:
+            self.sheds += 1
+        return delay
+
+    @staticmethod
+    def retry_after(delay: float) -> str:
+        """``Retry-After`` header value for a shed: whole seconds, >= 1."""
+        return str(max(1, math.ceil(delay)))

@@ -1,0 +1,64 @@
+"""Tier-1 smoke run of the S6 HTTP front-end benchmark.
+
+Runs ``benchmarks/bench_perf_http.py --smoke`` in-process.  The script
+gates, before timing anything, that the 8-query batch submitted over
+HTTP returns results byte-identical to direct in-process
+``submit_batch`` and that each query's SSE stream replays its result
+trace entry-for-entry — so a wire-format regression (diverging payloads,
+dropped round events, NaN leaking into JSON) fails the normal test pass
+without a separate CI system.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_perf_http.py"
+
+
+def _load_bench_module():
+    specification = importlib.util.spec_from_file_location(
+        "bench_perf_http", BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(specification)
+    sys.modules[specification.name] = module
+    specification.loader.exec_module(module)
+    return module
+
+
+def test_smoke_bench_proves_wire_equivalence(tmp_path):
+    bench = _load_bench_module()
+    output = tmp_path / "http.json"
+    started = time.perf_counter()
+    exit_code = bench.main(["--smoke", "--output", str(output)])
+    elapsed = time.perf_counter() - started
+    assert exit_code == 0
+    assert elapsed < 120.0, f"smoke bench took {elapsed:.1f}s, budget is 120s"
+
+    report = json.loads(output.read_text())
+    assert report["smoke"] is True
+    assert report["equivalent"] is True
+    assert report["batch_size"] == 8
+    # every query streamed at least its terminal round over SSE
+    assert report["http"]["rounds_streamed"] >= report["batch_size"]
+    assert report["http"]["sse_events"] > report["http"]["rounds_streamed"]
+    # Smoke asserts only that the wire tax stays bounded (machine load
+    # makes tighter wall-clock floors flaky); the checked-in full run
+    # (BENCH_http.json) documents the acceptance numbers.
+    assert report["http"]["overhead_ratio"] < 5.0
+
+
+def test_checked_in_report_meets_acceptance():
+    report = json.loads((REPO_ROOT / "BENCH_http.json").read_text())
+    assert report["smoke"] is False
+    assert report["equivalent"] is True
+    assert report["batch_size"] == 8
+    assert report["http"]["rounds_streamed"] >= report["batch_size"]
+    # the front-end is plumbing, not query work: on the full-scale batch
+    # HTTP + SSE stays within 50% of direct in-process serving
+    assert report["http"]["overhead_ratio"] < 1.5

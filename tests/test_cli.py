@@ -334,3 +334,114 @@ def test_query_single_with_backend_routes_through_service(capsys):
     # a requested backend must not be silently ignored: the serving-layer
     # batch path (which honours it) prints its batch-time summary
     assert "batch time" in out
+
+
+# ---------------------------------------------------------------------------
+# serve (stdin mode): one flushed JSON result line per query
+# ---------------------------------------------------------------------------
+_SERVE_AQL = "COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)"
+
+
+def _serve_payloads(captured_out: str) -> list[dict]:
+    import json
+
+    return [json.loads(line) for line in captured_out.strip().splitlines()]
+
+
+def test_serve_stdin_emits_one_json_line_per_query(monkeypatch, capsys):
+    """Regression: stdin serve used to print human chatter on stdout; now
+    each query yields exactly one machine-readable JSON line, and the
+    banner/summary chatter lives on stderr."""
+    import io
+
+    lines = (
+        f"{_SERVE_AQL}\n"
+        "# a comment line\n"
+        "\n"
+        "MAX(price) MATCH (Germany:Country)-[product]->(x:Automobile)\n"
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    code = main(["serve", "--error-bound", "0.2"])
+    captured = capsys.readouterr()
+    assert code == 0
+    payloads = _serve_payloads(captured.out)
+    assert len(payloads) == 2, "one JSON line per query, nothing else"
+    assert [payload["line"] for payload in payloads] == [1, 4]
+    for payload in payloads:
+        assert payload["status"] == "succeeded"
+        assert "estimate" in payload["result"]
+    assert payloads[0]["result"]["function"] == "COUNT"
+    assert payloads[1]["result"]["function"] == "MAX"
+    assert "served 2 queries" in captured.err
+
+
+def test_serve_stdin_reports_rejections_as_json(monkeypatch, capsys):
+    import io
+
+    monkeypatch.setattr(
+        "sys.stdin", io.StringIO(f"THIS IS NOT AQL\n{_SERVE_AQL}\n")
+    )
+    code = main(["serve", "--error-bound", "0.2"])
+    captured = capsys.readouterr()
+    assert code == 1, "a rejected line is a non-zero exit"
+    payloads = _serve_payloads(captured.out)
+    assert payloads[0]["status"] == "rejected"
+    assert payloads[0]["error"]["error"] == "ParseError"
+    assert payloads[1]["status"] == "succeeded"
+
+
+def test_serve_stdin_sigint_exits_cleanly(monkeypatch, capsys):
+    """Regression: Ctrl-C mid-serve used to dump a KeyboardInterrupt
+    traceback; now it prints service health and exits 130."""
+
+    class _InterruptingStdin:
+        def __iter__(self):
+            yield f"{_SERVE_AQL}\n"
+            raise KeyboardInterrupt
+
+    monkeypatch.setattr("sys.stdin", _InterruptingStdin())
+    code = main(["serve", "--error-bound", "0.2"])
+    captured = capsys.readouterr()
+    assert code == 130
+    assert "health:" in captured.err
+    assert "interrupted" in captured.err
+    assert "Traceback" not in captured.err
+
+
+# ---------------------------------------------------------------------------
+# serve --http: the full CLI -> HTTP -> SSE -> shutdown path
+# ---------------------------------------------------------------------------
+def test_serve_http_end_to_end(monkeypatch, capsys):
+    from repro.server import ReproClient
+
+    observed: dict = {}
+
+    def drive(runner):
+        client = ReproClient(*runner.address)
+        accepted = client.submit(_SERVE_AQL, error_bound=0.2)
+        events = list(client.events(accepted["id"]))
+        observed["rounds"] = [d for e, d in events if e == "round"]
+        observed["terminal"] = events[-1]
+        observed["health"] = client.healthz()
+        raise KeyboardInterrupt  # what Ctrl-C would do
+
+    monkeypatch.setattr("repro.cli._wait_for_interrupt", drive)
+    code = main(
+        ["serve", "--http", "127.0.0.1:0", "--error-bound", "0.2",
+         "--quota-rps", "100"]
+    )
+    captured = capsys.readouterr()
+    assert code == 130
+    assert observed["terminal"][0] == "result"
+    assert observed["terminal"][1]["result"]["function"] == "COUNT"
+    assert observed["rounds"], "SSE streamed at least one round"
+    assert observed["health"]["service"]["uptime_s"] > 0.0
+    assert "serving" in captured.err
+    assert "health:" in captured.err, "SIGINT prints service health"
+    assert "Traceback" not in captured.err
+
+
+def test_serve_http_rejects_malformed_address(capsys):
+    code = main(["serve", "--http", "not-an-address"])
+    assert code == 2
+    assert "--http expects HOST:PORT" in capsys.readouterr().err

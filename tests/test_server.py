@@ -1,0 +1,479 @@
+"""The HTTP/SSE front-end: the wire is as good as the library.
+
+The contract under test is *equivalence*: a fixed-seed query submitted
+over HTTP must return exactly what ``service.submit`` returns in-process
+(byte-identical JSON once wall-clock timings are stripped), and the SSE
+stream must replay the handle's anytime trace entry-for-entry — plus the
+protocol edges: the error taxonomy mapped onto status codes, per-client
+quota sheds, admission-control 429s with ``Retry-After``, deadline
+expiry carrying the partial trace, cancellation mid-stream, and graceful
+shutdown draining a live stream.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+
+import pytest
+
+from repro import AggregateQueryService, EngineConfig, QueryStatus
+from repro.core.plan import shared_plan_cache
+from repro.core.resilience import ServiceLimits
+from repro.core.service import ExecutionBackend
+from repro.server import (
+    ClientQuota,
+    HttpStatusError,
+    ReproClient,
+    ReproHTTPServer,
+    ServerThread,
+    encode_result,
+    serve_in_thread,
+)
+
+COUNT_AQL = "COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)"
+AVG_AQL = "AVG(price) MATCH (Germany:Country)-[product]->(x:Automobile)"
+MAX_AQL = "MAX(price) MATCH (Germany:Country)-[product]->(x:Automobile)"
+GROUPED_AQL = (
+    "COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile) "
+    "GROUP BY price BIN 20000"
+)
+#: an unreachable bound: the query runs until its draw budget is spent
+NEVER = {"error_bound": 1e-12, "max_rounds": 100_000}
+
+
+class _StallingBackend(ExecutionBackend):
+    """Completes the first ``rounds`` cohort passes normally, then stalls
+    (napping without progress) until cancelled — a query that stays live
+    indefinitely while its early rounds are already streamed.  The draw
+    budget settles even 1e-12-bound queries in well under a second, so
+    liveness for cancel/drain/overload tests needs a backend that holds
+    the door open, not a tighter bound."""
+
+    def __init__(self, rounds: int = 2, nap: float = 0.01):
+        self._rounds = rounds
+        self._nap = nap
+        self._passes = 0
+
+    def run_cohort(self, service, cohort) -> None:
+        if self._passes < self._rounds:
+            self._passes += 1
+            super().run_cohort(service, cohort)
+        elif cohort:
+            time.sleep(self._nap)
+
+
+@pytest.fixture
+def world(toy_world_factory):
+    """A fresh toy world per test: isolates the process-wide plan cache."""
+    return toy_world_factory()
+
+
+def _service(
+    world, *, limits=None, backend="cooperative", **overrides
+) -> AggregateQueryService:
+    config = EngineConfig(**{"seed": 7, "max_rounds": 8, **overrides})
+    return AggregateQueryService(
+        world.kg, world.embedding, config, backend=backend, limits=limits
+    )
+
+
+@contextlib.contextmanager
+def _serve(service, **server_kwargs):
+    """A server thread over ``service`` plus a client pointed at it."""
+    server_kwargs.setdefault("owns_service", True)
+    runner = serve_in_thread(service, **server_kwargs)
+    try:
+        yield ReproClient(*runner.address), runner
+    finally:
+        runner.stop()
+
+
+def _strip_timings(payload):
+    """Drop every wall-clock field, recursively (results and traces)."""
+    if isinstance(payload, dict):
+        return {
+            key: _strip_timings(value)
+            for key, value in payload.items()
+            if key not in ("stage_ms", "seconds")
+        }
+    if isinstance(payload, list):
+        return [_strip_timings(item) for item in payload]
+    return payload
+
+
+def _canonical(payload) -> bytes:
+    return json.dumps(_strip_timings(payload), sort_keys=True).encode()
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: the wire returns exactly what the library returns
+# ---------------------------------------------------------------------------
+class TestEquivalence:
+    @pytest.mark.parametrize("aql", [COUNT_AQL, AVG_AQL, MAX_AQL, GROUPED_AQL])
+    def test_http_result_byte_identical_to_direct_submit(
+        self, toy_world_factory, aql
+    ):
+        shared_plan_cache().clear()
+        with _serve(_service(toy_world_factory())) as (client, _runner):
+            accepted = client.submit(aql, error_bound=0.2, seed=11)
+            over_http = client.wait(accepted["id"])["result"]
+
+        shared_plan_cache().clear()
+        with _service(toy_world_factory()) as service:
+            handle = service.submit(aql, error_bound=0.2, seed=11)
+            direct = encode_result(handle.result(), timings=False)
+
+        assert _canonical(over_http) == json.dumps(
+            direct, sort_keys=True
+        ).encode(), "HTTP result must be byte-identical to direct submit"
+
+    def test_batch_matches_direct_submit_batch(self, toy_world_factory):
+        specs = [{"aql": COUNT_AQL}, {"aql": AVG_AQL}, {"aql": MAX_AQL}]
+        shared_plan_cache().clear()
+        with _serve(_service(toy_world_factory())) as (client, _runner):
+            batch = client.submit_batch(specs, error_bound=0.2, seed=3)
+            assert batch["accepted"] == 3 and batch["rejected"] == 0
+            over_http = [
+                client.wait(entry["id"])["result"]
+                for entry in batch["queries"]
+            ]
+
+        shared_plan_cache().clear()
+        with _service(toy_world_factory()) as service:
+            handles = service.submit_batch(
+                [spec["aql"] for spec in specs], error_bound=0.2, seed=3
+            )
+            direct = [
+                encode_result(handle.result(), timings=False)
+                for handle in handles
+            ]
+
+        for http_result, direct_result in zip(over_http, direct):
+            assert _canonical(http_result) == json.dumps(
+                direct_result, sort_keys=True
+            ).encode()
+
+    def test_batch_reports_per_entry_rejections(self, world):
+        with _serve(_service(world)) as (client, _runner):
+            batch = client.submit_batch(
+                [{"aql": COUNT_AQL}, {"aql": "NOT AQL"}, {"aql": ""}],
+                error_bound=0.2,
+            )
+            assert batch["accepted"] == 1 and batch["rejected"] == 2
+            statuses = [
+                entry.get("status") for entry in batch["queries"]
+            ]
+            assert statuses[1] == 400  # parse error
+            assert statuses[2] == 400  # missing aql
+            assert batch["queries"][0]["id"].startswith("q")
+
+
+# ---------------------------------------------------------------------------
+# SSE: the anytime trace over the wire
+# ---------------------------------------------------------------------------
+class TestEvents:
+    def test_stream_replays_the_trace_entry_for_entry(self, world):
+        with _serve(_service(world)) as (client, _runner):
+            accepted = client.submit(COUNT_AQL, error_bound=0.2, seed=11)
+            rounds, terminal = [], None
+            for event, data in client.events(accepted["id"]):
+                if event == "round":
+                    rounds.append(data)
+                else:
+                    terminal = (event, data)
+            assert terminal is not None and terminal[0] == "result"
+            result = terminal[1]["result"]
+            # entry-for-entry: the streamed rounds ARE the result's trace
+            assert [_strip_timings(r) for r in rounds] == [
+                _strip_timings(r) for r in result["rounds"]
+            ]
+            # monotone: draws never shrink, round indexes increase
+            draws = [r["total_draws"] for r in rounds]
+            assert draws == sorted(draws)
+            assert [r["round"] for r in rounds] == sorted(
+                {r["round"] for r in rounds}
+            )
+
+    def test_extreme_rounds_carry_the_no_guarantee_sentinel(self, world):
+        with _serve(_service(world)) as (client, _runner):
+            accepted = client.submit(MAX_AQL, error_bound=0.2, seed=11)
+            assert accepted["kind"] == "extreme"
+            rounds = [
+                data
+                for event, data in client.events(accepted["id"])
+                if event == "round"
+            ]
+            assert rounds, "extreme queries stream rounds too"
+            for entry in rounds:
+                # JSON-clean: moe is the 0.0 sentinel, never NaN (the
+                # client's json.loads would already have rejected NaN)
+                assert entry["guaranteed"] is False
+                assert entry["moe"] == 0.0
+                assert isinstance(entry["estimate"], float)
+
+    def test_late_subscriber_still_sees_every_round(self, world):
+        with _serve(_service(world)) as (client, _runner):
+            accepted = client.submit(COUNT_AQL, error_bound=0.2, seed=11)
+            final = client.wait(accepted["id"])  # settle first
+            events = list(client.events(accepted["id"]))
+            rounds = [data for event, data in events if event == "round"]
+            assert [_strip_timings(r) for r in rounds] == [
+                _strip_timings(r) for r in final["result"]["rounds"]
+            ]
+            assert events[-1][0] == "result"
+
+    def test_cancel_mid_stream_ends_with_cancelled_event(self, world):
+        service = _service(world, backend=_StallingBackend(rounds=2))
+        with _serve(service) as (client, _runner):
+            accepted = client.submit(COUNT_AQL, **NEVER)
+            seen = threading.Event()
+            events = []
+
+            def consume():
+                for event, data in client.events(accepted["id"]):
+                    events.append((event, data))
+                    if event == "round":
+                        seen.set()
+
+            reader = threading.Thread(target=consume)
+            reader.start()
+            assert seen.wait(timeout=30), "no round arrived over SSE"
+            response = client.cancel(accepted["id"])
+            assert response["cancelled"] is True
+            reader.join(timeout=30)
+            assert not reader.is_alive(), "stream must end after cancel"
+            assert events[-1][0] == "cancelled"
+            assert client.status(accepted["id"])["status"] == "cancelled"
+
+
+# ---------------------------------------------------------------------------
+# The error taxonomy on the wire
+# ---------------------------------------------------------------------------
+class TestErrorMapping:
+    def test_parse_error_is_400(self, world):
+        with _serve(_service(world)) as (client, _runner):
+            with pytest.raises(HttpStatusError) as info:
+                client.submit("COUNT( MATCH broken")
+            assert info.value.status == 400
+            assert info.value.payload["error"] == "ParseError"
+
+    def test_unknown_id_is_404_everywhere(self, world):
+        with _serve(_service(world)) as (client, _runner):
+            for call in (
+                lambda: client.status("q999"),
+                lambda: client.cancel("q999"),
+                lambda: client.refine("q999", 0.1),
+                lambda: list(client.events("q999")),
+            ):
+                with pytest.raises(HttpStatusError) as info:
+                    call()
+                assert info.value.status == 404
+
+    def test_overload_is_429_with_retry_after(self, world):
+        service = _service(
+            world,
+            limits=ServiceLimits(max_pending=1),
+            backend=_StallingBackend(rounds=1),
+        )
+        with _serve(service) as (client, _runner):
+            client.submit(COUNT_AQL, **NEVER)  # occupies the only slot
+            with pytest.raises(HttpStatusError) as info:
+                client.submit(AVG_AQL, error_bound=0.2)
+            assert info.value.status == 429
+            assert info.value.payload["error"] == "ServiceOverloadedError"
+            assert int(info.value.retry_after) >= 1
+
+    def test_client_quota_sheds_before_the_service(self, world):
+        quota = ClientQuota(rate=0.001, burst=2)
+        with _serve(_service(world), quota=quota) as (client, _runner):
+            client.submit(COUNT_AQL, error_bound=0.2)
+            client.submit(AVG_AQL, error_bound=0.2)
+            with pytest.raises(HttpStatusError) as info:
+                client.submit(MAX_AQL, error_bound=0.2)
+            assert info.value.status == 429
+            assert info.value.payload["error"] == "ClientQuotaExceeded"
+            assert int(info.value.retry_after) >= 1
+            health = client.healthz()
+            assert health["server"]["quota_sheds"] == 1
+            # reads are not quota-charged: status/healthz still answer
+            assert health["status"] == "ok"
+
+    def test_invalid_submit_fields_are_400(self, world):
+        with _serve(_service(world)) as (client, _runner):
+            for params in (
+                {"error_bound": -1.0},
+                {"confidence": 1.5},
+                {"seed": "seven"},
+                {"max_rounds": 0},
+                {"deadline": -2.0},
+            ):
+                with pytest.raises(HttpStatusError) as info:
+                    client.submit(COUNT_AQL, **params)
+                assert info.value.status == 400, params
+
+    def test_refine_wrong_kind_is_400_not_503(self, world):
+        with _serve(_service(world)) as (client, _runner):
+            accepted = client.submit(MAX_AQL, error_bound=0.2)
+            client.wait(accepted["id"])
+            with pytest.raises(HttpStatusError) as info:
+                client.refine(accepted["id"], 0.05)
+            assert info.value.status == 400
+            assert info.value.payload["error"] == "ServiceError"
+
+    def test_method_mismatch_is_405_with_allow(self, world):
+        with _serve(_service(world)) as (client, _runner):
+            with pytest.raises(HttpStatusError) as info:
+                client._request("GET", "/v1/queries")
+            assert info.value.status == 405
+            assert info.value.headers.get("allow") == "POST"
+
+
+# ---------------------------------------------------------------------------
+# Deadlines over the wire
+# ---------------------------------------------------------------------------
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class _ClockSteppingBackend(ExecutionBackend):
+    """Cooperative backend advancing a fake clock after each cohort pass —
+    deadline expiry is driven by completed rounds, not by sleeping."""
+
+    def __init__(self, clock: _FakeClock, step: float):
+        self._clock = clock
+        self._step = step
+
+    def run_cohort(self, service, cohort) -> None:
+        super().run_cohort(service, cohort)
+        if cohort:
+            self._clock.now += self._step
+
+
+class TestDeadlines:
+    def test_expiry_carries_the_partial_trace_over_http(self, world):
+        clock = _FakeClock()
+        config = EngineConfig(seed=7, max_rounds=50)
+        service = AggregateQueryService(
+            world.kg, world.embedding, config,
+            backend=_ClockSteppingBackend(clock, step=1.0),
+        )
+        service._clock = clock
+        with _serve(service) as (client, _runner):
+            accepted = client.submit(
+                AVG_AQL, seed=5, error_bound=1e-12, deadline=2.5
+            )
+            final = client.wait(accepted["id"])
+            assert final["status"] == "failed"
+            error = final["error"]
+            assert error["error"] == "DeadlineExceededError"
+            assert error["status"] == 504
+            # the anytime contract survives the failure: >= 2 completed
+            # rounds (2.5 fake seconds) ride along with the error
+            assert len(error["trace"]) >= 2
+            last = error["trace"][-1]
+            assert isinstance(last["estimate"], float)
+            assert isinstance(last["moe"], float)
+            # the SSE stream for an expired query ends with the same error
+            events = list(client.events(accepted["id"]))
+            assert events[-1][0] == "error"
+            assert events[-1][1]["error"] == "DeadlineExceededError"
+            assert len(events[-1][1]["trace"]) >= 2
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle: refine, health, shutdown
+# ---------------------------------------------------------------------------
+class TestLifecycle:
+    def test_refine_tightens_over_http(self, world):
+        with _serve(_service(world, max_rounds=32)) as (client, _runner):
+            accepted = client.submit(COUNT_AQL, error_bound=0.2, seed=11)
+            first = client.wait(accepted["id"])
+            refined = client.refine(accepted["id"], 0.05)
+            assert refined["status"] in ("running", "succeeded")
+            second = client.wait(accepted["id"])
+            assert second["status"] == "succeeded"
+            assert (
+                second["result"]["moe"] <= first["result"]["moe"]
+            ), "a tighter bound cannot loosen the interval"
+            assert second["rounds_completed"] >= first["rounds_completed"]
+
+    def test_healthz_surfaces_service_and_server_counters(self, world):
+        service = _service(world, backend=_StallingBackend(rounds=1))
+        with _serve(service) as (client, _runner):
+            accepted = client.submit(COUNT_AQL, **NEVER)
+            health = client.healthz()
+            assert health["status"] == "ok"
+            service_health = health["service"]
+            assert service_health["uptime_s"] > 0.0
+            assert service_health["live_queries"] == 1
+            assert service_health["live_by_kind"]["rounds"] == 1
+            assert service_health["live_by_kind"]["extreme"] == 0
+            server_health = health["server"]
+            assert server_health["queries_submitted"] == 1
+            assert server_health["uptime_s"] > 0.0
+            assert server_health["requests"] >= 2
+            client.cancel(accepted["id"])
+
+    def test_graceful_shutdown_drains_a_live_stream(self, world):
+        service = _service(world, backend=_StallingBackend(rounds=1))
+        runner = ServerThread(
+            ReproHTTPServer(
+                service, "127.0.0.1", 0, drain_timeout=0.2, owns_service=True
+            )
+        ).start()
+        client = ReproClient(*runner.address)
+        accepted = client.submit(COUNT_AQL, **NEVER)
+        seen = threading.Event()
+        events = []
+
+        def consume():
+            for event, data in client.events(accepted["id"]):
+                events.append((event, data))
+                if event == "round":
+                    seen.set()
+
+        reader = threading.Thread(target=consume)
+        reader.start()
+        assert seen.wait(timeout=30), "no round arrived over SSE"
+        runner.stop()  # drain: cancels the straggler, settles the stream
+        reader.join(timeout=30)
+        assert not reader.is_alive(), "the live stream must drain on stop"
+        assert events[-1][0] == "cancelled", (
+            "a drained stream ends with its terminal event, not a cut socket"
+        )
+        assert service.health()["closed"] is True
+
+    def test_draining_server_rejects_new_work_with_503(self, world):
+        service = _service(world)
+        server = ReproHTTPServer(
+            service, "127.0.0.1", 0, drain_timeout=0.2, owns_service=True
+        )
+        runner = ServerThread(server).start()
+        client = ReproClient(*runner.address)
+        accepted = client.submit(COUNT_AQL, error_bound=0.2)
+        client.wait(accepted["id"])
+        server._closing = True  # what shutdown() sets first
+        with pytest.raises(HttpStatusError) as info:
+            client.submit(AVG_AQL, error_bound=0.2)
+        assert info.value.status == 503
+        assert info.value.payload["error"] == "ServerDraining"
+        # reads still answer while draining (health reports it)
+        assert client.healthz()["status"] == "draining"
+        server._closing = False
+        runner.stop()
+
+    def test_status_before_first_round_is_clean(self, world):
+        service = _service(world, backend=_StallingBackend(rounds=1))
+        with _serve(service) as (client, _runner):
+            accepted = client.submit(COUNT_AQL, **NEVER)
+            payload = client.status(accepted["id"])
+            assert payload["status"] in ("pending", "running")
+            assert payload["result"] is None and payload["error"] is None
+            client.cancel(accepted["id"])
