@@ -1,0 +1,269 @@
+#!/usr/bin/env python
+"""Observability-tax benchmark: instrumentation on vs ``NULL_REGISTRY``.
+
+The observability layer (metrics registry, span trees, audit log) is on
+by default, so its cost is part of every serving number this repo
+publishes.  This bench gates that cost: the 8-query S4 workload from
+``bench_perf_serving.py`` runs twice through ``submit_batch`` on the
+cooperative scheduler —
+
+* **instrumented** — the default configuration: a fresh
+  :class:`MetricsRegistry`, span trees accumulated per query, and a
+  JSON audit line written per settlement (to an in-memory sink, so the
+  tax measured is the instrumentation itself, not disk latency);
+* **disabled** — ``registry=NULL_REGISTRY``: every instrument is a
+  no-op singleton, no spans are built, no audit lines are written.
+
+Two gates:
+
+* **determinism** — per-query fingerprints (estimates, MoEs, draw
+  counts, round traces) must be byte-identical across the two arms and
+  equal to plain sequential execution: instrumentation performs no RNG
+  draws and never touches memo state, and this is where that contract
+  is enforced;
+* **overhead** — best-of-``repeats`` batch wall-clock with
+  instrumentation on must stay within ``--max-overhead-pct`` (3% by
+  default) of the disabled arm.  ``--smoke`` keeps the determinism gate
+  bit-exact but loosens the overhead ceiling: a single repeat at small
+  scale is noise-dominated, so tight percentage gates belong to the
+  full run that writes ``BENCH_obs.json``.
+
+The same two arms also run once on the processes backend (equivalence
+only, no timing gate — worker spawn noise would drown a 3% signal).
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_obs.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import (  # noqa: E402
+    AggregateFunction,
+    AggregateQuery,
+    ApproximateAggregateEngine,
+    AggregateQueryService,
+    EngineConfig,
+    QueryGraph,
+)
+from repro.core.plan import shared_plan_cache  # noqa: E402
+from repro.core.result import GroupedResult  # noqa: E402
+from repro.datasets import yago_like  # noqa: E402
+from repro.obs import NULL_REGISTRY  # noqa: E402
+
+#: loosened smoke-mode overhead ceiling (single-repeat timing is noise)
+SMOKE_OVERHEAD_PCT = 25.0
+
+
+def _workload() -> list[AggregateQuery]:
+    """The 8-query serving workload (mirrors ``bench_perf_serving``)."""
+    chain = QueryGraph.chain(
+        "Spain",
+        ["Country"],
+        [("league", ["League"]), ("playerIn", ["SoccerPlayer"])],
+    )
+    spain = QueryGraph.simple("Spain", ["Country"], "bornIn", ["SoccerPlayer"])
+    england = QueryGraph.simple("England", ["Country"], "locatedIn", ["Museum"])
+    china = QueryGraph.simple("China", ["Country"], "country", ["City"])
+    return [
+        AggregateQuery(query=chain, function=AggregateFunction.COUNT),
+        AggregateQuery(query=chain, function=AggregateFunction.AVG, attribute="age"),
+        AggregateQuery(
+            query=chain, function=AggregateFunction.SUM, attribute="transfer_value"
+        ),
+        AggregateQuery(query=spain, function=AggregateFunction.COUNT),
+        AggregateQuery(query=spain, function=AggregateFunction.AVG, attribute="age"),
+        AggregateQuery(query=england, function=AggregateFunction.COUNT),
+        AggregateQuery(
+            query=england, function=AggregateFunction.AVG, attribute="visitors"
+        ),
+        AggregateQuery(query=china, function=AggregateFunction.COUNT),
+    ]
+
+
+def _fingerprint(result) -> tuple:
+    """Everything value-like about a result (timings excluded)."""
+    if isinstance(result, GroupedResult):
+        return (
+            "grouped",
+            result.converged,
+            result.total_draws,
+            tuple(
+                (key, round(group.value, 10), round(group.moe, 10),
+                 group.converged, group.correct_draws)
+                for key, group in sorted(result.groups.items())
+            ),
+        )
+    return (
+        round(result.value, 10),
+        round(result.moe, 10),
+        result.converged,
+        result.total_draws,
+        result.correct_draws,
+        tuple(
+            (t.round_index, t.total_draws, t.correct_draws, t.estimate, t.moe,
+             t.satisfied)
+            for t in result.rounds
+        ),
+    )
+
+
+def run(scale: float, repeats: int, seed: int, max_overhead_pct: float) -> dict:
+    """Benchmark one configuration and return the report dict."""
+    bundle = yago_like(seed=seed, scale=scale)
+    kg, embedding = bundle.kg, bundle.embedding
+    config = EngineConfig(seed=seed)
+    queries = _workload()
+    seeds = [seed + 11 + position for position in range(len(queries))]
+
+    def batch(instrumented: bool, backend: str = "cooperative") -> list:
+        shared_plan_cache().clear()
+        kwargs: dict = {"backend": backend}
+        if backend == "processes":
+            kwargs["workers"] = 2
+        if instrumented:
+            kwargs["audit_log"] = io.StringIO()
+        else:
+            kwargs["registry"] = NULL_REGISTRY
+        with AggregateQueryService(kg, embedding, config, **kwargs) as service:
+            handles = service.submit_batch(list(zip(queries, seeds)))
+            results = [handle.result() for handle in handles]
+            if instrumented:
+                audit_lines = kwargs["audit_log"].getvalue().splitlines()
+                assert len(audit_lines) == len(queries), (
+                    f"expected one audit line per query, got "
+                    f"{len(audit_lines)} for {len(queries)}"
+                )
+                for handle in handles:
+                    assert handle.trace() is not None, "missing span tree"
+            else:
+                assert all(handle.trace() is None for handle in handles), (
+                    "NULL_REGISTRY must disable span accumulation"
+                )
+            return results
+
+    def sequential() -> list:
+        shared_plan_cache().clear()
+        engine = ApproximateAggregateEngine(kg, embedding, config)
+        return [
+            engine.execute(query, seed=query_seed)
+            for query, query_seed in zip(queries, seeds)
+        ]
+
+    # -- determinism gate ----------------------------------------------
+    expected = [_fingerprint(result) for result in sequential()]
+    on_results = [_fingerprint(r) for r in batch(instrumented=True)]
+    off_results = [_fingerprint(r) for r in batch(instrumented=False)]
+    assert on_results == expected, (
+        "instrumented serving diverged from sequential execution"
+    )
+    assert off_results == expected, (
+        "NULL_REGISTRY serving diverged from sequential execution"
+    )
+    # the processes backend arms: spans/audit must not perturb worker runs
+    on_process = [_fingerprint(r) for r in batch(True, backend="processes")]
+    off_process = [_fingerprint(r) for r in batch(False, backend="processes")]
+    assert on_process == expected and off_process == expected, (
+        "processes-backend results changed with instrumentation toggled"
+    )
+
+    # -- the overhead gate ---------------------------------------------
+    def timed(instrumented: bool) -> float:
+        started = time.perf_counter()
+        batch(instrumented)
+        return time.perf_counter() - started
+
+    # interleave the arms repeat-by-repeat: machine drift (thermal, page
+    # cache, background load) swings whole-batch wall by far more than
+    # the tax under test, and interleaving exposes both arms to it
+    # equally so best-of-N converges on the real difference
+    on_seconds = off_seconds = float("inf")
+    for _ in range(repeats):
+        off_seconds = min(off_seconds, timed(False))
+        on_seconds = min(on_seconds, timed(True))
+
+    overhead_pct = (on_seconds - off_seconds) / off_seconds * 100.0
+    assert overhead_pct <= max_overhead_pct, (
+        f"observability tax {overhead_pct:.2f}% exceeds the "
+        f"{max_overhead_pct:.1f}% budget "
+        f"({on_seconds * 1e3:.1f} ms on vs {off_seconds * 1e3:.1f} ms off)"
+    )
+
+    return {
+        "preset": "yago2-like",
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "kg_nodes": kg.num_nodes,
+        "kg_edges": kg.num_edges,
+        "batch_size": len(queries),
+        "instrumented_seconds": on_seconds,
+        "disabled_seconds": off_seconds,
+        "overhead_pct": overhead_pct,
+        "max_overhead_pct": max_overhead_pct,
+        "byte_identical": True,
+        "processes_byte_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale + few repeats; finishes in a few seconds",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-overhead-pct",
+        type=float,
+        default=None,
+        help="fail if the instrumentation tax exceeds this (default: 3.0, "
+        f"or {SMOKE_OVERHEAD_PCT} with --smoke)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_obs.json",
+        help="where to write the JSON report",
+    )
+    arguments = parser.parse_args(argv)
+    scale = arguments.scale if arguments.scale is not None else (1.0 if arguments.smoke else 3.0)
+    repeats = arguments.repeats if arguments.repeats is not None else (1 if arguments.smoke else 8)
+    ceiling = arguments.max_overhead_pct
+    if ceiling is None:
+        ceiling = SMOKE_OVERHEAD_PCT if arguments.smoke else 3.0
+
+    report = run(scale=scale, repeats=repeats, seed=arguments.seed,
+                 max_overhead_pct=ceiling)
+    report["smoke"] = arguments.smoke
+    arguments.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"8-query batch, observability on vs off "
+        f"(scale {scale}, best of {repeats}):"
+    )
+    print(f"  instrumented: {report['instrumented_seconds'] * 1e3:8.1f} ms")
+    print(f"  disabled:     {report['disabled_seconds'] * 1e3:8.1f} ms")
+    print(
+        f"  tax:          {report['overhead_pct']:+8.2f} %  "
+        f"(budget {ceiling:.1f}%, fixed-seed results byte-identical)"
+    )
+    print(f"[saved to {arguments.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

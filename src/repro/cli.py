@@ -177,7 +177,22 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--trace", action="store_true", help="print each query's round trace"
     )
+    serve.add_argument(
+        "--audit-log",
+        metavar="PATH",
+        default=None,
+        help="append one JSON line per settled query (query, backend, "
+        "rounds, per-stage ms, retries, estimate + CI) to this file",
+    )
     _add_backend_arguments(serve)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="fetch a running server's /metrics (Prometheus text format)",
+    )
+    metrics.add_argument(
+        "address", metavar="HOST:PORT", help="a repro serve --http address"
+    )
 
     snapshot = commands.add_parser(
         "snapshot",
@@ -379,6 +394,7 @@ def _service_for(bundle, config: EngineConfig, args) -> AggregateQueryService:
         workers=args.workers,
         default_deadline=args.deadline,
         limits=ServiceLimits(max_pending=args.max_pending),
+        audit_log=getattr(args, "audit_log", None),
     )
 
 
@@ -525,6 +541,22 @@ def _serve_stdin(bundle, config: EngineConfig, args) -> int:
             return 130
     print(f"served {served} queries", file=sys.stderr)
     return exit_code
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Print a running server's Prometheus exposition to stdout."""
+    from repro.server import ReproClient
+
+    host, _, port_text = args.address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(
+            f"metrics expects HOST:PORT, got {args.address!r}", file=sys.stderr
+        )
+        return 2
+    print(ReproClient(host or "127.0.0.1", port).metrics(), end="")
+    return 0
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
@@ -764,6 +796,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "query": _cmd_query,
     "serve": _cmd_serve,
+    "metrics": _cmd_metrics,
     "snapshot": _cmd_snapshot,
     "datasets": _cmd_datasets,
     "experiment": _cmd_experiment,

@@ -50,6 +50,7 @@ from repro.estimation.confidence import ConfidenceInterval
 from repro.estimation.estimators import EstimationSample, estimate, estimate_extreme
 from repro.estimation.extreme import estimate_extreme_evt
 from repro.kg.graph import KnowledgeGraph
+from repro.obs.trace import child_span
 from repro.query.aggregate import AggregateQuery
 from repro.sampling.collector import AnswerCollector, AnswerDistribution
 from repro.utils.rng import derive_seed, ensure_rng
@@ -62,6 +63,10 @@ STAGE_GUARANTEE = "guarantee"
 #: serving overhead (queue management, cohort selection, cross-query
 #: batching bookkeeping) attributed by the AggregateQueryService scheduler
 STAGE_SCHEDULER = "scheduler"
+#: processes-backend transport: RoundWorkItem export + pickling + queue
+#: round-trip + result apply, attributed by ProcessBackend.run_cohort as
+#: the per-round parent wall minus the worker's own stage seconds
+STAGE_IPC = "ipc"
 
 #: How a query's rounds are stepped and finalised.  Every kind runs the
 #: same incremental grow/step/finalise lifecycle — they differ only in
@@ -504,6 +509,10 @@ class QueryExecutor:
     #: in production
     fault_hook = None
 
+    #: observability instruments (dict of repro.obs metrics) installed by
+    #: the owning service; None — one attribute check — standalone
+    obs_metrics = None
+
     def __init__(
         self,
         kg: KnowledgeGraph,
@@ -602,7 +611,9 @@ class QueryExecutor:
         rng = ensure_rng(derive_seed(effective_seed, "engine"))
         timers = StageTimer()
 
-        with timers.measure(STAGE_SAMPLING):
+        with child_span("initialise", seed=effective_seed), timers.measure(
+            STAGE_SAMPLING
+        ):
             components = [
                 self._planner.plan_for(component)
                 for component in aggregate_query.query.components
@@ -993,8 +1004,13 @@ class QueryExecutor:
         hook = self.fault_hook
         if hook is not None:
             hook.fire("validate_batch", pending=len(pending))
-        with state.timers.measure(STAGE_VALIDATION):
-            self._validate_entries(state, pending)
+        metrics = self.obs_metrics
+        if metrics is not None:
+            metrics["validated_entries"].inc(int(len(pending)))
+            metrics["validate_batch_pending"].observe(float(len(pending)))
+        with child_span("validate_batch", pending=int(len(pending))):
+            with state.timers.measure(STAGE_VALIDATION):
+                self._validate_entries(state, pending)
 
     def _estimation_samples(
         self, state: _QueryState

@@ -236,6 +236,10 @@ class PlanCache:
         self._entries: weakref.WeakKeyDictionary[KnowledgeGraph, _GraphEntry] = (
             weakref.WeakKeyDictionary()
         )
+        #: process-lifetime lookup tallies (survive clear()); exported by
+        #: the observability layer as repro_plan_cache_hits / _misses
+        self.hits = 0
+        self.misses = 0
 
     def _entry(self, kg: KnowledgeGraph) -> _GraphEntry:
         """The graph's live entry; evicts stale structure versions."""
@@ -255,6 +259,9 @@ class PlanCache:
                 # LRU touch: dicts iterate in insertion order, so oldest
                 # (least recently used) keys surface first for eviction
                 plans[key] = plans.pop(key)
+                self.hits += 1
+            else:
+                self.misses += 1
             return plan
 
     def store(
@@ -310,12 +317,14 @@ class PlanCache:
                 plan = entry.plans.get(key)
                 if plan is not None:
                     entry.plans[key] = entry.plans.pop(key)  # LRU touch
+                    self.hits += 1
                     return plan
                 event = entry.building.get(key)
                 if event is None:
                     event = threading.Event()
                     entry.building[key] = event
                     structure_version = entry.structure_version
+                    self.misses += 1
                     claimed = True
                 else:
                     claimed = False

@@ -22,6 +22,7 @@ from repro.core.plan import (
 from repro.embedding.predicate_space import PredicateVectorSpace
 from repro.errors import SamplingError, StoreError
 from repro.kg.graph import KnowledgeGraph
+from repro.obs.trace import child_span
 from repro.query.graph import PathQuery
 from repro.sampling.chain import ChainSampler
 from repro.sampling.collector import restrict_to_answers
@@ -158,7 +159,10 @@ class QueryPlanner:
 
     def _counted_build(self, component: PathQuery) -> QueryPlan:
         self.build_count += 1
-        return self._build(component)
+        with child_span(
+            "plan_build", predicates=",".join(component.predicates)
+        ):
+            return self._build(component)
 
     # ------------------------------------------------------------------
     # Plan construction (S1)

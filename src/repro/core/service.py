@@ -62,6 +62,7 @@ service.
 from __future__ import annotations
 
 import enum
+import json
 import threading
 import time
 from collections import deque
@@ -93,6 +94,8 @@ from repro.errors import (
     ServiceOverloadedError,
 )
 from repro.kg.graph import KnowledgeGraph
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.query.aggregate import AggregateQuery
 from repro.utils.timing import Timer
 
@@ -158,6 +161,14 @@ class _QueryRecord:
     #: round/settlement listeners registered via QueryHandle.subscribe();
     #: called from scheduler/backend threads and must never block
     listeners: list = field(default_factory=list)
+    #: observability: the query's root span (None when tracing is off)
+    span: "obs_trace.Span | None" = None
+    #: worker-round redispatches this query absorbed (processes backend)
+    retries: int = 0
+    #: exactly-once audit guard; reset when a refine resurrects the query
+    audited: bool = False
+    #: perf_counter at submit, for the audit line's duration_ms
+    submitted_monotonic: float = 0.0
 
 
 class QueryHandle:
@@ -277,6 +288,19 @@ class QueryHandle:
             raise wrapper from original
         assert record.result is not None
         return record.result
+
+    def trace(self) -> dict | None:
+        """The query's correlated span tree as a nested JSON-clean dict.
+
+        The scheduler grows the tree at the existing seams — S1
+        ``initialise``/``plan_build``, one ``round`` child per anytime
+        round with its ``validate_batch`` (or synthetic ``worker_round``)
+        children, ``retry`` events for worker redispatches — and the tree
+        stays readable after settlement.  ``None`` when the service was
+        built with observability disabled (``registry=NULL_REGISTRY``).
+        """
+        span = self._record.span
+        return span.as_dict() if span is not None else None
 
     def refine(self, error_bound: float) -> "QueryHandle":
         """Queue another Theorem-2 run against ``error_bound``.
@@ -430,6 +454,7 @@ def _make_backend(
     workers: int | None,
     start_method: str | None,
     retry: RetryPolicy | None,
+    registry=None,
 ) -> ExecutionBackend:
     """Resolve a backend name (or pass a ready-made backend through)."""
     if isinstance(backend, ExecutionBackend):
@@ -452,6 +477,7 @@ def _make_backend(
             workers=workers,
             start_method=start_method,
             retry=retry,
+            registry=registry,
         )
     raise ServiceError(
         f"unknown execution backend {backend!r}; choose from {BACKENDS}"
@@ -491,6 +517,8 @@ class AggregateQueryService:
         retry: RetryPolicy | None = None,
         default_deadline: float | None = None,
         fault_plan: FaultPlan | None = None,
+        registry=None,
+        audit_log=None,
     ) -> None:
         self._kg = kg
         self._space = (
@@ -499,6 +527,10 @@ class AggregateQueryService:
             else PredicateVectorSpace(embedding)
         )
         self.config = config or EngineConfig()
+        #: the observability registry (repro.obs); a fresh one per service
+        #: by default so health() counters describe this service alone
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._obs_enabled = bool(getattr(self.registry, "enabled", True))
         self._planner = (
             planner
             if planner is not None
@@ -510,7 +542,8 @@ class AggregateQueryService:
             else QueryExecutor(kg, self._space, self.config, self._planner)
         )
         self._backend = _make_backend(
-            backend, kg, self._space, self.config, workers, start_method, retry
+            backend, kg, self._space, self.config, workers, start_method,
+            retry, registry=self.registry,
         )
         self._limits = limits if limits is not None else ServiceLimits()
         self._default_deadline = default_deadline
@@ -524,10 +557,8 @@ class AggregateQueryService:
         self._clock = time.monotonic
         #: service birth on the same clock; health() reports the delta
         self._started_at = self._clock()
-        #: submissions rejected by admission control
-        self._sheds = 0
-        #: queries settled as DeadlineExceededError
-        self._deadline_expiries = 0
+        self._register_instruments()
+        self._open_audit_sink(audit_log)
         #: what the scheduler thread is doing (named by close() when stuck)
         self._phase = "idle"
         #: how long close() waits for the scheduler before declaring it
@@ -539,6 +570,167 @@ class AggregateQueryService:
         self._thread: threading.Thread | None = None
         self._autostart = autostart
         self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # Observability (repro.obs): instruments + the query audit log
+    # ------------------------------------------------------------------
+    def _register_instruments(self) -> None:
+        """Register every service-side metric family on the registry.
+
+        ``health()`` keys are read-throughs of these instruments — the
+        registry is the single source of truth, and counter reads are
+        atomic (each counter carries its own lock), which is what makes
+        polling ``health()`` safe against a backend mid-respawn.
+        """
+        scheduler = self.registry.scope("scheduler")
+        self._metric_sheds = scheduler.counter(
+            "sheds_total", "Submissions/refines rejected by admission control"
+        )
+        self._metric_deadline_expiries = scheduler.counter(
+            "deadline_expiries_total",
+            "Queries settled as DeadlineExceededError",
+        )
+        self._metric_submitted = scheduler.counter(
+            "queries_submitted_total", "Queries accepted by submit()"
+        )
+        self._metric_settled = {
+            status: scheduler.counter(
+                "queries_settled_total",
+                "Settlements by terminal status",
+                labels={"status": status.value},
+            )
+            for status in _TERMINAL
+        }
+        self._metric_rounds = scheduler.counter(
+            "rounds_total", "Anytime rounds completed across all queries"
+        )
+        self._metric_round_seconds = scheduler.histogram(
+            "round_seconds", "Wall-clock seconds per completed round"
+        )
+        scheduler.gauge(
+            "live_queries", "Queries not yet settled"
+        ).set_function(self._live_query_count)
+        plan = self.registry.scope("plan")
+        plan.gauge(
+            "builds", "S1 plans built by this service's planner"
+        ).set_function(lambda: self._planner.build_count)
+        plan.gauge(
+            "catalog_hits", "Plans adopted from a snapshot catalog"
+        ).set_function(lambda: self._planner.catalog_hits)
+        plan.gauge(
+            "cache_hits",
+            "Plan-cache hits (process-wide cache, process-lifetime total)",
+        ).set_function(lambda: self._planner.cache.hits)
+        plan.gauge(
+            "cache_misses",
+            "Plan-cache misses (process-wide cache, process-lifetime total)",
+        ).set_function(lambda: self._planner.cache.misses)
+        if self._obs_enabled:
+            execution = self.registry.scope("exec")
+            self._exec_metrics = {
+                "validated_entries": execution.counter(
+                    "validated_entries_total",
+                    "Candidate answers validated (S2)",
+                ),
+                "validate_batch_pending": execution.histogram(
+                    "validate_batch_pending",
+                    "Batch sizes handed to the S2 validation kernels",
+                    buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+                             250.0, 500.0, 1000.0),
+                ),
+            }
+        else:
+            # keep the instrumentation-off hot path at one attribute check
+            self._exec_metrics = None
+        self._executor.obs_metrics = self._exec_metrics
+
+    def _live_query_count(self) -> int:
+        with self._condition:
+            return sum(
+                1 for record in self._records
+                if record.status not in _TERMINAL
+            )
+
+    def _open_audit_sink(self, audit_log) -> None:
+        self._audit_lock = threading.Lock()
+        self._audit_owns_sink = False
+        if audit_log is None:
+            self._audit_sink = None
+        elif hasattr(audit_log, "write"):
+            self._audit_sink = audit_log
+        else:
+            self._audit_sink = open(audit_log, "a", encoding="utf-8")
+            self._audit_owns_sink = True
+
+    def _settle_locked(self, record: _QueryRecord, status: QueryStatus) -> None:
+        """Once-per-settlement bookkeeping: metrics, span end, audit line.
+
+        Called under the service lock from the three settlement sites.
+        ``record.audited`` makes it exactly-once per settlement; a refine
+        that resurrects a succeeded query re-arms it.
+        """
+        if record.audited:
+            return
+        record.audited = True
+        self._metric_settled[status].inc()
+        if record.span is not None:
+            record.span.annotate(status=status.value)
+            record.span.end()
+        if self._audit_sink is not None:
+            try:
+                line = json.dumps(
+                    self._audit_line(record, status), allow_nan=False
+                )
+                with self._audit_lock:
+                    self._audit_sink.write(line + "\n")
+                    self._audit_sink.flush()
+            except Exception:  # noqa: BLE001 - a full disk must not
+                pass  # take the scheduler (or the settling query) down
+
+    def _audit_line(self, record: _QueryRecord, status: QueryStatus) -> dict:
+        """One settled query as a JSON-clean audit record."""
+        state = record.state
+        result = record.result if status is QueryStatus.SUCCEEDED else None
+        line: dict = {
+            "ts": round(time.time(), 3),
+            "sequence": record.sequence,
+            "query": record.aggregate_query.describe(),
+            "kind": record.kind,
+            "backend": self._backend.name,
+            "status": status.value,
+            "seed": record.seed,
+            "rounds": len(state.rounds) if state is not None else 0,
+            "total_draws": state.total_draws if state is not None else 0,
+            "retries": record.retries,
+            "duration_ms": round(
+                (time.perf_counter() - record.submitted_monotonic) * 1e3, 3
+            ),
+            "stage_ms": (
+                {
+                    stage: round(ms, 3)
+                    for stage, ms in state.timers.as_dict_ms().items()
+                }
+                if state is not None
+                else {}
+            ),
+        }
+        if isinstance(result, GroupedResult):
+            line["groups"] = result.num_groups
+            line["converged"] = result.converged
+        elif isinstance(result, ApproximateResult):
+            line["estimate"] = result.value
+            # extreme results keep their honest no-CI sentinel: moe 0.0,
+            # guaranteed False — JSON-clean, never NaN/inf
+            line["moe"] = result.moe
+            line["confidence"] = result.interval.confidence_level
+            line["guaranteed"] = (
+                result.rounds[-1].guaranteed if result.rounds else False
+            )
+            line["converged"] = result.converged
+        if status is QueryStatus.FAILED and record.exception is not None:
+            error = record.exception
+            line["error"] = f"{type(error).__name__}: {error}"
+        return line
 
     # ------------------------------------------------------------------
     # Public API
@@ -579,8 +771,8 @@ class AggregateQueryService:
                 "uptime_s": max(0.0, self._clock() - self._started_at),
                 "live_queries": sum(live_by_kind.values()),
                 "live_by_kind": live_by_kind,
-                "sheds": self._sheds,
-                "deadline_expiries": self._deadline_expiries,
+                "sheds": int(self._metric_sheds.value),
+                "deadline_expiries": int(self._metric_deadline_expiries.value),
                 "max_pending": self._limits.max_pending,
                 "max_queued_runs": self._limits.max_queued_runs,
             }
@@ -626,7 +818,7 @@ class AggregateQueryService:
                     1 for r in self._records if r.status not in _TERMINAL
                 )
                 if pending >= limit:
-                    self._sheds += 1
+                    self._metric_sheds.inc()
                     raise ServiceOverloadedError(
                         f"service is serving {pending} live queries "
                         f"(max_pending={limit}); retry after backoff"
@@ -641,6 +833,16 @@ class AggregateQueryService:
                     None if deadline is None else self._clock() + deadline
                 ),
             )
+            record.submitted_monotonic = time.perf_counter()
+            if self._obs_enabled:
+                record.span = obs_trace.start_span(
+                    "query",
+                    query=aggregate_query.describe(),
+                    kind=kind,
+                    sequence=record.sequence,
+                    seed=seed,
+                )
+            self._metric_submitted.inc()
             self._sequence += 1
             self._records.append(record)
             if start:
@@ -736,6 +938,10 @@ class AggregateQueryService:
                     self._finish_cancelled_locked(record)
             self._condition.notify_all()
         self._backend.close()
+        if self._audit_owns_sink and self._audit_sink is not None:
+            with self._audit_lock:
+                self._audit_sink.close()
+                self._audit_sink = None
 
     def __enter__(self) -> "AggregateQueryService":
         return self
@@ -796,7 +1002,7 @@ class AggregateQueryService:
                     1 if record.active_run is not None else 0
                 )
                 if backlog >= limit:
-                    self._sheds += 1
+                    self._metric_sheds.inc()
                     raise ServiceOverloadedError(
                         f"query #{record.sequence} already has {backlog} "
                         f"queued/active runs (max_queued_runs={limit}); "
@@ -807,6 +1013,8 @@ class AggregateQueryService:
             )
             if record.status is QueryStatus.SUCCEEDED:
                 record.status = QueryStatus.RUNNING
+                # the refined query will settle (and be audited) again
+                record.audited = False
             if record not in self._records:
                 # the scheduler pruned this record after it finished;
                 # refining resurrects it into the live set
@@ -851,6 +1059,7 @@ class AggregateQueryService:
         record.active_run = None
         record.status = QueryStatus.CANCELLED
         self._notify(record, "settled", QueryStatus.CANCELLED)
+        self._settle_locked(record, QueryStatus.CANCELLED)
         self._condition.notify_all()
 
     # ------------------------------------------------------------------
@@ -904,6 +1113,7 @@ class AggregateQueryService:
         record.active_run = None
         record.status = QueryStatus.FAILED
         self._notify(record, "settled", QueryStatus.FAILED)
+        self._settle_locked(record, QueryStatus.FAILED)
         self._condition.notify_all()
 
     def _tick(self) -> None:
@@ -931,7 +1141,7 @@ class AggregateQueryService:
                         if record.state is not None
                         else ()
                     )
-                    self._deadline_expiries += 1
+                    self._metric_deadline_expiries.inc()
                     self._finish_failed_locked(
                         record,
                         DeadlineExceededError(
@@ -990,9 +1200,10 @@ class AggregateQueryService:
     def _initialise(self, record: _QueryRecord) -> None:
         """Run S1 + the initial BLB draws for one record."""
         try:
-            state = record.executor.initialise(
-                record.aggregate_query, record.seed
-            )
+            with obs_trace.activate(record.span):
+                state = record.executor.initialise(
+                    record.aggregate_query, record.seed
+                )
         except BaseException as exc:
             with self._condition:
                 if record.status not in _TERMINAL:
@@ -1141,6 +1352,8 @@ class AggregateQueryService:
         """
         run.steps_taken += 1
         run.last = outcome.trace
+        self._metric_rounds.inc()
+        self._metric_round_seconds.observe(outcome.trace.seconds)
         # push the fresh anytime trace entry to subscribers (SSE streams)
         # before any completion bookkeeping, so round events always
         # precede the settlement event
@@ -1201,19 +1414,22 @@ class AggregateQueryService:
                 round=run.steps_taken + 1,
                 kind=record.kind,
             )
-        grow_seconds = self._grow_for_run(record, run, state)
-        if record.kind is _KIND_GROUPED:
-            outcome = executor.step_grouped(
-                state, run.error_bound, carried_seconds=grow_seconds
-            )
-        elif record.kind is _KIND_EXTREME:
-            outcome = executor.step_extreme(
-                state, carried_seconds=grow_seconds
-            )
-        else:
-            outcome = executor.step(
-                state, run.error_bound, carried_seconds=grow_seconds
-            )
+        with obs_trace.activate(record.span), obs_trace.child_span(
+            "round", kind=record.kind, round_index=run.steps_taken + 1
+        ):
+            grow_seconds = self._grow_for_run(record, run, state)
+            if record.kind is _KIND_GROUPED:
+                outcome = executor.step_grouped(
+                    state, run.error_bound, carried_seconds=grow_seconds
+                )
+            elif record.kind is _KIND_EXTREME:
+                outcome = executor.step_extreme(
+                    state, carried_seconds=grow_seconds
+                )
+            else:
+                outcome = executor.step(
+                    state, run.error_bound, carried_seconds=grow_seconds
+                )
         self._finish_slot(record, run, state, outcome)
 
     def _complete_run(self, record: _QueryRecord, result) -> None:
@@ -1225,4 +1441,5 @@ class AggregateQueryService:
             if not record.queued_runs and not record.cancel_requested:
                 record.status = QueryStatus.SUCCEEDED
                 self._notify(record, "settled", QueryStatus.SUCCEEDED)
+                self._settle_locked(record, QueryStatus.SUCCEEDED)
             self._condition.notify_all()

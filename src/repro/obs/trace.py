@@ -1,0 +1,146 @@
+"""Structured tracing: plain-dataclass spans, context-propagated.
+
+A span is a named, timed tree node with JSON-clean attributes — no I/O,
+no sampling, no globals beyond one :data:`contextvars.ContextVar`
+holding the active span.  The scheduler activates a query's root span
+around each slot it steps (:func:`activate`), and the layers below emit
+children at their existing seams with :func:`child_span`, which is a
+cheap no-op when no span is active (the ``NULL_REGISTRY`` /
+instrumentation-off path never builds a tree at all).
+
+Spans never cross a process boundary: worker processes have no active
+span, and the processes backend reconstructs their rounds parent-side as
+synthetic ``worker_round`` children from the ``stage_seconds`` each
+:class:`RoundWorkResult` already carries.
+
+The span tree a query accumulated is retrievable as
+``QueryHandle.trace()`` (a nested dict via :meth:`Span.as_dict`) and is
+the source of the per-query audit-log line.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "activate",
+    "child_span",
+    "current_span",
+    "start_span",
+]
+
+
+def _json_safe(value):
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    return str(value)
+
+
+@dataclass
+class Span:
+    """One node of a query's span tree.
+
+    ``duration_s`` is None while the span is open; :meth:`end` stamps it
+    from the monotonic clock.  Children are appended in completion
+    order.  Mutation is single-writer by construction: a query's spans
+    are only touched by whichever thread holds its scheduler slot.
+    """
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+    started_at: float = field(default_factory=time.perf_counter)
+    duration_s: float | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    def end(self) -> "Span":
+        if self.duration_s is None:
+            self.duration_s = time.perf_counter() - self.started_at
+        return self
+
+    def child(self, name: str, **attributes) -> "Span":
+        span = Span(name=name, attributes=attributes)
+        self.children.append(span)
+        return span
+
+    def event(self, name: str, **attributes) -> "Span":
+        """A zero-duration child (retries, respawns, settlement marks)."""
+        span = Span(name=name, attributes=attributes, duration_s=0.0)
+        self.children.append(span)
+        return span
+
+    def annotate(self, **attributes) -> None:
+        self.attributes.update(attributes)
+
+    def as_dict(self) -> dict:
+        duration = self.duration_s
+        if duration is None:  # still open: report elapsed-so-far
+            duration = time.perf_counter() - self.started_at
+        return {
+            "name": self.name,
+            "duration_ms": round(duration * 1e3, 3),
+            "attributes": {
+                key: _json_safe(value)
+                for key, value in self.attributes.items()
+            },
+            "children": [child.as_dict() for child in self.children],
+        }
+
+
+_CURRENT: ContextVar[Span | None] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def start_span(name: str, **attributes) -> Span:
+    """A fresh root span (not activated; pair with :func:`activate`)."""
+    return Span(name=name, attributes=attributes)
+
+
+def current_span() -> Span | None:
+    return _CURRENT.get()
+
+
+@contextmanager
+def activate(span: Span | None):
+    """Make ``span`` the ambient parent for :func:`child_span` calls.
+
+    ``activate(None)`` is a no-op pass-through, so callers can hand over
+    ``record.span`` unconditionally whether or not tracing is on.
+    """
+    if span is None:
+        yield None
+        return
+    token = _CURRENT.set(span)
+    try:
+        yield span
+    finally:
+        _CURRENT.reset(token)
+
+
+@contextmanager
+def child_span(name: str, **attributes):
+    """Open a child under the ambient span; no-op without one.
+
+    The instrumentation seams call this unconditionally: with tracing
+    off (or outside a slot) the cost is one ContextVar read.
+    """
+    parent = _CURRENT.get()
+    if parent is None:
+        yield None
+        return
+    span = parent.child(name, **attributes)
+    token = _CURRENT.set(span)
+    try:
+        yield span
+    finally:
+        _CURRENT.reset(token)
+        span.end()

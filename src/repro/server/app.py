@@ -21,6 +21,8 @@ Endpoints
 ``POST /v1/queries/{id}/refine``            queue another run at a new bound
 ``DELETE /v1/queries/{id}``                 cancel
 ``GET /healthz``                            ``service.health()`` + server counters
+``GET /metrics``                            Prometheus text exposition of the
+                                            service's observability registry
 ==========================================  =====================================
 
 SSE streams are *push*, not poll: the handler subscribes to the query's
@@ -66,7 +68,16 @@ from repro.errors import (
     ServiceOverloadedError,
     StoreError,
 )
-from repro.server.http import HttpError, HttpRequest, SseStream, read_request, send_json
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.server.http import (
+    HttpError,
+    HttpRequest,
+    SseStream,
+    read_request,
+    send_json,
+    send_text,
+)
 from repro.server.quota import ClientQuota, QuotaRegistry
 
 __all__ = [
@@ -283,10 +294,30 @@ class ReproHTTPServer:
         #: is bounded by its live set, not its history
         self._entries: dict[str, _ServedQuery] = {}
         self._started_at = time.monotonic()
-        self._requests = 0
-        self._submitted = 0
-        self._sse_active = 0
-        self._sse_events = 0
+        # request/stream tallies live on the service's observability
+        # registry (scope ``server``), so /metrics and /healthz always
+        # agree; a service-less construction path keeps a private registry
+        registry = getattr(service, "registry", None)
+        self._registry = registry if registry is not None else MetricsRegistry()
+        scope = self._registry.scope("server")
+        self._c_requests = scope.counter(
+            "requests_total", "HTTP requests parsed off accepted connections"
+        )
+        self._c_submitted = scope.counter(
+            "queries_submitted_total", "Queries accepted over HTTP"
+        )
+        self._g_sse_active = scope.gauge(
+            "sse_streams_active", "Live SSE event streams"
+        )
+        self._c_sse_events = scope.counter(
+            "sse_events_total", "SSE events written across all streams"
+        )
+        self._h_request_seconds = scope.histogram(
+            "request_seconds", "Request handling wall clock"
+        )
+        scope.gauge(
+            "quota_sheds", "Requests shed by per-client token buckets"
+        ).set_function(lambda: self._quota.sheds if self._quota else 0)
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -355,12 +386,27 @@ class ReproHTTPServer:
                 return
             if request is None:
                 return
-            self._requests += 1
+            self._c_requests.inc()
+            handling_started = time.perf_counter()
+            span = (
+                obs_trace.start_span(
+                    "http_request", method=request.method, path=request.path
+                )
+                if self._registry.enabled
+                else None
+            )
             try:
-                await self._dispatch(request, writer)
+                with obs_trace.activate(span):
+                    await self._dispatch(request, writer)
             except HttpError as error:
                 await send_json(
                     writer, error.status, error.body(), headers=error.headers
+                )
+            finally:
+                if span is not None:
+                    span.end()
+                self._h_request_seconds.observe(
+                    time.perf_counter() - handling_started
                 )
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # the client went away; nothing to answer
@@ -395,6 +441,11 @@ class ReproHTTPServer:
         if path == "/healthz":
             self._require(method, "GET")
             return await self._handle_health(writer)
+        if path == "/metrics":
+            self._require(method, "GET")
+            return await send_text(
+                writer, 200, self._registry.render_prometheus()
+            )
         if path == "/v1/queries":
             self._require(method, "POST")
             self._admit(request, writer)
@@ -507,7 +558,7 @@ class ReproHTTPServer:
             raise _http_error_from(error)
         entry = _ServedQuery(f"q{handle.sequence}", handle)
         self._entries[entry.id] = entry
-        self._submitted += 1
+        self._c_submitted.inc()
         self._prune_entries()
         return entry
 
@@ -676,7 +727,7 @@ class ReproHTTPServer:
 
         handle.subscribe(listener)
         stream = SseStream(writer)
-        self._sse_active += 1
+        self._g_sse_active.inc()
         try:
             await stream.start()
             emitted = 0
@@ -715,8 +766,8 @@ class ReproHTTPServer:
             pass  # the client hung up mid-stream; the query runs on
         finally:
             handle.unsubscribe(listener)
-            self._sse_active -= 1
-            self._sse_events += stream.events_sent
+            self._g_sse_active.dec()
+            self._c_sse_events.inc(stream.events_sent)
 
     async def _emit_terminal(self, stream: SseStream, entry: _ServedQuery) -> None:
         handle = entry.handle
@@ -750,11 +801,11 @@ class ReproHTTPServer:
             "status": "draining" if self._closing else "ok",
             "server": {
                 "uptime_s": time.monotonic() - self._started_at,
-                "requests": self._requests,
-                "queries_submitted": self._submitted,
+                "requests": int(self._c_requests.value),
+                "queries_submitted": int(self._c_submitted.value),
                 "queries_tracked": len(self._entries),
-                "sse_streams_active": self._sse_active,
-                "sse_events_sent": self._sse_events,
+                "sse_streams_active": int(self._g_sse_active.value),
+                "sse_events_sent": int(self._c_sse_events.value),
                 "quota_sheds": self._quota.sheds if self._quota else 0,
             },
             "service": self._service.health(),

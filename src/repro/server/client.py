@@ -99,6 +99,26 @@ class ReproClient:
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> str:
+        """``GET /metrics``: the raw Prometheus text exposition."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+                raise HttpStatusError(
+                    response.status,
+                    decoded,
+                    {name.lower(): value for name, value in response.getheaders()},
+                )
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
     def wait(
         self, query_id: str, timeout: float = 60.0, poll_interval: float = 0.02
     ) -> dict:

@@ -32,6 +32,7 @@ __all__ = [
     "SseStream",
     "read_request",
     "send_json",
+    "send_text",
 ]
 
 #: request-line + headers may not exceed this many bytes in total
@@ -186,6 +187,31 @@ async def send_json(
     body = json.dumps(payload, allow_nan=False).encode("utf-8") + b"\n"
     all_headers = {
         "Content-Type": "application/json",
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+        "Cache-Control": "no-store",
+    }
+    if headers:
+        all_headers.update(headers)
+    writer.write(_head(status, all_headers) + body)
+    await writer.drain()
+
+
+async def send_text(
+    writer: asyncio.StreamWriter,
+    status: int,
+    text: str,
+    *,
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    headers: dict[str, str] | None = None,
+) -> None:
+    """Write one complete plain-text response (``/metrics`` exposition).
+
+    The default content type is the Prometheus text exposition format's.
+    """
+    body = text.encode("utf-8")
+    all_headers = {
+        "Content-Type": content_type,
         "Content-Length": str(len(body)),
         "Connection": "close",
         "Cache-Control": "no-store",

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.config import EngineConfig
 from repro.core.executor import (
+    STAGE_IPC,
     PrewarmWorkItem,
     QueryExecutor,
     RoundWorkItem,
@@ -51,6 +52,7 @@ from repro.embedding.predicate_space import PredicateVectorSpace
 from repro.errors import ServiceError
 from repro.kg.csr import csr_from_arrays, csr_snapshot, install_snapshot
 from repro.kg.graph import KnowledgeGraph
+from repro.obs.metrics import MetricsRegistry
 from repro.store.shared import SharedSnapshotStore
 
 __all__ = ["WorkerPool", "ProcessBackend", "default_worker_count"]
@@ -247,6 +249,7 @@ class WorkerPool:
         *,
         workers: int | None = None,
         start_method: str | None = None,
+        respawn_counter=None,
     ) -> None:
         self.workers = workers if workers is not None else default_worker_count()
         if self.workers < 1:
@@ -277,6 +280,10 @@ class WorkerPool:
         self._closed = False
         #: how many times a broken pool has been replaced (supervision)
         self.respawns = 0
+        #: observability mirror of :attr:`respawns` (a repro.obs counter
+        #: owned by the backend); every respawn increments both, so the
+        #: /metrics view never disagrees with the plain attribute
+        self._respawn_counter = respawn_counter
         #: (plan token, worker pid) -> (similarity, chain) memo lengths the
         #: worker's replica is known to hold; the floor of these over the
         #: live pid set bounds what a round item may omit (see
@@ -358,6 +365,8 @@ class WorkerPool:
         old.join()
         self._pool = self._spawn_pool()
         self.respawns += 1
+        if self._respawn_counter is not None:
+            self._respawn_counter.inc()
         # fresh processes hold no replica memos; the next round per plan
         # ships a full snapshot again
         self._memo_versions.clear()
@@ -558,6 +567,11 @@ class _PendingWork:
     handle: object = None
     pids: frozenset = field(default_factory=frozenset)
     attempts: int = 1
+    #: perf_counter right after growth, before export: the start of the
+    #: round's transport window (the ``ipc`` stage bucket)
+    export_started: float = 0.0
+    #: the query's ``round`` span for this dispatch (None when tracing off)
+    span: object = None
     #: terminal state (exactly one ends up set / True)
     result: object = None
     error: BaseException | None = None
@@ -600,33 +614,90 @@ class ProcessBackend(ExecutionBackend):
         start_method: str | None = None,
         retry: RetryPolicy | None = None,
         memo_deltas: bool = True,
+        registry=None,
     ) -> None:
+        # Counter bookkeeping lives on the observability registry
+        # (scope ``workers``): each counter carries its own lock, so
+        # health() polled from another thread mid-respawn reads each
+        # tally atomically instead of racing plain ``+=`` writes.  A
+        # standalone backend (no owning service) gets a private registry.
+        registry = registry if registry is not None else MetricsRegistry()
+        scope = registry.scope("workers")
+        self._c_respawns = scope.counter(
+            "respawns_total", "Worker pools replaced after a crash"
+        )
+        self._c_retries = scope.counter(
+            "retries_total", "Lost rounds re-dispatched after a respawn"
+        )
+        self._c_local_fallbacks = scope.counter(
+            "local_fallbacks_total",
+            "Slots executed in-process (stale pool or retry budget spent)",
+        )
+        self._c_memo_entries_shipped = scope.counter(
+            "memo_entries_shipped_total",
+            "Memo entries serialised to workers (delta or full)",
+        )
+        self._c_memo_entries_saved = scope.counter(
+            "memo_entries_saved_total",
+            "Memo entries delta shipping avoided serialising",
+        )
+        self._c_delta_dispatches = scope.counter(
+            "delta_dispatches_total", "Dispatches that carried memo deltas"
+        )
+        self._c_full_dispatches = scope.counter(
+            "full_dispatches_total", "Dispatches that carried full memos"
+        )
         self._pool = WorkerPool(
-            kg, space, config, workers=workers, start_method=start_method
+            kg,
+            space,
+            config,
+            workers=workers,
+            start_method=start_method,
+            respawn_counter=self._c_respawns,
         )
         self.retry = retry if retry is not None else RetryPolicy()
-        #: slots executed in-process because the pool went stale or a
-        #: job's retry budget ran out; stays 0 for a clean graph and a
-        #: healthy pool — asserted by the backend tests
-        self.local_fallbacks = 0
-        #: lost jobs re-dispatched after a pool respawn
-        self.retries = 0
         #: ship memo deltas instead of full snapshots (see
         #: :meth:`WorkerPool.memo_floors`); off = every round carries the
         #: plans' complete verdict memos, like the original protocol
         self.memo_deltas = memo_deltas
-        #: memo entries actually shipped to workers (delta or full)
-        self.memo_entries_shipped = 0
-        #: memo entries delta mode avoided shipping
-        self.memo_entries_saved = 0
-        #: dispatches that carried deltas vs full snapshots
-        self.delta_dispatches = 0
-        self.full_dispatches = 0
 
     @property
     def workers(self) -> int:
         """Number of worker processes."""
         return self._pool.workers
+
+    # -- counter read-throughs (attribute compatibility) ----------------
+    @property
+    def local_fallbacks(self) -> int:
+        """Slots executed in-process because the pool went stale or a
+        job's retry budget ran out; stays 0 for a clean graph and a
+        healthy pool — asserted by the backend tests."""
+        return int(self._c_local_fallbacks.value)
+
+    @property
+    def retries(self) -> int:
+        """Lost jobs re-dispatched after a pool respawn."""
+        return int(self._c_retries.value)
+
+    @property
+    def memo_entries_shipped(self) -> int:
+        """Memo entries actually shipped to workers (delta or full)."""
+        return int(self._c_memo_entries_shipped.value)
+
+    @property
+    def memo_entries_saved(self) -> int:
+        """Memo entries delta mode avoided shipping."""
+        return int(self._c_memo_entries_saved.value)
+
+    @property
+    def delta_dispatches(self) -> int:
+        """Dispatches that carried memo deltas."""
+        return int(self._c_delta_dispatches.value)
+
+    @property
+    def full_dispatches(self) -> int:
+        """Dispatches that carried full memo snapshots."""
+        return int(self._c_full_dispatches.value)
 
     @property
     def pool(self) -> WorkerPool:
@@ -634,10 +705,13 @@ class ProcessBackend(ExecutionBackend):
         return self._pool
 
     def health(self) -> dict:
+        # key names are part of the serving contract (tests + /healthz);
+        # the values are atomic counter reads, so a poll racing a respawn
+        # never observes a torn update
         return {
             "backend": self.name,
             "workers": self.workers,
-            "respawns": self._pool.respawns,
+            "respawns": int(self._c_respawns.value),
             "retries": self.retries,
             "local_fallbacks": self.local_fallbacks,
             "memo_deltas": self.memo_deltas,
@@ -652,8 +726,8 @@ class ProcessBackend(ExecutionBackend):
         shipped = sum(len(memo) for memo in memos) + sum(
             len(memo) for memo in chain_memos
         )
-        self.memo_entries_shipped += shipped
-        self.memo_entries_saved += max(0, totals - shipped)
+        self._c_memo_entries_shipped.inc(shipped)
+        self._c_memo_entries_saved.inc(max(0, totals - shipped))
 
     # -- ExecutionBackend interface ------------------------------------
     def run_cohort(self, service, cohort) -> None:
@@ -661,7 +735,7 @@ class ProcessBackend(ExecutionBackend):
         if not usable:
             # mutated graph under a live pool: stale workers would serve
             # old attribute values — run every slot in-process instead
-            self.local_fallbacks += len(cohort)
+            self._c_local_fallbacks.inc(len(cohort))
             for record in cohort:
                 service._step_record_safely(record)
             self._release_settled(cohort)
@@ -675,6 +749,10 @@ class ProcessBackend(ExecutionBackend):
             run, state = slot
             try:
                 grow_seconds = service._grow_for_run(record, run, state)
+                # the transport window opens here: export, pickling, the
+                # queue round-trip, worker-idle wait and result apply all
+                # land in the ipc stage bucket
+                export_started = time.perf_counter()
                 memo_floors = (
                     self._pool.memo_floors(state.components)
                     if self.memo_deltas
@@ -689,9 +767,9 @@ class ProcessBackend(ExecutionBackend):
                     memo_floors=memo_floors,
                 )
                 if memo_floors is None:
-                    self.full_dispatches += 1
+                    self._c_full_dispatches.inc()
                 else:
-                    self.delta_dispatches += 1
+                    self._c_delta_dispatches.inc()
                 self._count_shipment(
                     item.memos,
                     item.chain_memos,
@@ -703,7 +781,18 @@ class ProcessBackend(ExecutionBackend):
             except BaseException as exc:
                 service._fail_record(record, exc)
                 continue
-            entry = _PendingWork(item=item, record=record, run=run, state=state)
+            entry = _PendingWork(
+                item=item,
+                record=record,
+                run=run,
+                state=state,
+                export_started=export_started,
+            )
+            parent_span = getattr(record, "span", None)
+            if parent_span is not None:
+                entry.span = parent_span.child(
+                    "round", kind=record.kind, round_index=run.steps_taken + 1
+                )
             self._dispatch_round_entry(service, entry)
             entries.append(entry)
 
@@ -715,7 +804,7 @@ class ProcessBackend(ExecutionBackend):
             if entry.needs_fallback:
                 # replay budget spent: run the exported item in-process —
                 # the exact function the workers run, on the live plans
-                self.local_fallbacks += 1
+                self._c_local_fallbacks.inc()
                 try:
                     entry.result = execute_round_item(
                         entry.item,
@@ -726,6 +815,8 @@ class ProcessBackend(ExecutionBackend):
                 except BaseException as exc:
                     entry.error = exc
             if entry.error is not None:
+                if entry.span is not None:
+                    entry.span.end()
                 service._fail_record(entry.record, entry.error)
                 continue
             if entry.result is None:
@@ -735,6 +826,29 @@ class ProcessBackend(ExecutionBackend):
                 self._pool.commit_memo_versions(
                     entry.state.components, entry.result.worker_pid
                 )
+                # close the stage_ms attribution gap: everything between
+                # growth and the applied result that the worker did not
+                # spend computing is transport — export + pickling + the
+                # queue round-trip + (for recovered rounds) retry delays
+                worker_busy = sum(entry.result.stage_seconds.values())
+                service._attribute_stage(
+                    entry.state,
+                    STAGE_IPC,
+                    max(
+                        0.0,
+                        time.perf_counter()
+                        - entry.export_started
+                        - worker_busy,
+                    ),
+                )
+                if entry.span is not None:
+                    worker_span = entry.span.child(
+                        "worker_round",
+                        worker_pid=entry.result.worker_pid,
+                        attempts=entry.attempts,
+                    )
+                    worker_span.duration_s = worker_busy
+                    entry.span.end()
                 service._finish_slot(entry.record, entry.run, entry.state, outcome)
             except BaseException as exc:
                 service._fail_record(entry.record, exc)
@@ -881,7 +995,18 @@ class ProcessBackend(ExecutionBackend):
                 entry.needs_fallback = True
                 continue
             entry.attempts += 1
-            self.retries += 1
+            self._c_retries.inc()
+            if entry.record is not None:
+                # the audit line reports how many redispatches the query
+                # absorbed; single-writer (only the scheduler thread runs
+                # recovery), so a plain int is safe here
+                entry.record.retries += 1
+            if entry.span is not None:
+                entry.span.event(
+                    "retry",
+                    attempt=entry.attempts,
+                    respawns=self._pool.respawns,
+                )
             redispatch(service, entry)
 
     def run_prewarm(self, service, jobs) -> list[float]:
@@ -904,7 +1029,7 @@ class ProcessBackend(ExecutionBackend):
                     node_ids=tuple(int(node) for node in job.nodes),
                     full_memos=False,
                 )
-                self.delta_dispatches += 1
+                self._c_delta_dispatches.inc()
             else:
                 item = PrewarmWorkItem(
                     config=job.executor.config,
@@ -912,7 +1037,7 @@ class ProcessBackend(ExecutionBackend):
                     chain_memo=dict(job.plan.chain_prefix_memo),
                     node_ids=tuple(int(node) for node in job.nodes),
                 )
-                self.full_dispatches += 1
+                self._c_full_dispatches.inc()
             self._count_shipment(
                 (item.memo,),
                 (item.chain_memo,),
@@ -929,7 +1054,7 @@ class ProcessBackend(ExecutionBackend):
             if entry.needs_fallback:
                 # a prewarm is an optimization: after the retry budget,
                 # run the batch in-process rather than give up on it
-                self.local_fallbacks += 1
+                self._c_local_fallbacks.inc()
                 try:
                     entry.result = execute_prewarm_item(
                         entry.item, entry.job.plan, entry.job.executor

@@ -1,0 +1,482 @@
+"""The unified observability layer: registry, spans, audit log, /metrics.
+
+Observability is load-bearing serving surface here, so it gets the same
+treatment as results: exact schemas, byte-compatible ``health()`` key
+names, and determinism (instrumentation must never perturb fixed-seed
+results — that part is gated by ``benchmarks/bench_perf_obs.py``).
+
+Covered:
+
+* registry semantics — atomic concurrent increments, ``le``-inclusive
+  histogram bucket edges, scope isolation, idempotent registration, a
+  fresh registry per service, and the ``NULL_REGISTRY`` off switch;
+* span trees — every settled query carries a ``query`` root with an
+  ``initialise`` child and one ``round`` child per executed round, on
+  all three backends; processes rounds carry the synthetic
+  ``worker_round`` child rebuilt from worker-side stage timings;
+* the audit log — exactly one JSON line per settlement (refines append
+  a second), JSON-clean for every kind including the extreme sentinel
+  (``guaranteed=False`` / ``moe=0.0``), failures carrying the error;
+* the ``/metrics`` endpoint — Prometheus text parse round-trip through
+  ``ReproClient``, with families from every layer present;
+* ``health()`` key-name byte compatibility after the counter migration,
+  and (the ``chaos`` tests) ``health()`` polls racing worker crashes
+  plus fault-injected runs leaving respawn/retry counters visible.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro import (
+    AggregateFunction,
+    AggregateQuery,
+    AggregateQueryService,
+    EngineConfig,
+    FaultPlan,
+    FaultSpec,
+    GroupBy,
+    QueryGraph,
+)
+from repro.core.plan import shared_plan_cache
+from repro.errors import ServiceError
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+from repro.server import ReproClient, serve_in_thread
+
+COUNT_AQL = "COUNT(*) MATCH (Germany:Country)-[product]->(x:Automobile)"
+BAD_AQL = "COUNT(*) MATCH (Atlantis:Country)-[product]->(x:Automobile)"
+
+BACKENDS = ("cooperative", "threads", "processes")
+
+
+@pytest.fixture
+def world(toy_world_factory):
+    return toy_world_factory()
+
+
+def _extreme_query() -> AggregateQuery:
+    return AggregateQuery(
+        query=QueryGraph.simple("Germany", ["Country"], "product", ["Automobile"]),
+        function=AggregateFunction.MAX,
+        attribute="price",
+    )
+
+
+def _grouped_query() -> AggregateQuery:
+    return AggregateQuery(
+        query=QueryGraph.simple("Germany", ["Country"], "product", ["Automobile"]),
+        function=AggregateFunction.COUNT,
+        group_by=GroupBy("price", bin_width=1000.0),
+    )
+
+
+def _service(world, **kwargs) -> AggregateQueryService:
+    shared_plan_cache().clear()
+    config = EngineConfig(seed=7, max_rounds=8)
+    return AggregateQueryService(world.kg, world.embedding, config, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Registry semantics
+# ---------------------------------------------------------------------------
+class TestRegistrySemantics:
+    def test_concurrent_increments_are_atomic(self):
+        registry = MetricsRegistry()
+        counter = registry.scope("t").counter("hits_total")
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(2000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 16000
+
+    def test_histogram_edges_are_le_inclusive(self):
+        registry = MetricsRegistry()
+        hist = registry.scope("t").histogram("sizes", buckets=(1.0, 2.0, 5.0))
+        hist.observe(1.0)  # exactly on an edge: lands in that edge's bucket
+        hist.observe(2.5)
+        hist.observe(10.0)  # past the last edge: +Inf only
+        snap = hist.snapshot()
+        assert snap["buckets"][1.0] == 1
+        assert snap["buckets"][2.0] == 1  # cumulative
+        assert snap["buckets"][5.0] == 2
+        assert snap["buckets"][float("inf")] == 3
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(13.5)
+
+    def test_scopes_isolate_metric_names(self):
+        registry = MetricsRegistry()
+        a = registry.scope("alpha").counter("events_total")
+        b = registry.scope("beta").counter("events_total")
+        a.inc(3)
+        assert a is not b
+        assert b.value == 0
+        text = registry.render_prometheus()
+        assert "repro_alpha_events_total 3" in text
+        assert "repro_beta_events_total 0" in text
+
+    def test_registration_is_idempotent_but_kind_checked(self):
+        registry = MetricsRegistry()
+        scope = registry.scope("t")
+        first = scope.counter("things_total")
+        assert scope.counter("things_total") is first
+        with pytest.raises(ValueError, match="already registered"):
+            scope.gauge("things_total")
+
+    def test_labelled_instruments_are_distinct(self):
+        registry = MetricsRegistry()
+        scope = registry.scope("t")
+        ok = scope.counter("settled_total", labels={"status": "succeeded"})
+        bad = scope.counter("settled_total", labels={"status": "failed"})
+        ok.inc(2)
+        assert bad.value == 0
+        text = registry.render_prometheus()
+        assert 'repro_t_settled_total{status="succeeded"} 2' in text
+        assert 'repro_t_settled_total{status="failed"} 0' in text
+
+    def test_each_service_gets_a_fresh_registry(self, world):
+        with _service(world) as first:
+            first.submit(COUNT_AQL, seed=3).result(timeout=30.0)
+            submitted = first.registry.counter(
+                "repro_scheduler_queries_submitted_total"
+            )
+            assert submitted.value == 1
+        with _service(world) as second:
+            assert second.registry is not first.registry
+            fresh = second.registry.counter(
+                "repro_scheduler_queries_submitted_total"
+            )
+            assert fresh.value == 0
+
+    def test_null_registry_disables_everything(self, world):
+        assert NULL_REGISTRY.enabled is False
+        noop = NULL_REGISTRY.scope("t").counter("x_total")
+        noop.inc()
+        assert noop.value == 0
+        assert NULL_REGISTRY.render_prometheus() == ""
+        with _service(world, registry=NULL_REGISTRY) as service:
+            handle = service.submit(COUNT_AQL, seed=3)
+            handle.result(timeout=30.0)
+            assert handle.trace() is None
+
+
+# ---------------------------------------------------------------------------
+# Span trees
+# ---------------------------------------------------------------------------
+def _spans_named(node: dict, name: str) -> list[dict]:
+    return [child for child in node["children"] if child["name"] == name]
+
+
+class TestSpanTrees:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kind", ["rounds", "grouped", "extreme"])
+    def test_query_span_tree_shape(self, world, backend, kind):
+        query = {
+            "rounds": world.count_query,
+            "grouped": _grouped_query,
+            "extreme": _extreme_query,
+        }[kind]()
+        with _service(world, backend=backend, workers=2) as service:
+            handle = service.submit(query, seed=3)
+            handle.result(timeout=60.0)
+            trace = handle.trace()
+        assert trace["name"] == "query"
+        assert trace["attributes"]["kind"] == kind
+        assert trace["duration_ms"] is not None
+        assert _spans_named(trace, "initialise"), "missing S1 initialise span"
+        rounds = _spans_named(trace, "round")
+        assert rounds, "no round spans recorded"
+        for span in rounds:
+            assert span["attributes"]["kind"] == kind
+            assert span["duration_ms"] is not None
+        round_indexes = [s["attributes"]["round_index"] for s in rounds]
+        assert round_indexes == sorted(round_indexes)
+        if backend == "processes":
+            workers = _spans_named(rounds[0], "worker_round")
+            assert workers, "processes rounds must carry worker_round spans"
+            assert workers[0]["attributes"]["attempts"] == 1
+            assert workers[0]["attributes"]["worker_pid"] > 0
+
+    def test_trace_is_json_clean(self, world):
+        with _service(world) as service:
+            handle = service.submit(_extreme_query(), seed=7)
+            handle.result(timeout=30.0)
+            trace = handle.trace()
+        json.dumps(trace, allow_nan=False)  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# The audit log
+# ---------------------------------------------------------------------------
+COMMON_AUDIT_KEYS = {
+    "ts", "sequence", "query", "kind", "backend", "status", "seed",
+    "rounds", "total_draws", "retries", "duration_ms", "stage_ms",
+}
+
+
+class TestAuditLog:
+    def _read_lines(self, path) -> list[dict]:
+        lines = []
+        with open(path, encoding="utf-8") as handle:
+            for raw in handle:
+                lines.append(json.loads(raw))
+        return lines
+
+    def test_one_line_per_settled_query(self, world, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with _service(world, audit_log=path) as service:
+            handles = service.submit_batch(
+                [(world.count_query(), 3), (_grouped_query(), 4),
+                 (_extreme_query(), 5)]
+            )
+            for handle in handles:
+                handle.result(timeout=30.0)
+        lines = self._read_lines(path)
+        assert len(lines) == 3
+        by_kind = {line["kind"]: line for line in lines}
+        assert set(by_kind) == {"rounds", "grouped", "extreme"}
+
+        for line in lines:
+            assert COMMON_AUDIT_KEYS <= set(line), sorted(line)
+            assert line["status"] == "succeeded"
+            assert line["backend"] == "cooperative"
+            assert line["rounds"] >= 1
+            assert line["duration_ms"] >= 0.0
+            assert isinstance(line["stage_ms"], dict)
+            # JSON-clean: no NaN/Inf survived serialisation
+            for value in line["stage_ms"].values():
+                assert math.isfinite(value)
+
+        plain = by_kind["rounds"]
+        assert math.isfinite(plain["estimate"]) and math.isfinite(plain["moe"])
+        assert plain["confidence"] == pytest.approx(0.95)
+
+        extreme = by_kind["extreme"]
+        assert extreme["guaranteed"] is False  # the extreme sentinel
+        assert extreme["moe"] == 0.0
+
+        grouped = by_kind["grouped"]
+        assert grouped["groups"] >= 1
+        assert "estimate" not in grouped
+
+    def test_refine_appends_a_second_line(self, world, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with _service(world, audit_log=path) as service:
+            handle = service.submit(world.avg_query(), seed=5,
+                                    error_bound=0.05)
+            handle.result(timeout=30.0)
+            handle.refine(0.02).result(timeout=30.0)
+        lines = self._read_lines(path)
+        assert len(lines) == 2
+        assert lines[0]["sequence"] == lines[1]["sequence"]
+        assert all(line["status"] == "succeeded" for line in lines)
+
+    def test_failed_query_is_audited_with_the_error(self, world, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with _service(world, audit_log=path) as service:
+            handle = service.submit(BAD_AQL, seed=3)
+            with pytest.raises(ServiceError):
+                handle.result(timeout=30.0)
+        (line,) = self._read_lines(path)
+        assert line["status"] == "failed"
+        assert "Atlantis" in line["error"]
+
+    def test_file_like_sink_is_not_closed_by_the_service(self, world):
+        import io
+
+        sink = io.StringIO()
+        with _service(world, audit_log=sink) as service:
+            service.submit(world.count_query(), seed=3).result(timeout=30.0)
+        assert not sink.closed
+        (line,) = [json.loads(raw) for raw in sink.getvalue().splitlines()]
+        assert line["kind"] == "rounds"
+
+
+# ---------------------------------------------------------------------------
+# /metrics over the wire
+# ---------------------------------------------------------------------------
+def _parse_prometheus(text: str) -> dict[str, float]:
+    """name{labels} -> value; asserts every line round-trips the format."""
+    samples: dict[str, float] = {}
+    types: dict[str, str] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            family, kind = rest.split(" ", 1)
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        name_and_labels, _, value = line.rpartition(" ")
+        assert name_and_labels, f"malformed sample line: {line!r}"
+        samples[name_and_labels] = float(value)  # must parse as a number
+    assert types, "no TYPE comments in the exposition"
+    return samples
+
+
+class TestMetricsEndpoint:
+    def test_metrics_round_trip_covers_every_layer(self, world):
+        shared_plan_cache().clear()
+        config = EngineConfig(seed=7, max_rounds=8)
+        service = AggregateQueryService(
+            world.kg, world.embedding, config, backend="processes", workers=2
+        )
+        runner = serve_in_thread(service, owns_service=True)
+        try:
+            client = ReproClient(*runner.address)
+            accepted = client.submit(COUNT_AQL, seed=3)
+            client.wait(accepted["id"], timeout=60.0)
+            samples = _parse_prometheus(client.metrics())
+        finally:
+            runner.stop()
+
+        assert samples["repro_plan_builds"] == 1  # S1
+        # S2: the family is registered (worker rounds validate inside the
+        # worker process, so the parent-side counter may legitimately be 0;
+        # TestExecMetrics pins the in-process case where it must tick)
+        assert "repro_exec_validated_entries_total" in samples
+        assert samples["repro_scheduler_rounds_total"] >= 1  # S3/S4
+        assert samples['repro_scheduler_queries_settled_total{status="succeeded"}'] == 1
+        assert samples["repro_workers_respawns_total"] == 0  # S5
+        dispatches = (samples["repro_workers_delta_dispatches_total"]
+                      + samples["repro_workers_full_dispatches_total"])
+        assert dispatches >= 1
+        assert samples["repro_server_requests_total"] >= 2  # S6
+        assert samples["repro_server_queries_submitted_total"] == 1
+        assert 'repro_server_request_seconds_bucket{le="+Inf"}' in samples
+
+    def test_server_counters_live_on_the_service_registry(self, world):
+        """One scrape covers the whole stack because the server registers
+        its instruments on the service's registry, not a private one."""
+        with _service(world) as service:
+            runner = serve_in_thread(service, owns_service=False)
+            try:
+                client = ReproClient(*runner.address)
+                client.healthz()
+                text = service.registry.render_prometheus()
+            finally:
+                runner.stop()
+        assert "repro_server_requests_total" in text
+
+
+class TestExecMetrics:
+    def test_in_process_rounds_tick_the_validation_counters(self, world):
+        with _service(world) as service:
+            service.submit(world.count_query(), seed=3).result(timeout=30.0)
+            samples = _parse_prometheus(service.registry.render_prometheus())
+        assert samples["repro_exec_validated_entries_total"] > 0
+        assert samples["repro_exec_validate_batch_pending_count"] > 0
+
+
+# ---------------------------------------------------------------------------
+# health() byte compatibility after the counter migration
+# ---------------------------------------------------------------------------
+class TestHealthKeyCompat:
+    SERVICE_KEYS = {
+        "closed", "scheduler_phase", "uptime_s", "live_queries",
+        "live_by_kind", "sheds", "deadline_expiries", "max_pending",
+        "max_queued_runs",
+    }
+
+    def test_cooperative_health_keys(self, world):
+        with _service(world) as service:
+            health = service.health()
+        assert set(health) == self.SERVICE_KEYS | {"backend"}
+        assert health["sheds"] == 0
+        assert health["deadline_expiries"] == 0
+
+    def test_processes_health_keys(self, world):
+        with _service(world, backend="processes", workers=2) as service:
+            service.submit(world.count_query(), seed=3).result(timeout=60.0)
+            health = service.health()
+        assert set(health) == self.SERVICE_KEYS | {
+            "backend", "workers", "respawns", "retries", "local_fallbacks",
+            "memo_deltas", "memo_entries_shipped", "memo_entries_saved",
+            "delta_dispatches", "full_dispatches",
+        }
+        for key in ("respawns", "retries", "local_fallbacks"):
+            assert isinstance(health[key], int)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: counters stay readable and end up visible (chaos tests)
+# ---------------------------------------------------------------------------
+class TestFaultInjectionChaos:
+    def _crash_plan(self) -> FaultPlan:
+        return FaultPlan([
+            FaultSpec(site="worker_round", action="crash_worker",
+                      match={"round": 2}, times=1),
+        ])
+
+    def test_chaos_health_polls_race_a_worker_crash(self, world):
+        """Regression: ``health()`` used to read backend counters without
+        any lock; a poll racing a respawn could observe a torn update.
+        Counter reads are atomic now — hammer health() through the crash
+        window and require every snapshot to be well-formed."""
+        plan = self._crash_plan()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        snapshots: list[dict] = []
+
+        with _service(world, backend="processes", workers=2,
+                      fault_plan=plan) as service:
+            def hammer():
+                try:
+                    while not stop.is_set():
+                        health = service.health()
+                        assert health["respawns"] >= 0
+                        assert isinstance(health["retries"], int)
+                        snapshots.append(health)
+                except BaseException as exc:  # surfaced after the join
+                    errors.append(exc)
+
+            pollers = [threading.Thread(target=hammer) for _ in range(3)]
+            for poller in pollers:
+                poller.start()
+            try:
+                handles = service.submit_batch(
+                    [(world.count_query(), 3), (world.avg_query(), 4),
+                     (world.sum_query(), 5)]
+                )
+                for handle in handles:
+                    handle.result(timeout=120.0)
+            finally:
+                stop.set()
+                for poller in pollers:
+                    poller.join(timeout=10.0)
+            assert not errors, errors
+            assert plan.specs[0].fired == 1, "the crash fault never fired"
+            assert service.health()["respawns"] >= 1
+            assert snapshots, "health() was never sampled"
+
+    def test_chaos_crash_leaves_respawn_metrics_in_exposition(self, world):
+        """A fault-injected run must be visible on /metrics afterwards:
+        the respawn and retry counters are the forensic record."""
+        plan = self._crash_plan()
+        with _service(world, backend="processes", workers=2,
+                      fault_plan=plan) as service:
+            handles = service.submit_batch(
+                [(world.count_query(), 3), (world.avg_query(), 4)]
+            )
+            for handle in handles:
+                handle.result(timeout=120.0)
+            samples = _parse_prometheus(service.registry.render_prometheus())
+            health = service.health()
+        assert samples["repro_workers_respawns_total"] >= 1
+        assert samples["repro_workers_retries_total"] >= 1
+        # the registry and health() read the same counters — never diverge
+        assert samples["repro_workers_respawns_total"] == health["respawns"]
+        assert samples["repro_workers_retries_total"] == health["retries"]

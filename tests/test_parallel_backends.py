@@ -263,6 +263,48 @@ class TestWorkerPoolLifecycle:
             assert service.planner.build_count == 1
 
 
+class TestStageAttribution:
+    """The ``stage_ms`` buckets must account for the whole round loop.
+
+    On the processes backend, export/pickle/queue/apply time used to
+    vanish: worker-side ``stage_seconds`` only cover the kernels, so the
+    gap between wall-clock and the bucket sum grew with every exported
+    round.  That residue now lands in an explicit ``ipc`` bucket, and
+    the buckets must sum to (roughly) the submit-to-settle wall time.
+    """
+
+    def test_processes_rounds_carry_ipc_bucket(self, world):
+        shared_plan_cache().clear()
+        config = EngineConfig(seed=7, max_rounds=8)
+        with AggregateQueryService(
+            world.kg, world.embedding, config, backend="processes", workers=2
+        ) as service:
+            # warm: plan build + worker prewarm happen on the first query
+            service.submit(world.count_query(), seed=3).result(timeout=30.0)
+            started = time.perf_counter()
+            handle = service.submit(world.avg_query(), seed=4)
+            result = handle.result(timeout=30.0)
+            wall = time.perf_counter() - started
+        assert "ipc" in result.stage_ms, sorted(result.stage_ms)
+        assert result.stage_ms["ipc"] >= 0.0
+        total = sum(result.stage_ms.values()) / 1e3
+        # generous band: scheduler hand-offs sit outside every bucket, and
+        # the clamp in the ipc attribution can only shrink the sum
+        assert total <= wall * 1.25 + 0.1, (total, wall, result.stage_ms)
+        assert total >= wall * 0.6 - 0.05, (total, wall, result.stage_ms)
+
+    def test_cooperative_rounds_have_no_ipc_bucket(self, world):
+        shared_plan_cache().clear()
+        config = EngineConfig(seed=7, max_rounds=8)
+        with AggregateQueryService(
+            world.kg, world.embedding, config
+        ) as service:
+            result = service.submit(world.count_query(), seed=3).result(
+                timeout=30.0
+            )
+        assert "ipc" not in result.stage_ms
+
+
 class _BlockingExecutor:
     """Wraps an executor so ``initialise`` blocks until released."""
 
