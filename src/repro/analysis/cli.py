@@ -1,0 +1,107 @@
+"""Argparse front-end for the linter: ``repro lint`` and
+``python -m repro.analysis`` both land here."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.linter import lint_paths
+from repro.analysis.rules import RULE_DESCRIPTIONS
+
+__all__ = ["add_lint_arguments", "main", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro, else .)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        dest="output_format",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="report findings only for files changed vs --since "
+             "(the full tree is still analysed)",
+    )
+    parser.add_argument(
+        "--since", default="HEAD", metavar="REF",
+        help="git ref --changed diffs against (default: HEAD)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to keep (e.g. REP201,REP301)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _default_paths() -> list[Path]:
+    preferred = Path("src/repro")
+    return [preferred if preferred.is_dir() else Path(".")]
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        width = max(len(code) for code in RULE_DESCRIPTIONS)
+        for code in sorted(RULE_DESCRIPTIONS):
+            print(f"{code:<{width}}  {RULE_DESCRIPTIONS[code]}")
+        return 0
+    paths = list(args.paths) or _default_paths()
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        print(
+            "repro lint: no such path: "
+            + ", ".join(str(path) for path in missing),
+            file=sys.stderr,
+        )
+        return 2
+    selected = None
+    if args.select:
+        selected = {
+            code.strip().upper()
+            for code in args.select.split(",") if code.strip()
+        }
+        unknown = selected - set(RULE_DESCRIPTIONS)
+        if unknown:
+            print(
+                "repro lint: unknown rule code(s): "
+                + ", ".join(sorted(unknown)),
+                file=sys.stderr,
+            )
+            return 2
+    report = lint_paths(
+        paths, since=args.since if args.changed else None,
+    )
+    if selected is not None:
+        report.findings = [
+            finding for finding in report.findings
+            if finding.code in selected
+        ]
+    if args.output_format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "statically enforce the engine's concurrency & determinism "
+            "contracts (see repro.analysis)"
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

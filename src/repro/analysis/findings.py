@@ -1,0 +1,57 @@
+"""Finding: one rule violation at one source location.
+
+Findings are plain frozen dataclasses so reports serialise trivially
+(``as_dict`` is the JSON wire shape) and sort stably: by path, then
+line, then column, then code — the order both output formats use, and
+the order the self-lint test pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "SEVERITIES"]
+
+#: recognised severities, most severe first
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation of one rule at one location.
+
+    ``anchor_lines`` are *additional* lines where a suppression comment
+    also silences this finding — e.g. the lock-discipline rule anchors
+    every finding to its class definition line, so a single reviewed
+    ``# repro: ignore[REP201]`` on ``class WorkerPool:`` can declare a
+    whole single-writer class exempt instead of littering every method.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+    severity: str = "error"
+    anchor_lines: tuple[int, ...] = field(default=(), compare=False)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.column, self.code)
+
+    def as_dict(self) -> dict:
+        """The JSON shape ``repro lint --format json`` emits."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line human format: ``path:line:col CODE message``."""
+        return (
+            f"{self.path}:{self.line}:{self.column} "
+            f"{self.code} {self.message}"
+        )

@@ -1,0 +1,202 @@
+"""The lint driver: file discovery, rule execution, suppression
+matching, and report assembly.
+
+The one subtlety worth stating: ``--changed`` narrows which files
+findings are *reported for*, never which files are *analysed*.  Project
+rules (RNG reachability, the error-status table, stage-bucket
+attribution) are only meaningful against the full universe under the
+lint roots; filtering the universe itself would manufacture false
+positives (a STAGE constant "never used" because its use site didn't
+change).  So the project always loads everything, and the changed-set
+acts as a report filter — including for unused-suppression checks.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, Suppression, load_project
+from repro.analysis.rules import LintConfig, Rule, default_rules
+
+__all__ = ["LintReport", "changed_files", "discover_files", "lint_paths"]
+
+_SKIP_DIRS = {
+    ".git", "__pycache__", ".venv", "venv", "node_modules", "build",
+    "dist", ".eggs",
+}
+
+
+def discover_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                out.add(path.resolve())
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(
+                    part in _SKIP_DIRS for part in candidate.parts
+                ):
+                    out.add(candidate.resolve())
+    return sorted(out)
+
+
+def changed_files(since: str, root: Path | None = None) -> set[Path] | None:
+    """Files changed vs ``since`` (tracked diff + untracked), resolved;
+    ``None`` when git is unavailable (caller falls back to a full lint)."""
+    cwd = str(root) if root is not None else None
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", since, "--"],
+            capture_output=True, text=True, cwd=cwd, check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, cwd=cwd, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    base = root if root is not None else Path.cwd()
+    names = diff.stdout.splitlines() + untracked.stdout.splitlines()
+    return {(base / name).resolve() for name in names if name.strip()}
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: list[Finding]
+    files_checked: int
+    files_reported: int
+    suppressed: int = 0
+    unused_suppressions: list[Suppression] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "files_checked": self.files_checked,
+            "files_reported": self.files_reported,
+            "suppressed": self.suppressed,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        summary = (
+            f"{len(self.findings)} {noun} in {self.files_reported} of "
+            f"{self.files_checked} files checked"
+        )
+        if self.suppressed:
+            summary += f" ({self.suppressed} suppressed)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _parse_failures(project: Project) -> list[Finding]:
+    findings = []
+    for module in project:
+        error = getattr(module, "parse_error", None)
+        if error is not None:
+            findings.append(Finding(
+                code="REP000",
+                message=f"file failed to parse: {error.msg}",
+                path=module.display_path,
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+            ))
+    return findings
+
+
+def lint_paths(
+    paths: list[Path],
+    *,
+    config: LintConfig | None = None,
+    rules: list[Rule] | None = None,
+    root: Path | None = None,
+    since: str | None = None,
+) -> LintReport:
+    """Run the rule registry over ``paths`` and assemble a report.
+
+    ``since`` switches on changed-only reporting: the whole universe is
+    still analysed, but findings (and unused-suppression checks) are
+    only reported for files changed vs that git ref.
+    """
+    config = config or LintConfig()
+    if rules is None:
+        rules = default_rules(config)
+    files = discover_files(paths)
+    project = load_project(files, root=root)
+
+    report_for: set[str] | None = None
+    if since is not None:
+        changed = changed_files(since, root=root)
+        if changed is not None:
+            report_for = {
+                module.display_path
+                for module in project
+                if module.path in changed
+            }
+
+    raw: list[Finding] = _parse_failures(project)
+    for rule in rules:
+        raw.extend(rule.check(project))
+
+    suppressions = [s for module in project for s in module.suppressions]
+    by_path: dict[str, list[Suppression]] = {}
+    for suppression in suppressions:
+        by_path.setdefault(suppression.path, []).append(suppression)
+
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        candidates = [
+            s for s in by_path.get(finding.path, []) if s.covers(finding)
+        ]
+        if candidates:
+            for suppression in candidates:
+                suppression.used = True
+            suppressed += 1
+            continue
+        kept.append(finding)
+
+    unused = [s for s in suppressions if not s.used]
+    for suppression in unused:
+        codes = ", ".join(suppression.codes)
+        kept.append(Finding(
+            code="REP501",
+            message=(
+                f"suppression # repro: ignore[{codes}] matches no "
+                "finding; remove it (stale suppressions hide future "
+                "violations)"
+            ),
+            path=suppression.path,
+            line=suppression.line,
+        ))
+
+    if report_for is not None:
+        kept = [f for f in kept if f.path in report_for]
+        unused = [s for s in unused if s.path in report_for]
+
+    kept.sort(key=lambda f: f.sort_key())
+    return LintReport(
+        findings=kept,
+        files_checked=len(files),
+        files_reported=(
+            len(report_for) if report_for is not None else len(files)
+        ),
+        suppressed=suppressed,
+        unused_suppressions=unused,
+    )

@@ -1,0 +1,250 @@
+"""Source loading: parsed modules, the import graph and suppressions.
+
+A :class:`Project` is the unit a lint run operates on: every ``*.py``
+file under the lint roots, parsed once (``ast`` + ``tokenize``, both
+stdlib — the linter is self-hosted and adds no dependencies).  Rules
+receive the whole project, so cross-file contracts (RNG reachability
+from worker modules, the errors-taxonomy/status-code table, stage-bucket
+attribution) are checked against the same universe even when only a
+subset of files is *reported on* (``repro lint --changed``).
+
+Modules are addressed two ways:
+
+* by **path suffix** (``store/workers.py``) — how rule configuration
+  names contract-bearing files, so test fixtures can mimic the layout
+  under a temporary directory; and
+* by **dotted module name** guessed from the path (``repro.store.workers``
+  for files under a ``src/`` root) — how the import graph resolves
+  ``from repro.store import workers`` edges.
+
+Suppressions are ``# repro: ignore[CODE]`` comments (multiple codes
+separated by commas; trailing text is the reviewer-facing
+justification).  A trailing comment silences its own line; a comment
+alone on a line silences the next line; either form also silences a
+finding that lists the line among its ``anchor_lines``.  Suppressions
+that silence nothing are themselves findings (REP501) — a suppression
+must never outlive the violation it was reviewed for.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Project", "SourceModule", "Suppression", "load_project"]
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*ignore\[\s*([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)\s*\]"
+    r"\s*(?P<why>.*)$"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: ignore[...]`` comment."""
+
+    path: str
+    line: int
+    codes: tuple[str, ...]
+    standalone: bool  # the comment is alone on its line: covers line+1
+    justification: str = ""
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.code not in self.codes and "*" not in self.codes:
+            return False
+        lines = (finding.line,) + finding.anchor_lines
+        target = self.line + 1 if self.standalone else self.line
+        return target in lines
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file."""
+
+    path: Path  # absolute
+    display_path: str  # as reported in findings (relative when possible)
+    module: str  # dotted-name guess, e.g. "repro.store.workers"
+    source: str
+    tree: ast.Module
+    suppressions: list[Suppression]
+
+    def matches(self, suffix: str) -> bool:
+        """True when this file's posix path ends with ``suffix`` on a
+        path-component boundary (``errors.py`` matches ``repro/errors.py``
+        but not ``apperrors.py``)."""
+        posix = self.path.as_posix()
+        return posix == suffix or posix.endswith("/" + suffix)
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name guessed from the path.
+
+    Everything after a ``src`` component forms the name; without one the
+    path parts themselves do (fixture trees).  ``__init__.py`` names the
+    package.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    else:
+        # keep the last few components; absolute prefixes are noise
+        parts = parts[-4:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _scan_suppressions(display_path: str, source: str) -> list[Suppression]:
+    suppressions: list[Suppression] = []
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.start[1], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        comments = []
+    for line, column, text in comments:
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+        before = lines[line - 1][:column] if line - 1 < len(lines) else ""
+        suppressions.append(
+            Suppression(
+                path=display_path,
+                line=line,
+                codes=codes,
+                standalone=not before.strip(),
+                justification=match.group("why").strip(),
+            )
+        )
+    return suppressions
+
+
+class Project:
+    """The parsed universe one lint run reasons over."""
+
+    def __init__(self, modules: list[SourceModule]) -> None:
+        self.modules = modules
+        self._by_name = {module.module: module for module in modules}
+
+    def __iter__(self):
+        return iter(self.modules)
+
+    def find(self, suffix: str) -> SourceModule | None:
+        """The first module whose path ends with ``suffix``."""
+        for module in self.modules:
+            if module.matches(suffix):
+                return module
+        return None
+
+    def resolve_module(self, dotted: str) -> SourceModule | None:
+        """Resolve an import target to a project module.
+
+        Exact dotted-name match first, then a suffix match on dotted-name
+        boundaries so fixture trees (``store.workers``) satisfy imports
+        written against the installed layout (``repro.store.workers``).
+        """
+        exact = self._by_name.get(dotted)
+        if exact is not None:
+            return exact
+        for name, module in self._by_name.items():
+            if dotted.endswith("." + name) or name.endswith("." + dotted):
+                return module
+        return None
+
+    def import_targets(self, module: SourceModule) -> list["SourceModule"]:
+        """Project modules ``module`` imports (directly)."""
+        targets: list[SourceModule] = []
+        seen: set[int] = set()
+
+        def add(dotted: str) -> None:
+            resolved = self.resolve_module(dotted)
+            if resolved is not None and id(resolved) not in seen:
+                seen.add(id(resolved))
+                targets.append(resolved)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # relative import: resolve against this module's package
+                    package = module.module.split(".")
+                    if module.path.name != "__init__.py":
+                        package = package[:-1]
+                    package = package[: len(package) - (node.level - 1)]
+                    base = ".".join(
+                        package + ([node.module] if node.module else [])
+                    )
+                if base:
+                    add(base)
+                for alias in node.names:
+                    if base:
+                        add(f"{base}.{alias.name}")
+                    elif node.level:
+                        add(alias.name)
+        return targets
+
+    def reachable_from(self, roots: list[SourceModule]) -> list[SourceModule]:
+        """Transitive import closure of ``roots`` (roots included)."""
+        seen: dict[int, SourceModule] = {id(root): root for root in roots}
+        frontier = list(roots)
+        while frontier:
+            module = frontier.pop()
+            for target in self.import_targets(module):
+                if id(target) not in seen:
+                    seen[id(target)] = target
+                    frontier.append(target)
+        return list(seen.values())
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    try:
+        base = root if root is not None else Path.cwd()
+        return path.relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_project(files: list[Path], root: Path | None = None) -> Project:
+    """Parse ``files`` into a :class:`Project` (files that fail to parse
+    become modules with empty trees plus a synthetic REP000 finding —
+    surfaced by the linter so a broken file never passes silently)."""
+    modules: list[SourceModule] = []
+    for path in files:
+        path = path.resolve()
+        source = path.read_text(encoding="utf-8")
+        display = _display_path(path, root)
+        try:
+            tree = ast.parse(source, filename=str(path))
+            error = None
+        except SyntaxError as exc:
+            tree = ast.Module(body=[], type_ignores=[])
+            error = exc
+        module = SourceModule(
+            path=path,
+            display_path=display,
+            module=_module_name(path),
+            source=source,
+            tree=tree,
+            suppressions=_scan_suppressions(display, source),
+        )
+        if error is not None:
+            module.parse_error = error  # type: ignore[attr-defined]
+        modules.append(module)
+    return Project(modules)

@@ -184,6 +184,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append one JSON line per settled query (query, backend, "
         "rounds, per-stage ms, retries, estimate + CI) to this file",
     )
+    serve.add_argument(
+        "--audit-log-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rotate the --audit-log file to PATH.1 before a write would "
+        "push it past N bytes (one rotated generation kept; "
+        "default: no rotation)",
+    )
     _add_backend_arguments(serve)
 
     metrics = commands.add_parser(
@@ -255,6 +264,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="json = full fidelity; triples = TSV (names/predicates only); "
         "graphml = via NetworkX for external tooling",
     )
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically check the concurrency & determinism contracts "
+        "(see repro.analysis; also python -m repro.analysis)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -395,6 +413,7 @@ def _service_for(bundle, config: EngineConfig, args) -> AggregateQueryService:
         default_deadline=args.deadline,
         limits=ServiceLimits(max_pending=args.max_pending),
         audit_log=getattr(args, "audit_log", None),
+        audit_log_max_bytes=getattr(args, "audit_log_max_bytes", None),
     )
 
 
@@ -793,6 +812,12 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "query": _cmd_query,
     "serve": _cmd_serve,
@@ -802,6 +827,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "workload": _cmd_workload,
     "export": _cmd_export,
+    "lint": _cmd_lint,
 }
 
 

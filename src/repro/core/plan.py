@@ -241,8 +241,11 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
 
-    def _entry(self, kg: KnowledgeGraph) -> _GraphEntry:
-        """The graph's live entry; evicts stale structure versions."""
+    def _entry_locked(self, kg: KnowledgeGraph) -> _GraphEntry:
+        """The graph's live entry; evicts stale structure versions.
+
+        Caller holds ``self._lock``.
+        """
         version = kg.structure_version
         entry = self._entries.get(kg)
         if entry is None or entry.structure_version != version:
@@ -253,7 +256,7 @@ class PlanCache:
     def lookup(self, kg: KnowledgeGraph, key: PlanKey) -> QueryPlan | None:
         """The cached plan for ``key`` on ``kg``'s current structure, if any."""
         with self._lock:
-            plans = self._entry(kg).plans
+            plans = self._entry_locked(kg).plans
             plan = plans.get(key)
             if plan is not None:
                 # LRU touch: dicts iterate in insertion order, so oldest
@@ -281,7 +284,7 @@ class PlanCache:
         sharing one object.
         """
         with self._lock:
-            entry = self._entry(kg)
+            entry = self._entry_locked(kg)
             if entry.structure_version != structure_version:
                 return plan
             canonical = entry.plans.setdefault(key, plan)
@@ -313,7 +316,7 @@ class PlanCache:
         """
         while True:
             with self._lock:
-                entry = self._entry(kg)
+                entry = self._entry_locked(kg)
                 plan = entry.plans.get(key)
                 if plan is not None:
                     entry.plans[key] = entry.plans.pop(key)  # LRU touch

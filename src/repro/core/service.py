@@ -63,6 +63,7 @@ from __future__ import annotations
 
 import enum
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -519,6 +520,7 @@ class AggregateQueryService:
         fault_plan: FaultPlan | None = None,
         registry=None,
         audit_log=None,
+        audit_log_max_bytes=None,
     ) -> None:
         self._kg = kg
         self._space = (
@@ -558,7 +560,7 @@ class AggregateQueryService:
         #: service birth on the same clock; health() reports the delta
         self._started_at = self._clock()
         self._register_instruments()
-        self._open_audit_sink(audit_log)
+        self._open_audit_sink(audit_log, audit_log_max_bytes)
         #: what the scheduler thread is doing (named by close() when stuck)
         self._phase = "idle"
         #: how long close() waits for the scheduler before declaring it
@@ -651,16 +653,36 @@ class AggregateQueryService:
                 if record.status not in _TERMINAL
             )
 
-    def _open_audit_sink(self, audit_log) -> None:
+    def _open_audit_sink(self, audit_log, audit_log_max_bytes=None) -> None:
+        if audit_log_max_bytes is not None and audit_log_max_bytes < 1:
+            raise ServiceError("audit_log_max_bytes must be >= 1")
         self._audit_lock = threading.Lock()
         self._audit_owns_sink = False
+        self._audit_path = None
+        self._audit_max_bytes = audit_log_max_bytes
         if audit_log is None:
             self._audit_sink = None
         elif hasattr(audit_log, "write"):
+            # caller-owned stream: rotation needs a path, so max_bytes is
+            # ignored here by design
             self._audit_sink = audit_log
         else:
+            self._audit_path = os.fspath(audit_log)
             self._audit_sink = open(audit_log, "a", encoding="utf-8")
             self._audit_owns_sink = True
+
+    def _rotate_audit_locked(self, pending_bytes: int) -> None:
+        """Rotate the audit file to ``<path>.1`` when the next write would
+        push it past ``audit_log_max_bytes``.  Caller holds
+        ``self._audit_lock``; one rotated generation is kept."""
+        if self._audit_max_bytes is None or self._audit_path is None:
+            return
+        size = self._audit_sink.tell()
+        if size == 0 or size + pending_bytes <= self._audit_max_bytes:
+            return
+        self._audit_sink.close()
+        os.replace(self._audit_path, self._audit_path + ".1")
+        self._audit_sink = open(self._audit_path, "a", encoding="utf-8")
 
     def _settle_locked(self, record: _QueryRecord, status: QueryStatus) -> None:
         """Once-per-settlement bookkeeping: metrics, span end, audit line.
@@ -682,6 +704,7 @@ class AggregateQueryService:
                     self._audit_line(record, status), allow_nan=False
                 )
                 with self._audit_lock:
+                    self._rotate_audit_locked(len(line) + 1)
                     self._audit_sink.write(line + "\n")
                     self._audit_sink.flush()
             except Exception:  # noqa: BLE001 - a full disk must not
@@ -895,7 +918,8 @@ class AggregateQueryService:
 
     def start(self) -> None:
         """Release a service constructed with ``autostart=False``."""
-        self._autostart = True
+        with self._condition:
+            self._autostart = True
         self._ensure_scheduler()
 
     def close(self) -> None:
@@ -1065,6 +1089,11 @@ class AggregateQueryService:
     # ------------------------------------------------------------------
     # Scheduler
     # ------------------------------------------------------------------
+    def _set_phase(self, phase: str) -> None:
+        """Publish the scheduler's phase for health() readers."""
+        with self._condition:
+            self._phase = phase
+
     def _ensure_scheduler(self) -> None:
         if not self._autostart or self._shutdown:
             return
@@ -1119,7 +1148,7 @@ class AggregateQueryService:
     def _tick(self) -> None:
         """One scheduler pass: cancellations, deadlines, inits, one step per
         cohort member."""
-        self._phase = "cancellation/deadline sweep"
+        self._set_phase("cancellation/deadline sweep")
         with self._condition:
             live = [r for r in self._records if r.status not in _TERMINAL]
             for record in live:
@@ -1163,7 +1192,7 @@ class AggregateQueryService:
                     record.status = QueryStatus.RUNNING
             to_init = [r for r in live if r.state is None]
 
-        self._phase = "initialise (S1)"
+        self._set_phase("initialise (S1)")
         for record in to_init:
             self._initialise(record)
 
@@ -1183,7 +1212,7 @@ class AggregateQueryService:
             # completed rounds steps first; submission order breaks ties.
             cohort.sort(key=lambda r: (len(r.state.rounds), r.sequence))
 
-        self._phase = "prewarm (cross-query validation)"
+        self._set_phase("prewarm (cross-query validation)")
         prewarm_started = time.perf_counter()
         self._prewarm_cohort(cohort)
         prewarm_seconds = time.perf_counter() - prewarm_started
@@ -1194,7 +1223,7 @@ class AggregateQueryService:
                     record.state, STAGE_SCHEDULER, overhead / len(cohort)
                 )
 
-        self._phase = "execute cohort"
+        self._set_phase("execute cohort")
         self._backend.run_cohort(self, cohort)
 
     def _initialise(self, record: _QueryRecord) -> None:

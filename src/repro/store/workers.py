@@ -238,8 +238,15 @@ def _worker_prewarm(payload: tuple[PrewarmWorkItem, dict, dict | None]):
 # ---------------------------------------------------------------------------
 # Parent side
 # ---------------------------------------------------------------------------
+# repro: ignore[REP201] single-writer: all mutation runs on the owning scheduler thread
 class WorkerPool:
-    """N worker processes sharing one published snapshot + plan store."""
+    """N worker processes sharing one published snapshot + plan store.
+
+    Thread contract: single-writer.  All mutating methods run on the
+    scheduler thread that owns the enclosing backend; no lock is taken
+    because none is shared.  Cross-thread observability reads flow
+    through registry counters, which carry their own locks.
+    """
 
     def __init__(
         self,

@@ -302,6 +302,43 @@ class TestAuditLog:
         (line,) = [json.loads(raw) for raw in sink.getvalue().splitlines()]
         assert line["kind"] == "rounds"
 
+    def test_size_based_rotation_keeps_one_generation(self, world, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with _service(world, audit_log=path) as service:
+            service.submit(world.count_query(), seed=3).result(timeout=30.0)
+        line_bytes = path.stat().st_size
+        path.unlink()
+
+        # cap below two lines: every write after the first rotates
+        with _service(
+            world, audit_log=path, audit_log_max_bytes=int(line_bytes * 1.5)
+        ) as service:
+            for seed in (3, 4, 5):
+                service.submit(world.count_query(), seed=seed).result(
+                    timeout=30.0
+                )
+        rotated = tmp_path / "audit.jsonl.1"
+        assert rotated.exists()
+        # main + one rotated generation, every surviving line JSON-clean
+        kept = self._read_lines(path) + self._read_lines(rotated)
+        assert len(kept) == 2
+        assert all(line["status"] == "succeeded" for line in kept)
+        assert path.stat().st_size <= line_bytes * 1.5
+
+    def test_rotation_cap_must_be_positive(self, world):
+        with pytest.raises(ServiceError, match="audit_log_max_bytes"):
+            _service(world, audit_log="unused.jsonl", audit_log_max_bytes=0)
+
+    def test_no_rotation_without_cap(self, world, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with _service(world, audit_log=path) as service:
+            for seed in (3, 4, 5):
+                service.submit(world.count_query(), seed=seed).result(
+                    timeout=30.0
+                )
+        assert len(self._read_lines(path)) == 3
+        assert not (tmp_path / "audit.jsonl.1").exists()
+
 
 # ---------------------------------------------------------------------------
 # /metrics over the wire
